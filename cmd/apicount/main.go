@@ -1,0 +1,31 @@
+// Command apicount regenerates the paper's Table 2: per programming model,
+// the lines of code implementing it on top of HAMSTER, the number of
+// exported API calls, and the lines-per-call ratio. See internal/apicount
+// for the counting methodology.
+//
+// Usage:
+//
+//	apicount [-dir models]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hamster/internal/apicount"
+)
+
+func main() {
+	dir := flag.String("dir", "models", "directory containing the model packages")
+	flag.Parse()
+
+	rows, err := apicount.CountModels(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("Table 2: Implementation Complexity of Programming Models Using HAMSTER")
+	fmt.Println()
+	fmt.Print(apicount.Render(rows))
+}

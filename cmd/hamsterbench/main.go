@@ -1,0 +1,83 @@
+// Command hamsterbench regenerates the paper's evaluation (§5): Table 1,
+// Table 2, Figures 2–4, and the design-choice ablations, printing
+// paper-style text renderings.
+//
+// Usage:
+//
+//	hamsterbench [-size small|default|paper] [-models DIR]
+//	             [-table1] [-table2] [-fig2] [-fig3] [-fig4] [-ablations]
+//
+// With no selection flags, everything runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hamster/internal/apicount"
+	"hamster/internal/bench"
+)
+
+func main() {
+	size := flag.String("size", "default", "workload sizes: small, default, or paper")
+	modelsDir := flag.String("models", "models", "path to the programming-model packages (Table 2)")
+	t1 := flag.Bool("table1", false, "print Table 1 (benchmarks and working sets)")
+	t2 := flag.Bool("table2", false, "print Table 2 (implementation complexity)")
+	f2 := flag.Bool("fig2", false, "run Figure 2 (HAMSTER overhead vs native JiaJia)")
+	f3 := flag.Bool("fig3", false, "run Figure 3 (hybrid vs software DSM)")
+	f4 := flag.Bool("fig4", false, "run Figure 4 (hardware vs hybrid vs software DSM)")
+	abl := flag.Bool("ablations", false, "run the design-choice ablations")
+	flag.Parse()
+
+	var sz bench.Sizes
+	switch *size {
+	case "small":
+		sz = bench.Small()
+	case "default":
+		sz = bench.Default()
+	case "paper":
+		sz = bench.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -size %q\n", *size)
+		os.Exit(2)
+	}
+
+	all := !*t1 && !*t2 && !*f2 && !*f3 && !*f4 && !*abl
+	section := func(run bool, name string, f func()) {
+		if !run && !all {
+			return
+		}
+		start := time.Now()
+		f()
+		fmt.Printf("[%s finished in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Printf("HAMSTER evaluation harness — workload size %q\n\n", *size)
+	section(*t1, "table1", func() {
+		fmt.Println(bench.RenderTable1(bench.Table1(sz)))
+	})
+	section(*t2, "table2", func() {
+		rows, err := apicount.CountModels(*modelsDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table2: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("Table 2: Implementation Complexity of Programming Models Using HAMSTER")
+		fmt.Println()
+		fmt.Println(apicount.Render(rows))
+	})
+	section(*f2, "figure2", func() {
+		fmt.Println(bench.RenderFigure2(bench.Figure2(sz)))
+	})
+	section(*f3, "figure3", func() {
+		fmt.Println(bench.RenderFigure3(bench.Figure3(sz)))
+	})
+	section(*f4, "figure4", func() {
+		fmt.Println(bench.RenderFigure4(bench.Figure4(sz)))
+	})
+	section(*abl, "ablations", func() {
+		fmt.Println(bench.RenderAblations(bench.Ablations(sz)))
+	})
+}

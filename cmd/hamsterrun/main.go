@@ -1,0 +1,153 @@
+// Command hamsterrun executes one benchmark on one platform — the
+// identical-binary experiment of §5.4: the same program, retargeted purely
+// by configuration.
+//
+// Usage:
+//
+//	hamsterrun [-config FILE] [-platform smp|hybrid-dsm|software-dsm]
+//	           [-nodes N] [-bench NAME] [-n SIZE] [-iters I] [-monitor]
+//
+// A -config file (see internal/cluster for the format) overrides the
+// -platform/-nodes flags, mirroring how the original framework switched
+// platforms with a node configuration file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hamster"
+	"hamster/internal/apps"
+	"hamster/internal/cluster"
+	"hamster/internal/core"
+	"hamster/models/jiajia"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "cluster configuration file (overrides -platform/-nodes)")
+	plat := flag.String("platform", "software-dsm", "smp, hybrid-dsm, or software-dsm")
+	nodes := flag.Int("nodes", 4, "cluster size")
+	benchName := flag.String("bench", "pi", "matmult, pi, sor, sor-opt, lu, water, or stream")
+	n := flag.Int("n", 0, "problem size (0 = benchmark default)")
+	iters := flag.Int("iters", 0, "iterations/steps (0 = benchmark default)")
+	monitor := flag.Bool("monitor", false, "print per-node monitoring reports")
+	verify := flag.Bool("verify", false, "trace the run and print the formal consistency report (§6)")
+	timeline := flag.Bool("timeline", false, "attach the external sampler and print per-epoch activity (§4.3)")
+	flag.Parse()
+
+	cfg := hamster.Config{Nodes: *nodes}
+	switch *plat {
+	case "smp", "hardware-dsm":
+		cfg.Platform = hamster.SMP
+	case "hybrid-dsm", "numa":
+		cfg.Platform = hamster.HybridDSM
+	case "software-dsm", "swdsm", "beowulf":
+		cfg.Platform = hamster.SWDSM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *plat)
+		os.Exit(2)
+	}
+	if *cfgPath != "" {
+		f, err := os.Open(*cfgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fileCfg, err := cluster.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg = fileCfg.RuntimeConfig()
+	}
+
+	kernel, desc, err := pickKernel(*benchName, *n, *iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sys, err := jiajia.Boot(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer sys.Shutdown()
+
+	fmt.Printf("running %s on %v with %d nodes (JiaJia model over HAMSTER)\n",
+		desc, cfg.Platform, cfg.Nodes)
+	if *verify {
+		sys.Runtime().StartTrace()
+	}
+	var sampler *core.Sampler
+	if *timeline {
+		sampler = sys.Runtime().AttachSampler()
+	}
+	results := apps.RunOnJia(sys, kernel)
+
+	fmt.Printf("\ncheck      %v\n", results[0].Check)
+	fmt.Printf("total      %v (slowest node)\n", apps.MaxTotal(results))
+	fmt.Printf("init       %v\n", maxP(results, func(t apps.Timings) hamster.Duration { return t.Init }))
+	fmt.Printf("core       %v\n", maxP(results, func(t apps.Timings) hamster.Duration { return t.Core }))
+	fmt.Printf("barriers   %v\n", maxP(results, func(t apps.Timings) hamster.Duration { return t.Bar }))
+	if *monitor {
+		fmt.Println()
+		fmt.Print(core.ClusterReport(sys.Runtime()))
+	}
+	if *verify {
+		fmt.Println()
+		fmt.Print(sys.Runtime().CheckConsistency().String())
+	}
+	if sampler != nil {
+		sys.Runtime().DetachSampler()
+		fmt.Println()
+		fmt.Print(sampler.Timeline(0))
+	}
+}
+
+func maxP(rs []apps.Result, sel func(apps.Timings) hamster.Duration) hamster.Duration {
+	return apps.MaxPhase(rs, sel)
+}
+
+func pickKernel(name string, n, iters int) (apps.Kernel, string, error) {
+	def := func(v, d int) int {
+		if v <= 0 {
+			return d
+		}
+		return v
+	}
+	switch name {
+	case "matmult":
+		sz := def(n, 256)
+		return func(m apps.Machine) apps.Result { return apps.MatMult(m, sz) },
+			fmt.Sprintf("matmult %dx%d", sz, sz), nil
+	case "pi":
+		sz := def(n, 10_000_000)
+		return func(m apps.Machine) apps.Result { return apps.PI(m, sz) },
+			fmt.Sprintf("pi with %d intervals", sz), nil
+	case "sor":
+		sz, it := def(n, 256), def(iters, 8)
+		return func(m apps.Machine) apps.Result { return apps.SOR(m, sz, it, false) },
+			fmt.Sprintf("sor (unoptimized) %dx%d, %d iters", sz, sz, it), nil
+	case "sor-opt":
+		sz, it := def(n, 256), def(iters, 8)
+		return func(m apps.Machine) apps.Result { return apps.SOR(m, sz, it, true) },
+			fmt.Sprintf("sor (optimized) %dx%d, %d iters", sz, sz, it), nil
+	case "lu":
+		sz := def(n, 224)
+		return func(m apps.Machine) apps.Result { return apps.LU(m, sz) },
+			fmt.Sprintf("lu %dx%d", sz, sz), nil
+	case "water":
+		sz, it := def(n, 288), def(iters, 2)
+		return func(m apps.Machine) apps.Result { return apps.Water(m, sz, it) },
+			fmt.Sprintf("water with %d molecules, %d steps", sz, it), nil
+	case "stream":
+		sz, it := def(n, 65536), def(iters, 3)
+		return func(m apps.Machine) apps.Result { return apps.Stream(m, sz, it, hamster.Block) },
+			fmt.Sprintf("stream over %d doubles, %d iters", sz, it), nil
+	default:
+		return nil, "", fmt.Errorf("unknown benchmark %q", name)
+	}
+}

@@ -1,0 +1,320 @@
+package hamster_test
+
+import (
+	"testing"
+
+	"hamster"
+	"hamster/models/anl"
+	"hamster/models/hlrc"
+	"hamster/models/jiajia"
+	"hamster/models/openmp"
+	"hamster/models/pthreads"
+	"hamster/models/shmem"
+	"hamster/models/smpspmd"
+	"hamster/models/spmd"
+	"hamster/models/treadmarks"
+	"hamster/models/win32"
+)
+
+// TestCrossModelEquivalence runs the same computation — every worker
+// increments a shared counter `perWorker` times under mutual exclusion —
+// through all ten programming models on the software DSM. Identical
+// results across models is the paper's §2 claim made executable: the thin
+// model layers recreate different APIs over the same services without
+// changing semantics.
+func TestCrossModelEquivalence(t *testing.T) {
+	const nodes = 3
+	const perWorker = 8
+	const want = int64(nodes * perWorker)
+	cfg := hamster.Config{Platform: hamster.SWDSM, Nodes: nodes}
+
+	t.Run("spmd", func(t *testing.T) {
+		s, err := spmd.Boot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown()
+		var got int64
+		s.Run(func(p *spmd.Proc) {
+			r := p.AllocGlobal(hamster.PageSize, "c")
+			var lock int
+			if p.Me() == 0 {
+				lock = p.CreateLock()
+			}
+			p.Barrier()
+			for i := 0; i < perWorker; i++ {
+				p.Lock(lock)
+				p.WriteI64(r.Base, p.ReadI64(r.Base)+1)
+				p.Unlock(lock)
+			}
+			p.Barrier()
+			if p.Me() == 0 {
+				got = p.ReadI64(r.Base)
+			}
+		})
+		if got != want {
+			t.Fatalf("spmd: %d, want %d", got, want)
+		}
+	})
+
+	t.Run("smpspmd", func(t *testing.T) {
+		s, err := smpspmd.Boot(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown()
+		var got int64
+		s.Run(func(p *smpspmd.Proc) {
+			r := p.AllocShared(hamster.PageSize, "c")
+			var lock int
+			if p.Me() == 0 {
+				lock = p.CreateLock()
+			}
+			p.Barrier()
+			for i := 0; i < perWorker; i++ {
+				p.Lock(lock)
+				p.WriteI64(r.Base, p.ReadI64(r.Base)+1)
+				p.Unlock(lock)
+			}
+			p.Barrier()
+			if p.Me() == 0 {
+				got = p.ReadI64(r.Base)
+			}
+		})
+		if got != want {
+			t.Fatalf("smpspmd: %d, want %d", got, want)
+		}
+	})
+
+	t.Run("jiajia", func(t *testing.T) {
+		s, err := jiajia.Boot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown()
+		var got int64
+		s.Run(func(j *jiajia.Jia) {
+			a := j.Alloc(hamster.PageSize)
+			j.Barrier()
+			for i := 0; i < perWorker; i++ {
+				j.Lock(1)
+				j.WriteI64(a, j.ReadI64(a)+1)
+				j.Unlock(1)
+			}
+			j.Barrier()
+			if j.Pid() == 0 {
+				got = j.ReadI64(a)
+			}
+		})
+		if got != want {
+			t.Fatalf("jiajia: %d, want %d", got, want)
+		}
+	})
+
+	t.Run("hlrc", func(t *testing.T) {
+		s, err := hlrc.Boot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown()
+		var got int64
+		s.Run(func(rc *hlrc.RC) {
+			a := rc.Malloc(hamster.PageSize)
+			for i := 0; i < perWorker; i++ {
+				rc.Acquire(1)
+				rc.WriteI64(a, rc.ReadI64(a)+1)
+				rc.Release(1)
+			}
+			rc.Barrier()
+			if rc.Pid() == 0 {
+				got = rc.ReadI64(a)
+			}
+		})
+		if got != want {
+			t.Fatalf("hlrc: %d, want %d", got, want)
+		}
+	})
+
+	t.Run("treadmarks", func(t *testing.T) {
+		s, err := treadmarks.Boot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown()
+		var got int64
+		s.Run(func(tm *treadmarks.Tmk) {
+			var r hamster.Region
+			if tm.ProcID() == 0 {
+				r = tm.Malloc(hamster.PageSize)
+				tm.Distribute(r)
+			} else {
+				r = tm.Receive()
+			}
+			tm.Barrier(0)
+			for i := 0; i < perWorker; i++ {
+				tm.LockAcquire(1)
+				tm.WriteI64(r.Base, tm.ReadI64(r.Base)+1)
+				tm.LockRelease(1)
+			}
+			tm.Barrier(1)
+			if tm.ProcID() == 0 {
+				got = tm.ReadI64(r.Base)
+			}
+		})
+		if got != want {
+			t.Fatalf("treadmarks: %d, want %d", got, want)
+		}
+	})
+
+	t.Run("anl", func(t *testing.T) {
+		s, err := anl.Boot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown()
+		var got int64
+		s.MainEnv(func(a *anl.ANL) {
+			gm := a.GMalloc(hamster.PageSize)
+			lock := a.LockInit()
+			work := func(w *anl.ANL) {
+				for i := 0; i < perWorker; i++ {
+					w.Lock(lock)
+					w.WriteI64(gm, w.ReadI64(gm)+1)
+					w.Unlock(lock)
+				}
+			}
+			for i := 1; i < nodes; i++ {
+				a.Create(work)
+			}
+			work(a)
+			a.WaitForEnd(nodes - 1)
+			a.Lock(lock)
+			got = a.ReadI64(gm)
+			a.Unlock(lock)
+		})
+		if got != want {
+			t.Fatalf("anl: %d, want %d", got, want)
+		}
+	})
+
+	t.Run("pthreads", func(t *testing.T) {
+		s, err := pthreads.Boot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown()
+		var got int64
+		s.Main(func(pt *pthreads.PT) {
+			addr := pt.Malloc(hamster.PageSize)
+			m := pt.MutexInit()
+			work := func(w *pthreads.PT) int64 {
+				for i := 0; i < perWorker; i++ {
+					w.MutexLock(m)
+					w.WriteI64(addr, w.ReadI64(addr)+1)
+					w.MutexUnlock(m)
+				}
+				return 0
+			}
+			var ths []*pthreads.Thread
+			for i := 1; i < nodes; i++ {
+				th, err := pt.Create(work)
+				if err != nil {
+					panic(err)
+				}
+				ths = append(ths, th)
+			}
+			work(pt)
+			for _, th := range ths {
+				pt.Join(th)
+			}
+			pt.MutexLock(m)
+			got = pt.ReadI64(addr)
+			pt.MutexUnlock(m)
+		})
+		if got != want {
+			t.Fatalf("pthreads: %d, want %d", got, want)
+		}
+	})
+
+	t.Run("win32", func(t *testing.T) {
+		s, err := win32.Boot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown()
+		var got int64
+		s.Main(func(w *win32.W32) {
+			addr := w.VirtualAlloc(hamster.PageSize)
+			m := w.CreateMutex()
+			work := func(wt *win32.W32) int64 {
+				for i := 0; i < perWorker; i++ {
+					wt.WaitForSingleObject(m, win32.Infinite)
+					wt.WriteI64(addr, wt.ReadI64(addr)+1)
+					wt.ReleaseMutex(m)
+				}
+				return 0
+			}
+			var hs []win32.Handle
+			for i := 1; i < nodes; i++ {
+				th, err := w.CreateThread(work)
+				if err != nil {
+					panic(err)
+				}
+				hs = append(hs, th)
+			}
+			work(w)
+			w.WaitForMultipleObjects(hs, true, win32.Infinite)
+			w.WaitForSingleObject(m, win32.Infinite)
+			got = w.ReadI64(addr)
+			w.ReleaseMutex(m)
+		})
+		if got != want {
+			t.Fatalf("win32: %d, want %d", got, want)
+		}
+	})
+
+	t.Run("shmem", func(t *testing.T) {
+		s, err := shmem.Boot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown()
+		var got int64
+		s.Run(func(pe *shmem.PE) {
+			ctr := pe.Malloc(8)
+			pe.BarrierAll()
+			for i := 0; i < perWorker; i++ {
+				pe.AtomicAddI64(ctr, 1, 0)
+			}
+			pe.BarrierAll()
+			if pe.MyPE() == 0 {
+				got = pe.AtomicFetchAddI64(ctr, 0, 0)
+			}
+		})
+		if got != want {
+			t.Fatalf("shmem: %d, want %d", got, want)
+		}
+	})
+
+	t.Run("openmp", func(t *testing.T) {
+		s, err := openmp.Boot(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Shutdown()
+		var got int64
+		s.Parallel(func(o *openmp.OMP) {
+			acc := o.Shared(hamster.PageSize)
+			for i := 0; i < perWorker; i++ {
+				o.Critical(0, func() {
+					o.WriteI64(acc, o.ReadI64(acc)+1)
+				})
+			}
+			o.Barrier()
+			o.Master(func() { got = o.ReadI64(acc) })
+		})
+		if got != want {
+			t.Fatalf("openmp: %d, want %d", got, want)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+// Quickstart: the HAMSTER core API in one page.
+//
+// Four simulated nodes cooperatively estimate pi by Monte-Carlo-free
+// numeric integration: each node integrates its stripe, accumulates into
+// a lock-protected global cell, and node 0 prints the result plus the
+// monitoring counters that the Performance Monitoring module (§4.3)
+// maintains per management module.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"hamster"
+)
+
+func main() {
+	rt, err := hamster.New(hamster.Config{
+		Platform: hamster.SWDSM, // try hamster.SMP or hamster.HybridDSM
+		Nodes:    4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	const intervals = 1_000_000
+	var lock int
+
+	rt.Run(func(e *hamster.Env) {
+		// Collective allocation: every node gets the same region.
+		acc, err := e.Mem.Alloc(hamster.PageSize, hamster.AllocOpts{
+			Name: "pi.acc", Policy: hamster.Fixed, Collective: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if e.ID() == 0 {
+			lock = e.Sync.NewLock()
+		}
+		e.Sync.Barrier()
+
+		// Each node integrates a stripe of 4/(1+x^2).
+		h := 1.0 / intervals
+		sum := 0.0
+		for i := e.ID(); i < intervals; i += e.N() {
+			x := h * (float64(i) + 0.5)
+			sum += 4.0 / (1.0 + x*x)
+		}
+		e.Compute(6 * intervals / uint64(e.N())) // charge the flops
+
+		// Lock-protected global accumulation.
+		e.Sync.Lock(lock)
+		e.WriteF64(acc.Base, e.ReadF64(acc.Base)+sum*h)
+		e.Sync.Unlock(lock)
+		e.Sync.Barrier()
+
+		if e.ID() == 0 {
+			fmt.Printf("pi ≈ %.9f\n", e.ReadF64(acc.Base))
+			fmt.Printf("virtual time: %v on %v\n\n", e.Now(), hamster.SWDSM)
+			fmt.Print(e.Mon.Report())
+		}
+	})
+}

@@ -1,0 +1,62 @@
+// Consistency verification: the §6 "formal mechanism for reasoning about
+// memory consistency", live.
+//
+// The same producer/consumer program is run twice on the software DSM with
+// execution tracing enabled. The first version forgets the barrier between
+// the writers and the readers — under Scope Consistency the readers may
+// legally see stale zeros, and the checker pinpoints the unordered
+// accesses. The second version synchronizes properly and is certified
+// data-race-free.
+//
+// Run:
+//
+//	go run ./examples/verify
+package main
+
+import (
+	"fmt"
+
+	"hamster"
+)
+
+const nodes = 3
+
+func run(name string, withBarrier bool) {
+	rt, err := hamster.New(hamster.Config{Platform: hamster.SWDSM, Nodes: nodes})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	rt.StartTrace()
+	rt.Run(func(e *hamster.Env) {
+		r, err := e.Mem.Alloc(hamster.PageSize, hamster.AllocOpts{
+			Name: "shared", Policy: hamster.Block, Collective: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		// Every node writes one slot...
+		e.WriteF64(r.Base+hamster.Addr(8*e.ID()), float64(e.ID()+1))
+		if withBarrier {
+			e.Sync.Barrier()
+		}
+		// ...then reads everyone's slots.
+		sum := 0.0
+		for n := 0; n < e.N(); n++ {
+			sum += e.ReadF64(r.Base + hamster.Addr(8*n))
+		}
+		_ = sum
+	})
+	rep := rt.CheckConsistency()
+
+	fmt.Printf("=== %s ===\n%s\n", name, rep)
+}
+
+func main() {
+	run("missing barrier (racy)", false)
+	run("with barrier (correct)", true)
+	fmt.Println("The checker uses vector-clock happens-before analysis plus")
+	fmt.Println("Eraser-style locksets over the trace the core records — run any")
+	fmt.Println("benchmark with `hamsterrun -verify` to certify it the same way.")
+}

@@ -1,0 +1,3 @@
+module hamster
+
+go 1.22

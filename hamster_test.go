@@ -1,0 +1,81 @@
+package hamster_test
+
+import (
+	"math"
+	"testing"
+
+	"hamster"
+)
+
+// TestQuickstart exercises the doc-comment example end to end on every
+// platform: the public facade must be sufficient for a complete program.
+func TestQuickstart(t *testing.T) {
+	for _, kind := range []hamster.PlatformKind{hamster.SMP, hamster.HybridDSM, hamster.SWDSM} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rt, err := hamster.New(hamster.Config{Platform: kind, Nodes: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+
+			const intervals = 100_000
+			var lock int
+			var pi float64
+			rt.Run(func(e *hamster.Env) {
+				acc, err := e.Mem.Alloc(hamster.PageSize, hamster.AllocOpts{
+					Name: "pi.acc", Policy: hamster.Fixed, Collective: true,
+				})
+				if err != nil {
+					panic(err)
+				}
+				if e.ID() == 0 {
+					lock = e.Sync.NewLock()
+				}
+				e.Sync.Barrier()
+				h := 1.0 / intervals
+				sum := 0.0
+				for i := e.ID(); i < intervals; i += e.N() {
+					x := h * (float64(i) + 0.5)
+					sum += 4.0 / (1.0 + x*x)
+				}
+				e.Compute(6 * intervals / uint64(e.N()))
+				e.Sync.Lock(lock)
+				e.WriteF64(acc.Base, e.ReadF64(acc.Base)+sum*h)
+				e.Sync.Unlock(lock)
+				e.Sync.Barrier()
+				if e.ID() == 0 {
+					pi = e.ReadF64(acc.Base)
+				}
+			})
+			if math.Abs(pi-math.Pi) > 1e-6 {
+				t.Fatalf("pi = %v", pi)
+			}
+			if rt.MaxTime() == 0 {
+				t.Fatal("no virtual time elapsed")
+			}
+			if rep := hamster.ClusterReport(rt); rep == "" {
+				t.Fatal("empty cluster report")
+			}
+		})
+	}
+}
+
+// TestFacadeConstants pins the re-exported constant wiring.
+func TestFacadeConstants(t *testing.T) {
+	if hamster.PageSize != 4096 || hamster.WordSize != 8 {
+		t.Fatal("page constants wrong")
+	}
+	if hamster.SMP.String() != "hardware-dsm(smp)" {
+		t.Fatal("platform kinds not wired")
+	}
+	p := hamster.DefaultParams()
+	if p.CPU.FlopNs == 0 {
+		t.Fatal("default params empty")
+	}
+	if hamster.Sequential.String() != "sequential" || hamster.Scope.String() != "scope" {
+		t.Fatal("consistency models not wired")
+	}
+	if hamster.ModSync.String() != "synchronization" {
+		t.Fatal("modules not wired")
+	}
+}

@@ -1,0 +1,201 @@
+// Package amsg provides the active-message layer of the HAMSTER framework.
+//
+// All internal communication in the framework — page fetches, diff
+// propagation, lock handoffs, barrier coordination, thread-call forwarding —
+// "uses some form of active message present within the HAMSTER modules"
+// (§5.2). This package implements that shared layer on top of the simulated
+// interconnect. It is the *coalesced* messaging layer of §3.3: one instance
+// serves the DSM internals, the programming models, and user-level
+// messaging, so the two base systems never compete for the (simulated) NIC.
+//
+// The central primitive is Call: a synchronous request/response exchange in
+// which the caller's goroutine executes the registered handler against the
+// target node's state. The target node is charged the handler cost as
+// stolen cycles (modeling SIGIO-style interrupt processing), while the
+// caller's clock absorbs the full round-trip. Handlers must protect the
+// state they touch with that node's own locks.
+package amsg
+
+import (
+	"fmt"
+	"sync"
+
+	"hamster/internal/machine"
+	"hamster/internal/simnet"
+	"hamster/internal/vclock"
+)
+
+// Kind re-exports simnet.Kind for convenience.
+type Kind = simnet.Kind
+
+// NodeID re-exports simnet.NodeID.
+type NodeID = simnet.NodeID
+
+// Handler services one active-message kind on behalf of a target node.
+// It receives the caller, the request payload, and returns the response
+// payload plus any additional service cost beyond the link's base handler
+// cost (for example the memory-copy cost of extracting a page).
+type Handler func(from NodeID, req []byte) (resp []byte, extra vclock.Duration)
+
+// Layer is one coalesced active-message layer over a network.
+type Layer struct {
+	net  *simnet.Network
+	link machine.Link
+
+	mu       sync.RWMutex
+	handlers map[Kind][]Handler // indexed by target node
+
+	stats []CallStats
+}
+
+// CallStats counts active-message activity per node.
+type CallStats struct {
+	mu       sync.Mutex
+	Calls    uint64 // calls issued by this node
+	Serviced uint64 // handler executions on behalf of this node
+	ReqBytes uint64
+	RspBytes uint64
+}
+
+// Snapshot returns a copy of the counters.
+func (s *CallStats) Snapshot() (calls, serviced, reqBytes, rspBytes uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Calls, s.Serviced, s.ReqBytes, s.RspBytes
+}
+
+// New creates an active-message layer over net using the given link costs
+// (normally the same profile the network itself was built with).
+func New(net *simnet.Network, link machine.Link) *Layer {
+	return &Layer{
+		net:      net,
+		link:     link,
+		handlers: make(map[Kind][]Handler),
+		stats:    make([]CallStats, net.Size()),
+	}
+}
+
+// Network returns the underlying simulated network.
+func (l *Layer) Network() *simnet.Network { return l.net }
+
+// Register installs a handler for kind on the given target node.
+// Registration happens at startup, before traffic; re-registration
+// replaces the previous handler.
+func (l *Layer) Register(target NodeID, kind Kind, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	hs, ok := l.handlers[kind]
+	if !ok {
+		hs = make([]Handler, l.net.Size())
+		l.handlers[kind] = hs
+	}
+	hs[target] = h
+}
+
+// LocalCallNs is the cost of a call that stays on the caller's node
+// (loopback dispatch, no NIC involvement).
+const LocalCallNs vclock.Duration = 500
+
+// Call performs a synchronous request/response against the target node.
+// The caller's clock is charged the full round trip; the target's clock is
+// charged the handler cost as stolen cycles. Calls to the caller's own
+// node cost LocalCallNs plus the handler's extra cost and steal nothing.
+func (l *Layer) Call(from, to NodeID, kind Kind, req []byte) []byte {
+	l.mu.RLock()
+	hs := l.handlers[kind]
+	l.mu.RUnlock()
+	if hs == nil || hs[to] == nil {
+		panic(fmt.Sprintf("amsg: no handler for kind %d on node %d", kind, to))
+	}
+	h := hs[to]
+	caller := l.net.Clock(from)
+
+	if from == to {
+		resp, extra := h(from, req)
+		caller.Advance(LocalCallNs + extra)
+		l.count(from, to, len(req), len(resp))
+		return resp
+	}
+
+	// Request travel: sender software + wire.
+	caller.Advance(l.link.SendSWNs + l.link.LatencyNs +
+		vclock.Duration(len(req))*l.link.NsPerByte)
+
+	// Handler executes "at" the target: the target absorbs the interrupt
+	// cost, the caller's timeline includes the service time.
+	resp, extra := h(from, req)
+	service := l.link.HandlerNs + extra
+	l.net.Clock(to).Steal(service)
+	caller.Advance(service)
+
+	// Response travel back.
+	caller.Advance(l.link.LatencyNs +
+		vclock.Duration(len(resp))*l.link.NsPerByte + l.link.RecvSWNs)
+
+	l.count(from, to, len(req), len(resp))
+	return resp
+}
+
+// Notify is a one-way active message: the handler runs at the target (cost
+// stolen) but the caller does not wait for a response and is charged only
+// the send-side costs. Used for write-notice pushes and similar
+// fire-and-forget protocol traffic.
+func (l *Layer) Notify(from, to NodeID, kind Kind, req []byte) {
+	l.mu.RLock()
+	hs := l.handlers[kind]
+	l.mu.RUnlock()
+	if hs == nil || hs[to] == nil {
+		panic(fmt.Sprintf("amsg: no handler for kind %d on node %d", kind, to))
+	}
+	h := hs[to]
+	caller := l.net.Clock(from)
+	if from == to {
+		_, extra := h(from, req)
+		caller.Advance(LocalCallNs + extra)
+		l.count(from, to, len(req), 0)
+		return
+	}
+	caller.Advance(l.link.SendSWNs +
+		vclock.Duration(len(req))*l.link.NsPerByte)
+	_, extra := h(from, req)
+	l.net.Clock(to).Steal(l.link.HandlerNs + extra)
+	l.count(from, to, len(req), 0)
+}
+
+// CallAll issues Call to every node (including the caller, which runs the
+// handler locally) and returns the responses indexed by node.
+func (l *Layer) CallAll(from NodeID, kind Kind, req []byte) [][]byte {
+	out := make([][]byte, l.net.Size())
+	for id := 0; id < l.net.Size(); id++ {
+		out[id] = l.Call(from, NodeID(id), kind, req)
+	}
+	return out
+}
+
+// NotifyOthers sends a one-way message to every node except the caller.
+func (l *Layer) NotifyOthers(from NodeID, kind Kind, req []byte) {
+	for id := 0; id < l.net.Size(); id++ {
+		if NodeID(id) == from {
+			continue
+		}
+		l.Notify(from, NodeID(id), kind, req)
+	}
+}
+
+func (l *Layer) count(from, to NodeID, req, rsp int) {
+	s := &l.stats[from]
+	s.mu.Lock()
+	s.Calls++
+	s.ReqBytes += uint64(req)
+	s.RspBytes += uint64(rsp)
+	s.mu.Unlock()
+	if from != to {
+		t := &l.stats[to]
+		t.mu.Lock()
+		t.Serviced++
+		t.mu.Unlock()
+	}
+}
+
+// Stats returns the per-node counters for node id.
+func (l *Layer) Stats(id NodeID) *CallStats { return &l.stats[id] }

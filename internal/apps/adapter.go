@@ -1,0 +1,231 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"hamster"
+	"hamster/internal/memsim"
+	"hamster/internal/platform"
+	"hamster/internal/vclock"
+	"hamster/models/jiajia"
+)
+
+// Kernel is a benchmark entry point bound to its parameters.
+type Kernel func(m Machine) Result
+
+// RunOnSubstrate executes a kernel directly on a bare substrate — the
+// "native execution" baseline of §5.3 (e.g., unmodified JiaJia): no
+// framework dispatch costs, no monitoring, the DSM's own messaging. It
+// returns one Result per node.
+func RunOnSubstrate(sub platform.Substrate, kernel Kernel) []Result {
+	world := &nativeWorld{sub: sub}
+	for i := 0; i < LockTableSize; i++ {
+		world.locks[i] = sub.NewLock()
+	}
+	results := make([]Result, sub.Nodes())
+	var wg sync.WaitGroup
+	for id := 0; id < sub.Nodes(); id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			results[id] = kernel(&nativeMachine{w: world, id: id})
+		}(id)
+	}
+	wg.Wait()
+	return results
+}
+
+type nativeWorld struct {
+	sub   platform.Substrate
+	locks [LockTableSize]int
+
+	mu     sync.Mutex
+	allocs []memsim.Region
+}
+
+type nativeMachine struct {
+	w       *nativeWorld
+	id      int
+	collIdx int
+}
+
+func (m *nativeMachine) ID() int { return m.id }
+func (m *nativeMachine) N() int  { return m.w.sub.Nodes() }
+
+// Alloc provides the collective allocation the bare substrate lacks:
+// node 0 allocates, a barrier publishes, all nodes return the same base.
+func (m *nativeMachine) Alloc(bytes uint64, name string, pol memsim.Policy) memsim.Addr {
+	w := m.w
+	if m.id == 0 {
+		r, err := w.sub.Alloc(bytes, name, pol, 0)
+		if err != nil {
+			panic(fmt.Sprintf("apps: native alloc: %v", err))
+		}
+		w.mu.Lock()
+		w.allocs = append(w.allocs, r)
+		w.mu.Unlock()
+	}
+	w.sub.Barrier(m.id)
+	w.mu.Lock()
+	r := w.allocs[m.collIdx]
+	w.mu.Unlock()
+	m.collIdx++
+	return r.Base
+}
+
+func (m *nativeMachine) ReadF64(a memsim.Addr) float64     { return m.w.sub.ReadF64(m.id, a) }
+func (m *nativeMachine) WriteF64(a memsim.Addr, v float64) { m.w.sub.WriteF64(m.id, a, v) }
+func (m *nativeMachine) ReadI64(a memsim.Addr) int64       { return m.w.sub.ReadI64(m.id, a) }
+func (m *nativeMachine) WriteI64(a memsim.Addr, v int64)   { m.w.sub.WriteI64(m.id, a, v) }
+func (m *nativeMachine) Compute(flops uint64)              { m.w.sub.Compute(m.id, flops) }
+func (m *nativeMachine) Lock(i int)                        { m.w.sub.Acquire(m.id, m.w.locks[i%LockTableSize]) }
+func (m *nativeMachine) Unlock(i int)                      { m.w.sub.Release(m.id, m.w.locks[i%LockTableSize]) }
+func (m *nativeMachine) Barrier()                          { m.w.sub.Barrier(m.id) }
+func (m *nativeMachine) Now() vclock.Time                  { return m.w.sub.Clock(m.id).Now() }
+
+// RunOnJia executes a kernel through the full HAMSTER stack with the
+// JiaJia programming model on top — the framework path of Figure 2 and the
+// identical-binary path of Figures 3–4. The kernel code is byte-for-byte
+// the same as in RunOnSubstrate; only the Machine binding differs.
+func RunOnJia(sys *jiajia.System, kernel Kernel) []Result {
+	results := make([]Result, sys.Runtime().Nodes())
+	sys.Run(func(j *jiajia.Jia) {
+		results[j.Pid()] = kernel(&jiaMachine{j: j})
+	})
+	return results
+}
+
+type jiaMachine struct {
+	j *jiajia.Jia
+}
+
+func (m *jiaMachine) ID() int { return m.j.Pid() }
+func (m *jiaMachine) N() int  { return m.j.Hosts() }
+
+func (m *jiaMachine) Alloc(bytes uint64, name string, pol memsim.Policy) memsim.Addr {
+	// The jia_* API offers block (jia_alloc) and cyclic (jia_alloc3)
+	// distribution; Fixed falls back to jia_alloc, whose block layout
+	// puts small allocations on host 0 anyway.
+	switch pol {
+	case memsim.Cyclic:
+		return memsim.Addr(m.j.Alloc3(bytes, 0))
+	default:
+		return memsim.Addr(m.j.Alloc(bytes))
+	}
+}
+
+func (m *jiaMachine) ReadF64(a memsim.Addr) float64     { return m.j.ReadF64(a) }
+func (m *jiaMachine) WriteF64(a memsim.Addr, v float64) { m.j.WriteF64(a, v) }
+func (m *jiaMachine) ReadI64(a memsim.Addr) int64       { return m.j.ReadI64(a) }
+func (m *jiaMachine) WriteI64(a memsim.Addr, v int64)   { m.j.WriteI64(a, v) }
+func (m *jiaMachine) Compute(flops uint64)              { m.j.Compute(flops) }
+func (m *jiaMachine) Lock(i int)                        { m.j.Lock(i % LockTableSize) }
+func (m *jiaMachine) Unlock(i int)                      { m.j.Unlock(i % LockTableSize) }
+func (m *jiaMachine) Barrier()                          { m.j.Barrier() }
+func (m *jiaMachine) Now() vclock.Time                  { return m.j.Env().Now() }
+
+// RunOnEnv executes a kernel directly against HAMSTER's core services (no
+// programming-model layer) — used by examples and by ablations that vary
+// core parameters.
+func RunOnEnv(rt *hamster.Runtime, kernel Kernel) []Result {
+	locks := make([]int, LockTableSize)
+	e0 := rt.Env(0)
+	for i := range locks {
+		locks[i] = e0.Sync.NewLock()
+	}
+	results := make([]Result, rt.Nodes())
+	rt.Run(func(e *hamster.Env) {
+		results[e.ID()] = kernel(&envMachine{e: e, locks: locks})
+	})
+	return results
+}
+
+type envMachine struct {
+	e     *hamster.Env
+	locks []int
+}
+
+func (m *envMachine) ID() int { return m.e.ID() }
+func (m *envMachine) N() int  { return m.e.N() }
+
+func (m *envMachine) Alloc(bytes uint64, name string, pol memsim.Policy) memsim.Addr {
+	r, err := m.e.Mem.Alloc(bytes, hamster.AllocOpts{Name: name, Policy: pol, Collective: true})
+	if err != nil {
+		panic(fmt.Sprintf("apps: env alloc: %v", err))
+	}
+	return r.Base
+}
+
+func (m *envMachine) ReadF64(a memsim.Addr) float64     { return m.e.ReadF64(a) }
+func (m *envMachine) WriteF64(a memsim.Addr, v float64) { m.e.WriteF64(a, v) }
+func (m *envMachine) ReadI64(a memsim.Addr) int64       { return m.e.ReadI64(a) }
+func (m *envMachine) WriteI64(a memsim.Addr, v int64)   { m.e.WriteI64(a, v) }
+func (m *envMachine) Compute(flops uint64)              { m.e.Compute(flops) }
+func (m *envMachine) Lock(i int)                        { m.e.Sync.Lock(m.locks[i%LockTableSize]) }
+func (m *envMachine) Unlock(i int)                      { m.e.Sync.Unlock(m.locks[i%LockTableSize]) }
+func (m *envMachine) Barrier()                          { m.e.Sync.Barrier() }
+func (m *envMachine) Now() vclock.Time                  { return m.e.Now() }
+
+// MaxTotal returns the slowest node's total time — the SPMD wall clock.
+func MaxTotal(results []Result) vclock.Duration {
+	var max vclock.Duration
+	for _, r := range results {
+		if r.T.Total > max {
+			max = r.T.Total
+		}
+	}
+	return max
+}
+
+// MaxPhase extracts the slowest node's value for one phase selector.
+func MaxPhase(results []Result, sel func(Timings) vclock.Duration) vclock.Duration {
+	var max vclock.Duration
+	for _, r := range results {
+		if v := sel(r.T); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// RunOnEnvSeq is RunOnEnv under the Sequential consistency model of the
+// consistency API: every read is preceded and every write followed by a
+// full fence. It exists for the consistency ablation — demonstrating why
+// relaxed models are indispensable on loosely coupled platforms (§4.5).
+func RunOnEnvSeq(rt *hamster.Runtime, kernel Kernel) []Result {
+	locks := make([]int, LockTableSize)
+	e0 := rt.Env(0)
+	for i := range locks {
+		locks[i] = e0.Sync.NewLock()
+	}
+	results := make([]Result, rt.Nodes())
+	rt.Run(func(e *hamster.Env) {
+		results[e.ID()] = kernel(&seqMachine{envMachine{e: e, locks: locks}})
+	})
+	return results
+}
+
+type seqMachine struct {
+	envMachine
+}
+
+func (m *seqMachine) ReadF64(a memsim.Addr) float64 {
+	m.e.Cons.Fence()
+	return m.e.ReadF64(a)
+}
+
+func (m *seqMachine) WriteF64(a memsim.Addr, v float64) {
+	m.e.WriteF64(a, v)
+	m.e.Cons.Fence()
+}
+
+func (m *seqMachine) ReadI64(a memsim.Addr) int64 {
+	m.e.Cons.Fence()
+	return m.e.ReadI64(a)
+}
+
+func (m *seqMachine) WriteI64(a memsim.Addr, v int64) {
+	m.e.WriteI64(a, v)
+	m.e.Cons.Fence()
+}

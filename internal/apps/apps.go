@@ -1,0 +1,91 @@
+// Package apps contains the benchmark kernels of the paper's evaluation
+// (Table 1): Matrix Multiplication, PI, Successive Over-Relaxation, LU
+// decomposition, and the WATER molecular dynamics code — the programs from
+// the JiaJia distribution, adapted and optimized for a DSM API.
+//
+// Kernels are written against the Machine interface so that the identical
+// code runs on a bare substrate (the "native JiaJia" baseline of §5.3) or
+// through the HAMSTER framework and any of its programming models — the
+// identical-binary property of §5.4. All kernels compute real results and
+// return a checksum, so a consistency-protocol bug shows up as a numeric
+// mismatch across platforms, not just as an odd timing.
+package apps
+
+import (
+	"hamster/internal/memsim"
+	"hamster/internal/vclock"
+)
+
+// Machine is the platform surface a kernel needs: SPMD identity, global
+// memory with placement, synchronization, compute charging, and timing.
+type Machine interface {
+	// ID is this process's rank; N the process count.
+	ID() int
+	N() int
+
+	// Alloc collectively reserves global memory with a placement policy;
+	// all processes receive the same base address.
+	Alloc(bytes uint64, name string, pol memsim.Policy) memsim.Addr
+
+	ReadF64(a memsim.Addr) float64
+	WriteF64(a memsim.Addr, v float64)
+	ReadI64(a memsim.Addr) int64
+	WriteI64(a memsim.Addr, v int64)
+
+	// Compute charges local CPU work in floating-point operations.
+	Compute(flops uint64)
+
+	// Lock/Unlock address a pre-provisioned global lock table.
+	Lock(i int)
+	Unlock(i int)
+	// Barrier synchronizes all processes.
+	Barrier()
+
+	// Now returns this process's virtual time.
+	Now() vclock.Time
+}
+
+// LockTableSize is the number of locks adapters must provision.
+const LockTableSize = 64
+
+// Timings breaks a kernel run into the phases reported by the paper's
+// LU split (Figure 2: all / without init / computational core / barriers).
+type Timings struct {
+	Total vclock.Duration // whole kernel
+	Init  vclock.Duration // initialization (write-only population)
+	Core  vclock.Duration // computational core without synchronization
+	Bar   vclock.Duration // time spent in barriers
+}
+
+// Result is one process's view of a kernel run.
+type Result struct {
+	Check float64 // platform-independent numeric checksum
+	T     Timings
+}
+
+// f64 addresses element i of a float64 array at base.
+func f64(base memsim.Addr, i int) memsim.Addr {
+	return base + memsim.Addr(8*i)
+}
+
+// timedBarrier crosses the barrier and accumulates the wait into *bar.
+func timedBarrier(m Machine, bar *vclock.Duration) {
+	t0 := m.Now()
+	m.Barrier()
+	*bar += vclock.Since(t0, m.Now())
+}
+
+// blockRange splits n items into contiguous per-process blocks and
+// returns process id's [lo, hi) range.
+func blockRange(n, procs, id int) (lo, hi int) {
+	per := (n + procs - 1) / procs
+	lo = id * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

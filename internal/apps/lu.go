@@ -1,0 +1,88 @@
+package apps
+
+import (
+	"hamster/internal/memsim"
+	"hamster/internal/vclock"
+)
+
+// LU performs an in-place LU decomposition (Gaussian elimination without
+// pivoting, diagonally dominant input) of an n×n matrix with rows dealt
+// cyclically across processes — the JiaJia LU benchmark. Per §5.3/§5.4 the
+// interesting structure is:
+//
+//   - a write-only initialization phase that is very expensive on a
+//     software DSM (every remote page costs twin + full-page diff) but
+//     cheap with hybrid posted writes,
+//   - a computational core where each elimination step broadcasts the
+//     pivot row through shared memory, and
+//   - one barrier per elimination step, so barrier cost is magnified:
+//     the "LU bar" series of Figures 2–4.
+func LU(m Machine, n int) Result {
+	t0 := m.Now()
+	// Rows are padded to whole pages, as the JiaJia-adapted benchmarks
+	// pad their arrays: without padding, cyclically owned rows share
+	// pages and page-based DSMs drown in false sharing. With padding,
+	// row i occupies its own page(s) and — under cyclic placement — is
+	// homed on its owner.
+	rowWords := (n*8 + memsim.PageSize - 1) / memsim.PageSize * memsim.PageSize / 8
+	stride := rowWords
+	mat := m.Alloc(uint64(n)*uint64(stride)*8, "lu.A", memsim.Cyclic)
+
+	var barT vclock.Duration
+
+	// Init: process 0 populates the whole matrix — the serial, write-only
+	// initialization §5.4 calls out: on a software DSM every remote page
+	// costs a fault, a twin, and a full-page diff, while the hybrid DSM
+	// streams posted remote writes.
+	if m.ID() == 0 {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := float64((i*j)%9)/16.0 + 0.25
+				if i == j {
+					v = float64(n) // diagonal dominance: no pivoting needed
+				}
+				m.WriteF64(f64(mat, i*stride+j), v)
+			}
+		}
+	}
+	timedBarrier(m, &barT)
+	initT := vclock.Since(t0, m.Now())
+
+	coreT := vclock.Duration(0)
+	for k := 0; k < n-1; k++ {
+		cs := m.Now()
+		pivot := m.ReadF64(f64(mat, k*stride+k))
+		for i := k + 1; i < n; i++ {
+			if i%m.N() != m.ID() {
+				continue
+			}
+			factor := m.ReadF64(f64(mat, i*stride+k)) / pivot
+			m.WriteF64(f64(mat, i*stride+k), factor)
+			for j := k + 1; j < n; j++ {
+				v := m.ReadF64(f64(mat, i*stride+j)) - factor*m.ReadF64(f64(mat, k*stride+j))
+				m.WriteF64(f64(mat, i*stride+j), v)
+			}
+			m.Compute(uint64(2*(n-k-1) + 2))
+		}
+		coreT += vclock.Since(cs, m.Now())
+		timedBarrier(m, &barT)
+	}
+
+	// Checksum: trace of the factored matrix (product of U's diagonal
+	// would overflow; the trace is stable and owner-independent).
+	check := 0.0
+	for i := 0; i < n; i++ {
+		check += m.ReadF64(f64(mat, i*stride+i))
+	}
+	timedBarrier(m, &barT)
+
+	return Result{
+		Check: check,
+		T: Timings{
+			Total: vclock.Since(t0, m.Now()),
+			Init:  initT,
+			Core:  coreT,
+			Bar:   barT,
+		},
+	}
+}

@@ -1,0 +1,75 @@
+package apps
+
+import (
+	"hamster/internal/memsim"
+	"hamster/internal/vclock"
+)
+
+// MixedRW is the workload for the multi-DSM composition experiment (the
+// paper's §6 hypothesis that "individual system performances are
+// dependent upon application characteristics"). It combines two regions
+// with opposite characters:
+//
+//   - a producer/consumer stream (allocated Block): each owner rewrites
+//     its block, then EVERY node reads the whole region — dense
+//     sequential remote reads that a page-based DSM amortizes beautifully
+//     and a word-granular remote-access DSM pays per word;
+//   - a scatter region (allocated Cyclic): each node writes single words
+//     into pages homed elsewhere — posted remote stores are nearly free,
+//     while a page-based DSM pays fault+twin+diff per touched page.
+//
+// Routing each region to the engine that suits it (multidsm) should beat
+// both single-engine configurations.
+func MixedRW(m Machine, streamWords, scatterPages, iters int) Result {
+	t0 := m.Now()
+	stream := m.Alloc(uint64(streamWords)*8, "mixed.stream", memsim.Block)
+	scatter := m.Alloc(uint64(scatterPages)*memsim.PageSize, "mixed.scatter", memsim.Cyclic)
+	wordsPerPage := memsim.PageSize / 8
+
+	var barT vclock.Duration
+	lo, hi := blockRange(streamWords, m.N(), m.ID())
+	timedBarrier(m, &barT)
+	initT := vclock.Since(t0, m.Now())
+
+	coreStart := m.Now()
+	sum := 0.0
+	for it := 0; it < iters; it++ {
+		// Producers: rewrite the owned stream block.
+		for i := lo; i < hi; i++ {
+			m.WriteF64(f64(stream, i), float64(it*streamWords+i))
+		}
+		timedBarrier(m, &barT)
+
+		// Consumers: dense read of the whole stream.
+		for i := 0; i < streamWords; i++ {
+			sum += m.ReadF64(f64(stream, i))
+		}
+		m.Compute(uint64(streamWords))
+
+		// Scattered single-word writes into remote pages.
+		for p := 0; p < scatterPages; p++ {
+			m.WriteF64(f64(scatter, p*wordsPerPage+m.ID()), float64(it+m.ID()))
+		}
+		timedBarrier(m, &barT)
+	}
+	coreT := vclock.Since(coreStart, m.Now())
+
+	// Checksum: the stream sum plus a sample of the scatter region.
+	check := sum
+	for p := 0; p < scatterPages; p++ {
+		for n := 0; n < m.N(); n++ {
+			check += m.ReadF64(f64(scatter, p*wordsPerPage+n))
+		}
+	}
+	timedBarrier(m, &barT)
+
+	return Result{
+		Check: check,
+		T: Timings{
+			Total: vclock.Since(t0, m.Now()),
+			Init:  initT,
+			Core:  coreT,
+			Bar:   barT,
+		},
+	}
+}

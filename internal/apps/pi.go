@@ -1,0 +1,49 @@
+package apps
+
+import (
+	"hamster/internal/memsim"
+	"hamster/internal/vclock"
+)
+
+// PI integrates 4/(1+x²) over [0,1] with n rectangles (the classic pi
+// benchmark from the JiaJia distribution). Work is embarrassingly
+// parallel; the only communication is the lock-protected accumulation of
+// per-process partial sums, so every platform runs it at essentially
+// local speed — the near-zero bars of Figures 2–4.
+func PI(m Machine, n int) Result {
+	t0 := m.Now()
+	acc := m.Alloc(memsim.PageSize, "pi.acc", memsim.Fixed)
+
+	var barT vclock.Duration
+	timedBarrier(m, &barT)
+	initT := vclock.Since(t0, m.Now())
+
+	coreStart := m.Now()
+	h := 1.0 / float64(n)
+	sum := 0.0
+	for i := m.ID(); i < n; i += m.N() {
+		x := h * (float64(i) + 0.5)
+		sum += 4.0 / (1.0 + x*x)
+	}
+	// ~6 flops per rectangle, charged in one batch.
+	m.Compute(uint64(6 * (n / m.N())))
+	coreT := vclock.Since(coreStart, m.Now())
+
+	m.Lock(0)
+	m.WriteF64(acc, m.ReadF64(acc)+sum*h)
+	m.Unlock(0)
+	timedBarrier(m, &barT)
+
+	check := m.ReadF64(acc)
+	timedBarrier(m, &barT)
+
+	return Result{
+		Check: check,
+		T: Timings{
+			Total: vclock.Since(t0, m.Now()),
+			Init:  initT,
+			Core:  coreT,
+			Bar:   barT,
+		},
+	}
+}

@@ -1,0 +1,89 @@
+package apps
+
+import (
+	"hamster/internal/memsim"
+	"hamster/internal/vclock"
+)
+
+// SOR runs red-black Successive Over-Relaxation on an n×n grid for iters
+// sweeps (the JiaJia SOR benchmark). The optimized variant partitions the
+// grid into contiguous row blocks — each process only exchanges boundary
+// rows with its neighbors, the locality optimization §5.4 discusses. The
+// unoptimized variant deals rows round-robin, so nearly every page is
+// shared by several writers and the page-based software DSM drowns in
+// faults, diffs, and invalidations while the hybrid DSM just pays per-word
+// remote accesses — the big unopt-SOR bar of Figure 3.
+func SOR(m Machine, n, iters int, optimized bool) Result {
+	t0 := m.Now()
+	grid := m.Alloc(uint64(n)*uint64(n)*8, "sor.grid", memsim.Block)
+
+	var barT vclock.Duration
+	var myRows []int
+	if optimized {
+		lo, hi := blockRange(n, m.N(), m.ID())
+		for i := lo; i < hi; i++ {
+			myRows = append(myRows, i)
+		}
+	} else {
+		for i := m.ID(); i < n; i += m.N() {
+			myRows = append(myRows, i)
+		}
+	}
+
+	// Init: each process populates its rows; boundary values are fixed.
+	for _, i := range myRows {
+		for j := 0; j < n; j++ {
+			v := 0.0
+			if i == 0 || j == 0 || i == n-1 || j == n-1 {
+				v = float64((i+j)%3 + 1)
+			}
+			m.WriteF64(f64(grid, i*n+j), v)
+		}
+	}
+	timedBarrier(m, &barT)
+	initT := vclock.Since(t0, m.Now())
+
+	const omega = 0.5
+	coreT := vclock.Duration(0)
+	for it := 0; it < iters; it++ {
+		for color := 0; color < 2; color++ {
+			cs := m.Now()
+			for _, i := range myRows {
+				if i == 0 || i == n-1 {
+					continue
+				}
+				for j := 1 + (i+color)%2; j < n-1; j += 2 {
+					up := m.ReadF64(f64(grid, (i-1)*n+j))
+					down := m.ReadF64(f64(grid, (i+1)*n+j))
+					left := m.ReadF64(f64(grid, i*n+j-1))
+					right := m.ReadF64(f64(grid, i*n+j+1))
+					old := m.ReadF64(f64(grid, i*n+j))
+					m.WriteF64(f64(grid, i*n+j),
+						old+omega*((up+down+left+right)/4-old))
+				}
+				m.Compute(uint64(7 * (n - 2) / 2))
+			}
+			coreT += vclock.Since(cs, m.Now())
+			timedBarrier(m, &barT)
+		}
+	}
+
+	// Checksum: interior norm row-sampled (read by all, shared pages).
+	check := 0.0
+	for i := 1; i < n-1; i += n / 8 {
+		for j := 1; j < n-1; j++ {
+			check += m.ReadF64(f64(grid, i*n+j))
+		}
+	}
+	timedBarrier(m, &barT)
+
+	return Result{
+		Check: check,
+		T: Timings{
+			Total: vclock.Since(t0, m.Now()),
+			Init:  initT,
+			Core:  coreT,
+			Bar:   barT,
+		},
+	}
+}

@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"hamster/internal/memsim"
+	"hamster/internal/vclock"
+)
+
+// Stream is a placement-sensitive microkernel used by the distribution-
+// policy ablation: every process sweeps the whole array once (read),
+// then updates its strided share (write), for iters rounds. With Block
+// placement most of a process's writes are local; with Fixed placement
+// everything concentrates on one home; FirstTouch follows the first
+// sweep's reader.
+func Stream(m Machine, n, iters int, pol memsim.Policy) Result {
+	t0 := m.Now()
+	arr := m.Alloc(uint64(n)*8, "stream", pol)
+	var barT vclock.Duration
+
+	lo, hi := blockRange(n, m.N(), m.ID())
+	for i := lo; i < hi; i++ {
+		m.WriteF64(f64(arr, i), float64(i))
+	}
+	timedBarrier(m, &barT)
+	initT := vclock.Since(t0, m.Now())
+
+	coreStart := m.Now()
+	sum := 0.0
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			sum += m.ReadF64(f64(arr, i))
+		}
+		// The read sweep and the update phase must be separated by a
+		// barrier: without it, one process's whole-array read races
+		// another's block update. (Found by the §6 consistency checker —
+		// internal/apps.TestAllKernelsAreDRF.)
+		timedBarrier(m, &barT)
+		for i := lo; i < hi; i++ {
+			m.WriteF64(f64(arr, i), m.ReadF64(f64(arr, i))+1)
+		}
+		m.Compute(uint64(2 * n))
+		timedBarrier(m, &barT)
+	}
+	coreT := vclock.Since(coreStart, m.Now())
+
+	check := 0.0
+	for i := 0; i < n; i += 8 {
+		check += m.ReadF64(f64(arr, i))
+	}
+	timedBarrier(m, &barT)
+	return Result{
+		Check: check,
+		T: Timings{
+			Total: vclock.Since(t0, m.Now()),
+			Init:  initT,
+			Core:  coreT,
+			Bar:   barT,
+		},
+	}
+}
+
+// OwnerWrites is the home-migration ablation kernel: every process
+// repeatedly rewrites its own block of an array whose pages all live on
+// node 0 (Fixed placement). Without migration each iteration pays twin +
+// full-page diff + transfer per page; with single-writer home migration
+// the pages move to their writers and the loop turns local.
+func OwnerWrites(m Machine, n, iters int, pol memsim.Policy) Result {
+	t0 := m.Now()
+	arr := m.Alloc(uint64(n)*8, "ownerwrites", pol)
+	lo, hi := blockRange(n, m.N(), m.ID())
+	var barT vclock.Duration
+
+	for i := lo; i < hi; i++ {
+		m.WriteF64(f64(arr, i), float64(i))
+	}
+	timedBarrier(m, &barT)
+	initT := vclock.Since(t0, m.Now())
+
+	coreStart := m.Now()
+	for it := 0; it < iters; it++ {
+		for i := lo; i < hi; i++ {
+			m.WriteF64(f64(arr, i), float64(it+i))
+		}
+		m.Compute(uint64(hi - lo))
+		timedBarrier(m, &barT)
+	}
+	coreT := vclock.Since(coreStart, m.Now())
+
+	// One shared validation sweep after the final barrier.
+	check := 0.0
+	for i := 0; i < n; i += 64 {
+		check += m.ReadF64(f64(arr, i))
+	}
+	timedBarrier(m, &barT)
+	return Result{
+		Check: check,
+		T: Timings{
+			Total: vclock.Since(t0, m.Now()),
+			Init:  initT,
+			Core:  coreT,
+			Bar:   barT,
+		},
+	}
+}
+
+// DisjointLocks is the protocol ablation kernel: every process updates
+// its own counters, each under its own lock, so the lock scopes are
+// disjoint — but the counters are packed onto shared pages. Under Scope
+// Consistency nobody is ever invalidated (no process acquires another's
+// locks); under eager Release Consistency every release broadcasts
+// notices and every acquire invalidates, so the shared pages ping-pong.
+func DisjointLocks(m Machine, counters, iters int) Result {
+	t0 := m.Now()
+	arr := m.Alloc(uint64(counters)*8, "disjoint", memsim.Cyclic)
+	var barT vclock.Duration
+	timedBarrier(m, &barT)
+	initT := vclock.Since(t0, m.Now())
+
+	coreStart := m.Now()
+	for it := 0; it < iters; it++ {
+		for c := m.ID(); c < counters; c += m.N() {
+			l := c % LockTableSize
+			m.Lock(l)
+			m.WriteI64(f64(arr, c), m.ReadI64(f64(arr, c))+1)
+			m.Unlock(l)
+		}
+	}
+	coreT := vclock.Since(coreStart, m.Now())
+	timedBarrier(m, &barT)
+
+	check := 0.0
+	for c := 0; c < counters; c++ {
+		check += float64(m.ReadI64(f64(arr, c)))
+	}
+	timedBarrier(m, &barT)
+	return Result{
+		Check: check,
+		T: Timings{
+			Total: vclock.Since(t0, m.Now()),
+			Init:  initT,
+			Core:  coreT,
+			Bar:   barT,
+		},
+	}
+}

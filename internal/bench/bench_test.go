@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1Render(t *testing.T) {
+	rows := Table1(Default())
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 has %d rows, want 5", len(rows))
+	}
+	out := RenderTable1(rows)
+	for _, want := range []string{"Matrix Multiplication", "WATER", "288 / 343"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllSeriesShape(t *testing.T) {
+	series := AllSeries(Small())
+	if len(series) != 10 {
+		t.Fatalf("series count = %d, want 10 (paper's x-axis)", len(series))
+	}
+	workloads := Workloads(Small())
+	if len(workloads) != 7 {
+		t.Fatalf("workload count = %d, want 7", len(workloads))
+	}
+	names := map[string]bool{}
+	for _, w := range workloads {
+		names[w.Name] = true
+	}
+	for _, s := range series {
+		if !names[s.Workload] {
+			t.Fatalf("series %s references unknown workload %s", s.Name, s.Workload)
+		}
+	}
+}
+
+func TestFigure2OverheadIsSingleDigit(t *testing.T) {
+	// §5.3: "a very small influence on overall performance behavior: in
+	// single-digit percentages. In many cases, we even observe slight
+	// performance increases."
+	rows := Figure2(Small())
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sawGain := false
+	for _, r := range rows {
+		if math.Abs(r.OverheadPct) > 10 {
+			t.Errorf("%s: overhead %.2f%% outside single digits", r.Name, r.OverheadPct)
+		}
+		if r.OverheadPct < 0 {
+			sawGain = true
+		}
+	}
+	if !sawGain {
+		t.Error("expected at least one performance gain (negative overhead)")
+	}
+	t.Logf("\n%s", RenderFigure2(rows))
+}
+
+func TestFigure3HybridWins(t *testing.T) {
+	// Figure 3's shape: the hybrid DSM outperforms the software DSM
+	// overall; the gap is large for the unoptimized SOR and the LU
+	// series, small for the locality-optimized codes and PI.
+	rows := Figure3(Small())
+	byName := map[string]Fig3Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, name := range []string{"SOR", "LU all", "LU bar"} {
+		if byName[name].AdvantagePct < 10 {
+			t.Errorf("%s: hybrid advantage %.1f%%, expected substantial", name, byName[name].AdvantagePct)
+		}
+	}
+	if pi := byName["PI"].AdvantagePct; math.Abs(pi) > 10 {
+		t.Errorf("PI: advantage %.1f%%, expected near zero", pi)
+	}
+	if byName["SOR"].AdvantagePct <= byName["SOR opt"].AdvantagePct {
+		t.Errorf("unopt SOR advantage (%.1f%%) must exceed opt SOR (%.1f%%) — the locality claim",
+			byName["SOR"].AdvantagePct, byName["SOR opt"].AdvantagePct)
+	}
+	neg := 0
+	for _, r := range rows {
+		if r.AdvantagePct < -10 {
+			neg++
+		}
+	}
+	if neg > 1 {
+		t.Errorf("%d series show hybrid clearly losing — Figure 3 shows hybrid >= SW overall", neg)
+	}
+	t.Logf("\n%s", RenderFigure3(rows))
+}
+
+func TestFigure4SMPWinsExceptMatMult(t *testing.T) {
+	// Figure 4's shape: the SMP outperforms both DSM systems for most
+	// codes; the exception is the memory-bound MatMult, which profits
+	// from the DSM nodes' separate memory buses.
+	rows := Figure4(Small())
+	byName := map[string]Fig4Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	mm := byName["MatMult"]
+	if mm.HybridPct <= 100 && mm.SWPct <= 100 {
+		t.Errorf("MatMult: neither DSM beats the SMP (hybrid %.1f%%, sw %.1f%%) — the separate-bus effect is missing",
+			mm.HybridPct, mm.SWPct)
+	}
+	slower := 0
+	for _, r := range rows {
+		if r.Name == "MatMult" {
+			continue
+		}
+		if r.HybridPct < 100 || r.SWPct < 100 {
+			slower++
+		}
+	}
+	if slower < 6 {
+		t.Errorf("only %d non-MatMult series run slower than SMP on a DSM; expected the tight coupling to win most", slower)
+	}
+	t.Logf("\n%s", RenderFigure4(rows))
+}
+
+func TestAblationsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations take a few seconds")
+	}
+	results := Ablations(Small())
+	if len(results) != 7 {
+		t.Fatalf("ablation count = %d", len(results))
+	}
+	get := func(name string) AblationResult {
+		for _, a := range results {
+			if strings.Contains(a.Name, name) {
+				return a
+			}
+		}
+		t.Fatalf("ablation %q missing", name)
+		return AblationResult{}
+	}
+	msg := get("messaging")
+	if msg.Rows[0].Time >= msg.Rows[1].Time {
+		t.Error("coalesced messaging must beat separate stacks")
+	}
+	cons := get("consistency")
+	if float64(cons.Rows[1].Time) < 3*float64(cons.Rows[0].Time) {
+		t.Error("sequential consistency must be dramatically slower than scope")
+	}
+	place := get("distribution")
+	if place.Rows[0].Time >= place.Rows[2].Time {
+		t.Error("block placement must beat all-on-node-0 for the stream kernel")
+	}
+	posted := get("posted")
+	if float64(posted.Rows[1].Time) < 2*float64(posted.Rows[0].Time) {
+		t.Error("PIO writes must be far slower than posted writes for write-only init")
+	}
+	mix := get("multi-DSM")
+	if mix.Rows[2].Time >= mix.Rows[0].Time || mix.Rows[2].Time >= mix.Rows[1].Time {
+		t.Error("custom-tailored mix must beat both pure engines (§6)")
+	}
+	mig := get("migration")
+	if float64(mig.Rows[0].Time) < 1.3*float64(mig.Rows[1].Time) {
+		t.Error("home migration must substantially speed up the single-writer stream")
+	}
+	proto := get("protocol")
+	if float64(proto.Rows[1].Time) < 1.3*float64(proto.Rows[0].Time) {
+		t.Error("eager RC must be substantially slower than scope on disjoint scopes")
+	}
+	t.Logf("\n%s", RenderAblations(results))
+}
+
+func TestBarRendering(t *testing.T) {
+	if got := bar(0, 10, 10); !strings.Contains(got, "|") || strings.Contains(got, "#") {
+		t.Fatalf("zero bar wrong: %q", got)
+	}
+	if got := bar(10, 10, 10); strings.Count(got, "#") != 5 {
+		t.Fatalf("full positive bar wrong: %q", got)
+	}
+	if got := bar(-1000, 10, 10); strings.Count(got, "#") != 5 {
+		t.Fatalf("clamped negative bar wrong: %q", got)
+	}
+}
+
+func TestPctHelpers(t *testing.T) {
+	if pctDiff(110, 100) != 10 {
+		t.Fatal("pctDiff wrong")
+	}
+	if pctDiff(5, 0) != 0 {
+		t.Fatal("pctDiff zero base must not divide by zero")
+	}
+	if speedPct(100, 50) != 200 {
+		t.Fatal("speedPct wrong")
+	}
+	if speedPct(100, 0) != 0 {
+		t.Fatal("speedPct zero time must not divide by zero")
+	}
+}

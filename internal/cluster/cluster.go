@@ -1,0 +1,219 @@
+// Package cluster implements HAMSTER's unified startup configuration
+// (§3.3): one node-configuration file format shared by all base
+// architectures, replacing the per-system mechanisms (JiaJia's internal
+// remote job start, the SCI-VM's script-based startup, OS process control
+// on multiprocessors).
+//
+// The format is line-oriented:
+//
+//	# comment
+//	platform  = software-dsm | hybrid-dsm | smp
+//	messaging = coalesced | separate
+//	threaded  = true | false
+//	node      = <name> [<address>]
+//	cache_pages     = <n>      (software DSM page cache)
+//	migrate_after   = <n>      (software DSM home migration, 0 = off)
+//	cache_threshold = <n>      (hybrid DSM read-cache trigger, -1 = off)
+//	posted_writes   = true | false
+//
+// Repeating "node" lines enumerate the cluster; on SMP platforms each node
+// line stands for one CPU.
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hamster/internal/core"
+	"hamster/internal/machine"
+	"hamster/internal/platform"
+)
+
+// NodeSpec names one node of the cluster.
+type NodeSpec struct {
+	Name    string
+	Address string
+}
+
+// FileConfig is a parsed configuration file.
+type FileConfig struct {
+	Platform       platform.Kind
+	Messaging      machine.MessagingMode
+	Threaded       bool
+	Nodes          []NodeSpec
+	CachePages     int
+	MigrateAfter   int
+	CacheThreshold int
+	PostedWrites   bool
+}
+
+// Default returns the configuration used when a key is absent: a
+// four-node software-DSM cluster with coalesced messaging.
+func Default() FileConfig {
+	return FileConfig{
+		Platform:     platform.SWDSM,
+		Messaging:    machine.Coalesced,
+		PostedWrites: true,
+	}
+}
+
+// Parse reads a configuration file.
+func Parse(r io.Reader) (FileConfig, error) {
+	cfg := Default()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, value, found := strings.Cut(line, "=")
+		if !found {
+			return cfg, fmt.Errorf("cluster: line %d: expected key = value, got %q", lineNo, line)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		if err := cfg.set(key, value); err != nil {
+			return cfg, fmt.Errorf("cluster: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return cfg, err
+	}
+	if len(cfg.Nodes) == 0 {
+		return cfg, fmt.Errorf("cluster: no node lines in configuration")
+	}
+	return cfg, nil
+}
+
+func (c *FileConfig) set(key, value string) error {
+	switch key {
+	case "platform":
+		switch value {
+		case "software-dsm", "swdsm", "beowulf":
+			c.Platform = platform.SWDSM
+		case "hybrid-dsm", "sci-vm", "numa":
+			c.Platform = platform.HybridDSM
+		case "smp", "hardware-dsm":
+			c.Platform = platform.SMP
+		default:
+			return fmt.Errorf("unknown platform %q", value)
+		}
+	case "messaging":
+		switch value {
+		case "coalesced", "integrated":
+			c.Messaging = machine.Coalesced
+		case "separate", "native":
+			c.Messaging = machine.Separate
+		default:
+			return fmt.Errorf("unknown messaging mode %q", value)
+		}
+	case "threaded":
+		b, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("bad threaded value %q", value)
+		}
+		c.Threaded = b
+	case "node":
+		fields := strings.Fields(value)
+		if len(fields) == 0 {
+			return fmt.Errorf("empty node line")
+		}
+		spec := NodeSpec{Name: fields[0]}
+		if len(fields) > 1 {
+			spec.Address = fields[1]
+		}
+		c.Nodes = append(c.Nodes, spec)
+	case "cache_pages":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad cache_pages %q", value)
+		}
+		c.CachePages = n
+	case "migrate_after":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad migrate_after %q", value)
+		}
+		c.MigrateAfter = n
+	case "cache_threshold":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("bad cache_threshold %q", value)
+		}
+		c.CacheThreshold = n
+	case "posted_writes":
+		b, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("bad posted_writes %q", value)
+		}
+		c.PostedWrites = b
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+// RuntimeConfig converts a parsed file into a core configuration — the
+// single switch point that retargets an unmodified binary (§5.4).
+func (c FileConfig) RuntimeConfig() core.Config {
+	return core.Config{
+		Platform:                  c.Platform,
+		Nodes:                     len(c.Nodes),
+		Messaging:                 c.Messaging,
+		Threaded:                  c.Threaded,
+		SWDSMCachePages:           c.CachePages,
+		SWDSMMigrateAfter:         c.MigrateAfter,
+		HybridCacheThreshold:      c.CacheThreshold,
+		HybridDisablePostedWrites: !c.PostedWrites,
+	}
+}
+
+// Render writes the configuration back out in file format.
+func (c FileConfig) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "platform = %s\n", platformName(c.Platform))
+	if c.Messaging == machine.Separate {
+		b.WriteString("messaging = separate\n")
+	} else {
+		b.WriteString("messaging = coalesced\n")
+	}
+	if c.Threaded {
+		b.WriteString("threaded = true\n")
+	}
+	if c.CachePages != 0 {
+		fmt.Fprintf(&b, "cache_pages = %d\n", c.CachePages)
+	}
+	if c.MigrateAfter != 0 {
+		fmt.Fprintf(&b, "migrate_after = %d\n", c.MigrateAfter)
+	}
+	if c.CacheThreshold != 0 {
+		fmt.Fprintf(&b, "cache_threshold = %d\n", c.CacheThreshold)
+	}
+	if !c.PostedWrites {
+		b.WriteString("posted_writes = false\n")
+	}
+	for _, n := range c.Nodes {
+		if n.Address != "" {
+			fmt.Fprintf(&b, "node = %s %s\n", n.Name, n.Address)
+		} else {
+			fmt.Fprintf(&b, "node = %s\n", n.Name)
+		}
+	}
+	return b.String()
+}
+
+func platformName(k platform.Kind) string {
+	switch k {
+	case platform.SMP:
+		return "smp"
+	case platform.HybridDSM:
+		return "hybrid-dsm"
+	default:
+		return "software-dsm"
+	}
+}

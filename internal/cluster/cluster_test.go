@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hamster/internal/core"
+	"hamster/internal/machine"
+	"hamster/internal/platform"
+)
+
+const sample = `
+# the paper's testbed: four dual-Xeon nodes
+platform  = software-dsm
+messaging = coalesced
+node = smile0 192.168.1.10
+node = smile1 192.168.1.11
+node = smile2 192.168.1.12
+node = smile3 192.168.1.13
+cache_pages = 2048
+`
+
+func TestParseSample(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Platform != platform.SWDSM || len(cfg.Nodes) != 4 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.Nodes[2].Name != "smile2" || cfg.Nodes[2].Address != "192.168.1.12" {
+		t.Fatalf("node 2 = %+v", cfg.Nodes[2])
+	}
+	if cfg.CachePages != 2048 {
+		t.Fatalf("cache_pages = %d", cfg.CachePages)
+	}
+	rc := cfg.RuntimeConfig()
+	if rc.Nodes != 4 || rc.Platform != platform.SWDSM || rc.SWDSMCachePages != 2048 {
+		t.Fatalf("runtime config = %+v", rc)
+	}
+}
+
+func TestParsePlatformAliases(t *testing.T) {
+	for alias, want := range map[string]platform.Kind{
+		"swdsm": platform.SWDSM, "beowulf": platform.SWDSM,
+		"hybrid-dsm": platform.HybridDSM, "sci-vm": platform.HybridDSM, "numa": platform.HybridDSM,
+		"smp": platform.SMP, "hardware-dsm": platform.SMP,
+	} {
+		cfg, err := Parse(strings.NewReader("platform = " + alias + "\nnode = a\n"))
+		if err != nil {
+			t.Fatalf("%s: %v", alias, err)
+		}
+		if cfg.Platform != want {
+			t.Fatalf("%s -> %v, want %v", alias, cfg.Platform, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"platform = vax\nnode = a\n",
+		"messaging = smoke\nnode = a\n",
+		"nonsense line\n",
+		"unknownkey = 1\nnode = a\n",
+		"cache_pages = minus\nnode = a\n",
+		"threaded = maybe\nnode = a\n",
+		"node = \n",
+		"platform = smp\n", // no nodes
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Fatalf("expected error for %q", c)
+		}
+	}
+}
+
+func TestHybridOptions(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(
+		"platform = hybrid-dsm\nnode = a\nnode = b\ncache_threshold = -1\nposted_writes = false\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := cfg.RuntimeConfig()
+	if rc.HybridCacheThreshold != -1 || !rc.HybridDisablePostedWrites {
+		t.Fatalf("rc = %+v", rc)
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(strings.NewReader(orig.Render()))
+	if err != nil {
+		t.Fatalf("re-parse of rendered config failed: %v\n%s", err, orig.Render())
+	}
+	if again.Platform != orig.Platform || len(again.Nodes) != len(orig.Nodes) ||
+		again.CachePages != orig.CachePages || again.Messaging != orig.Messaging {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", orig, again)
+	}
+}
+
+// Property: Render/Parse round trip preserves every field for arbitrary
+// configurations.
+func TestRenderParseProperty(t *testing.T) {
+	f := func(platSel, msgSel uint8, threaded, posted bool, pages uint16, thresh int16, names []string) bool {
+		if len(names) == 0 {
+			return true
+		}
+		cfg := Default()
+		cfg.Platform = []platform.Kind{platform.SMP, platform.HybridDSM, platform.SWDSM}[int(platSel)%3]
+		if msgSel%2 == 1 {
+			cfg.Messaging = machine.Separate
+		}
+		cfg.Threaded = threaded
+		cfg.PostedWrites = posted
+		cfg.CachePages = int(pages)
+		cfg.CacheThreshold = int(thresh)
+		for i, n := range names {
+			name := strings.Map(func(r rune) rune {
+				if r > ' ' && r < 127 && r != '=' && r != '#' {
+					return r
+				}
+				return -1
+			}, n)
+			if name == "" {
+				name = "n"
+			}
+			cfg.Nodes = append(cfg.Nodes, NodeSpec{Name: name, Address: ""})
+			_ = i
+		}
+		again, err := Parse(strings.NewReader(cfg.Render()))
+		if err != nil {
+			return false
+		}
+		return again.Platform == cfg.Platform &&
+			again.Messaging == cfg.Messaging &&
+			again.Threaded == cfg.Threaded &&
+			again.PostedWrites == cfg.PostedWrites &&
+			again.CachePages == cfg.CachePages &&
+			again.CacheThreshold == cfg.CacheThreshold &&
+			len(again.Nodes) == len(cfg.Nodes)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigDrivesRuntime(t *testing.T) {
+	// End to end: a config file boots a working runtime (§3.3 unified
+	// startup).
+	cfg, err := Parse(strings.NewReader("platform = smp\nnode = cpu0\nnode = cpu1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.New(cfg.RuntimeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.Nodes() != 2 || rt.Substrate().Kind() != platform.SMP {
+		t.Fatal("runtime does not match config")
+	}
+}

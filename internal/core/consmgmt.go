@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"hamster/internal/conscheck"
+	"hamster/internal/memsim"
+)
+
+// ConsModel names a memory consistency model supported by the consistency
+// API (§4.5): "optimized implementations of all widely used models".
+type ConsModel int
+
+// Supported consistency models, strongest first.
+const (
+	// Sequential: every access is globally ordered. Implemented by fencing
+	// around accesses — correct everywhere, catastrophically slow on
+	// loosely coupled systems (the ablation that motivates relaxed models).
+	Sequential ConsModel = iota
+	// Processor: writes from one processor are seen in order (SMP
+	// hardware's native model).
+	Processor
+	// Release: consistency actions tied to acquire/release pairs.
+	Release
+	// Scope: release consistency restricted to the scope (lock) under
+	// which modifications happened — JiaJia's native model.
+	Scope
+	// Entry: consistency restricted to data explicitly bound to the sync
+	// object. Implemented on the scope machinery: per-lock write notices
+	// already confine invalidations to the pages modified under the lock,
+	// so binding data to its lock yields entry semantics.
+	Entry
+)
+
+// String names the model.
+func (m ConsModel) String() string {
+	switch m {
+	case Sequential:
+		return "sequential"
+	case Processor:
+		return "processor"
+	case Release:
+		return "release"
+	case Scope:
+		return "scope"
+	case Entry:
+		return "entry"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// ConsMgr is the Consistency Management module (§4.2, §4.5). In
+// conjunction with the Synchronization module's constructs it recreates
+// any relaxed consistency model a programming model needs.
+type ConsMgr struct {
+	e *Env
+}
+
+// Native returns the substrate's native consistency model.
+func (c *ConsMgr) Native() ConsModel {
+	switch c.e.rt.sub.Caps().ConsistencyModel {
+	case "processor":
+		return Processor
+	case "release":
+		return Release
+	case "scope":
+		return Scope
+	default:
+		return Release
+	}
+}
+
+// Supports reports whether a software model can run on this substrate. A
+// weaker software model always maps onto a stronger hardware model (§4.5);
+// the substrate's sync-attached invalidation machinery covers the relaxed
+// ones, and fencing covers Sequential.
+func (c *ConsMgr) Supports(m ConsModel) bool {
+	_ = m
+	return true
+}
+
+// Acquire performs the consistency entry action of a sync object without
+// taking the lock itself: stale copies covered by the object's write
+// notices are discarded. Exposed for models (like shmem) that need
+// one-sided consistency control.
+func (c *ConsMgr) Acquire(lock int) {
+	c.e.charge(ModCons)
+	c.e.rt.sub.Acquire(c.e.id, lock)
+	c.e.rt.sub.Release(c.e.id, lock)
+}
+
+// Fence enforces full local consistency: all local modifications become
+// globally visible and all stale local copies are dropped. This is the
+// strongest (and most expensive) consistency action.
+func (c *ConsMgr) Fence() {
+	c.e.charge(ModCons)
+	c.e.traceSync(conscheck.Fence, 0)
+	c.e.rt.sub.Fence(c.e.id)
+}
+
+// SeqReadF64 and SeqWriteF64 are the Sequential model's access path:
+// fence, access, fence. Provided for completeness and for the consistency
+// ablation; real codes use relaxed models.
+func (c *ConsMgr) SeqReadF64(a memsim.Addr) float64 {
+	c.e.rt.sub.Fence(c.e.id)
+	return c.e.ReadF64(a)
+}
+
+// SeqWriteF64 is the Sequential model's write path.
+func (c *ConsMgr) SeqWriteF64(a memsim.Addr, v float64) {
+	c.e.WriteF64(a, v)
+	c.e.rt.sub.Fence(c.e.id)
+}
+
+// BindRegion associates a region with a lock for Entry consistency. The
+// binding is advisory on the scope substrates (their per-lock notices
+// already confine invalidation); it is recorded so monitoring tools can
+// verify the discipline.
+func (c *ConsMgr) BindRegion(lock int, r memsim.Region) {
+	c.e.charge(ModCons)
+	rt := c.e.rt
+	rt.bindMu.Lock()
+	if rt.bindings == nil {
+		rt.bindings = make(map[int][]memsim.Region)
+	}
+	rt.bindings[lock] = append(rt.bindings[lock], r)
+	rt.bindMu.Unlock()
+}
+
+// Bindings returns the regions bound to a lock.
+func (c *ConsMgr) Bindings(lock int) []memsim.Region {
+	rt := c.e.rt
+	rt.bindMu.Lock()
+	defer rt.bindMu.Unlock()
+	return append([]memsim.Region(nil), rt.bindings[lock]...)
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hamster/internal/platform"
+	"hamster/internal/vclock"
+)
+
+// samplerSlot holds the optionally attached external sampler.
+type samplerSlot = atomic.Pointer[Sampler]
+
+// Monitor is the performance-monitoring service (§4.3). Each module keeps
+// its own statistics independently of what the substrate provides; the
+// monitor exposes per-module query and reset services so that
+// applications, run-time systems, or external tools can observe behavior
+// in an architecture- and model-independent way.
+type Monitor struct {
+	e *Env
+}
+
+// Calls returns how many service calls this node issued to a module since
+// the last reset.
+func (m *Monitor) Calls(mod Module) uint64 {
+	return m.e.calls[mod].Load()
+}
+
+// TotalCalls sums service calls across all modules.
+func (m *Monitor) TotalCalls() uint64 {
+	var total uint64
+	for i := Module(0); i < moduleCount; i++ {
+		total += m.e.calls[i].Load()
+	}
+	return total
+}
+
+// Reset clears one module's call counter.
+func (m *Monitor) Reset(mod Module) {
+	m.e.calls[mod].Store(0)
+}
+
+// ResetAll clears every module counter.
+func (m *Monitor) ResetAll() {
+	for i := Module(0); i < moduleCount; i++ {
+		m.e.calls[i].Store(0)
+	}
+}
+
+// Substrate snapshots the base architecture's per-node counters (page
+// faults, diffs, invalidations, remote accesses, ...). Call while the node
+// is quiescent.
+func (m *Monitor) Substrate() platform.Stats {
+	return m.e.rt.sub.NodeStats(m.e.id)
+}
+
+// Report renders a human-readable monitoring summary for this node.
+func (m *Monitor) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %d on %s\n", m.e.id, m.e.rt.sub.Kind())
+	mods := []Module{ModMem, ModCons, ModSync, ModTask, ModCluster}
+	for _, mod := range mods {
+		fmt.Fprintf(&b, "  %-16s %8d calls\n", mod, m.Calls(mod))
+	}
+	st := m.Substrate()
+	rows := []struct {
+		k string
+		v uint64
+	}{
+		{"reads", st.Reads}, {"writes", st.Writes},
+		{"page faults", st.PageFaults},
+		{"remote reads", st.RemoteReads}, {"remote writes", st.RemoteWrites},
+		{"twins", st.TwinsCreated}, {"diffs", st.DiffsCreated},
+		{"diff bytes", st.DiffBytes}, {"invalidations", st.Invalidations},
+		{"lock acquires", st.LockAcquires}, {"barriers", st.BarrierCrossings},
+		{"evictions", st.Evictions}, {"cache misses", st.CacheMisses},
+	}
+	for _, r := range rows {
+		if r.v != 0 {
+			fmt.Fprintf(&b, "  %-16s %8d\n", r.k, r.v)
+		}
+	}
+	return b.String()
+}
+
+// ClusterReport aggregates Report output for every node, in node order.
+func ClusterReport(rt *Runtime) string {
+	var b strings.Builder
+	ids := make([]int, rt.Nodes())
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		b.WriteString(rt.Env(id).Mon.Report())
+	}
+	return b.String()
+}
+
+// Sample is one node's monitoring snapshot at a barrier crossing.
+type Sample struct {
+	Node  int
+	Epoch uint64
+	At    vclock.Time
+	Stats platform.Stats
+	Calls [moduleCount]uint64
+}
+
+// Sampler is an externally attached monitoring collector (§4.3: "an
+// independent monitoring system may attach externally"). While attached,
+// every barrier crossing appends a per-node snapshot, yielding a
+// phase-by-phase time series without touching the application.
+type Sampler struct {
+	mu      sync.Mutex
+	samples []Sample
+}
+
+// Samples returns all collected snapshots in collection order.
+func (s *Sampler) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Series returns one node's snapshots in epoch order.
+func (s *Sampler) Series(node int) []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Sample
+	for _, sm := range s.samples {
+		if sm.Node == node {
+			out = append(out, sm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}
+
+// Timeline renders one node's fault/diff/lock activity per barrier epoch
+// — the view a dynamic optimizer (or a human) tunes against.
+func (s *Sampler) Timeline(node int) string {
+	series := s.Series(node)
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %d activity by barrier epoch (cumulative counters):\n", node)
+	fmt.Fprintf(&b, "%6s %14s %8s %8s %8s %8s\n", "epoch", "vtime", "faults", "diffs", "inval", "locks")
+	for _, sm := range series {
+		fmt.Fprintf(&b, "%6d %14v %8d %8d %8d %8d\n",
+			sm.Epoch, sm.At, sm.Stats.PageFaults, sm.Stats.DiffsCreated,
+			sm.Stats.Invalidations, sm.Stats.LockAcquires)
+	}
+	return b.String()
+}
+
+func (s *Sampler) record(sm Sample) {
+	s.mu.Lock()
+	s.samples = append(s.samples, sm)
+	s.mu.Unlock()
+}
+
+// AttachSampler starts external monitoring collection and returns the
+// collector. Only one sampler is active at a time.
+func (rt *Runtime) AttachSampler() *Sampler {
+	s := &Sampler{}
+	rt.sampler.Store(s)
+	return s
+}
+
+// DetachSampler stops collection (nil if none was attached).
+func (rt *Runtime) DetachSampler() *Sampler {
+	return rt.sampler.Swap(nil)
+}
+
+// sampleBarrier records a snapshot for one node if a sampler is attached.
+func (e *Env) sampleBarrier() {
+	s := e.rt.sampler.Load()
+	if s == nil {
+		return
+	}
+	e.epochs++
+	var calls [moduleCount]uint64
+	for i := Module(0); i < moduleCount; i++ {
+		calls[i] = e.calls[i].Load()
+	}
+	s.record(Sample{
+		Node:  e.id,
+		Epoch: e.epochs,
+		At:    e.Now(),
+		Stats: e.rt.sub.NodeStats(e.id),
+		Calls: calls,
+	})
+}

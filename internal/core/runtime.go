@@ -1,0 +1,251 @@
+// Package core implements the HAMSTER middleware: the five orthogonal
+// management modules (§4.2) — Memory, Consistency, Synchronization, Task,
+// and Cluster Control management — plus per-module performance monitoring
+// (§4.3) and platform-independent timing, all on top of an exchangeable
+// base architecture (package platform).
+//
+// Programming models (package models/...) are thin layers over these
+// services: most API calls map directly onto one parameterized service
+// call, which is what keeps the per-model implementation effort of Table 2
+// in the tens of lines per call.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"hamster/internal/amsg"
+	"hamster/internal/hybriddsm"
+	"hamster/internal/machine"
+	"hamster/internal/memsim"
+	"hamster/internal/platform"
+	"hamster/internal/simnet"
+	"hamster/internal/smp"
+	"hamster/internal/swdsm"
+	"hamster/internal/vclock"
+)
+
+// Config selects and parameterizes the base architecture. This is the
+// "configuration file" of §5.4: changing only this between runs retargets
+// identical application binaries across platforms.
+type Config struct {
+	// Platform picks the base architecture.
+	Platform platform.Kind
+	// Nodes is the cluster size (or CPU count on SMP).
+	Nodes int
+	// Params is the cost model; zero value means machine.Default().
+	Params machine.Params
+	// Messaging selects the §3.3 integration mode. Coalesced (default) is
+	// HAMSTER's single shared messaging layer; Separate models
+	// unintegrated stacks competing for the NIC and exists for the
+	// native-execution baseline and the messaging ablation.
+	Messaging machine.MessagingMode
+	// Threaded enables same-node task concurrency (thread programming
+	// models): substrate access is then serialized per node, modeling
+	// threads time-sharing one CPU.
+	Threaded bool
+
+	// SWDSMCachePages caps the software DSM's per-node page cache.
+	SWDSMCachePages int
+	// SWDSMMigrateAfter enables the software DSM's home migration after
+	// that many consecutive single-writer intervals (0 = off).
+	SWDSMMigrateAfter int
+	// HybridCacheThreshold tunes the hybrid DSM's read-caching trigger
+	// (negative disables caching).
+	HybridCacheThreshold int
+	// HybridDisablePostedWrites makes hybrid remote writes synchronous.
+	HybridDisablePostedWrites bool
+}
+
+// Runtime is one HAMSTER instance: a configured base architecture plus the
+// service modules, one Env per node.
+type Runtime struct {
+	cfg  Config
+	sub  platform.Substrate
+	envs []*Env
+	msgs *simnet.Network // user-level messaging (Cluster Control module)
+
+	collMu     sync.Mutex
+	collAllocs []collResult
+
+	rawMu    sync.Mutex
+	rawLocks []*vclock.VLock
+
+	bindMu   sync.Mutex
+	bindings map[int][]memsim.Region
+
+	tracer  tracerSlot
+	sampler samplerSlot
+}
+
+type collResult struct {
+	region memsim.Region
+	err    error
+}
+
+// New builds a runtime, constructing the requested substrate.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("core: need at least one node, got %d", cfg.Nodes)
+	}
+	params := cfg.Params
+	if params.Name == "" {
+		params = machine.Default()
+	}
+	rt := &Runtime{cfg: cfg}
+
+	switch cfg.Platform {
+	case platform.SWDSM:
+		eff := params.WithMessaging(cfg.Messaging)
+		if cfg.Messaging == machine.Coalesced {
+			// One layer carries the DSM protocol AND user messaging.
+			clocks := make([]*vclock.Clock, cfg.Nodes)
+			for i := range clocks {
+				clocks[i] = &vclock.Clock{}
+			}
+			net := simnet.New(eff.Ethernet, clocks)
+			layer := amsg.New(net, eff.Ethernet)
+			d, err := swdsm.New(swdsm.Config{
+				Nodes: cfg.Nodes, Params: eff,
+				CachePages: cfg.SWDSMCachePages, Layer: layer,
+				MigrateAfter: cfg.SWDSMMigrateAfter,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rt.sub = d
+			rt.msgs = net
+		} else {
+			d, err := swdsm.New(swdsm.Config{
+				Nodes: cfg.Nodes, Params: eff, CachePages: cfg.SWDSMCachePages,
+				MigrateAfter: cfg.SWDSMMigrateAfter,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rt.sub = d
+			rt.msgs = simnet.New(eff.Ethernet, substrateClocks(d))
+		}
+	case platform.HybridDSM:
+		d, err := hybriddsm.New(hybriddsm.Config{
+			Nodes: cfg.Nodes, Params: params,
+			CacheThreshold:      cfg.HybridCacheThreshold,
+			DisablePostedWrites: cfg.HybridDisablePostedWrites,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rt.sub = d
+		rt.msgs = simnet.New(params.SANLink(), substrateClocks(d))
+	case platform.SMP:
+		s, err := smp.New(smp.Config{CPUs: cfg.Nodes, Params: params})
+		if err != nil {
+			return nil, err
+		}
+		rt.sub = s
+		rt.msgs = simnet.New(params.BusLink(), substrateClocks(s))
+	default:
+		return nil, fmt.Errorf("core: unknown platform %v", cfg.Platform)
+	}
+	rt.buildEnvs()
+	return rt, nil
+}
+
+// NewWithSubstrate wraps an existing substrate (used by tests and by the
+// overhead experiments that need to control substrate construction).
+func NewWithSubstrate(sub platform.Substrate, msgLink machine.Link, threaded bool) *Runtime {
+	rt := &Runtime{
+		cfg: Config{Platform: sub.Kind(), Nodes: sub.Nodes(), Threaded: threaded},
+		sub: sub,
+	}
+	rt.msgs = simnet.New(msgLink, substrateClocks(sub))
+	rt.buildEnvs()
+	return rt
+}
+
+func substrateClocks(sub platform.Substrate) []*vclock.Clock {
+	clocks := make([]*vclock.Clock, sub.Nodes())
+	for i := range clocks {
+		clocks[i] = sub.Clock(i)
+	}
+	return clocks
+}
+
+func (rt *Runtime) buildEnvs() {
+	rt.envs = make([]*Env, rt.sub.Nodes())
+	for i := range rt.envs {
+		rt.envs[i] = newEnv(rt, i)
+	}
+}
+
+// Nodes returns the cluster size.
+func (rt *Runtime) Nodes() int { return rt.sub.Nodes() }
+
+// Substrate exposes the base architecture (monitoring, experiments).
+func (rt *Runtime) Substrate() platform.Substrate { return rt.sub }
+
+// Env returns the service handle for one node.
+func (rt *Runtime) Env(node int) *Env { return rt.envs[node] }
+
+// Run executes fn as an SPMD program: one task per node, joined on return.
+// This is HAMSTER's inherent task model (§4.4); richer task structures are
+// built with the Task Management module. A panic on any node (such as
+// jia_error aborting the application) is re-raised on the caller after the
+// other nodes finish.
+func (rt *Runtime) Run(fn func(e *Env)) {
+	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var firstPanic any
+	for _, e := range rt.envs {
+		wg.Add(1)
+		go func(e *Env) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if firstPanic == nil {
+						firstPanic = r
+					}
+					panicMu.Unlock()
+					// Unblock peers stuck in Recv on this runtime.
+					rt.msgs.Close()
+				}
+			}()
+			fn(e)
+		}(e)
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+}
+
+// Close shuts the runtime down, unblocking any waiting receivers.
+func (rt *Runtime) Close() {
+	rt.msgs.Close()
+	rt.sub.Close()
+}
+
+// MaxTime returns the largest per-node virtual time — the wall-clock
+// equivalent of an SPMD run.
+func (rt *Runtime) MaxTime() vclock.Time {
+	return vclock.MaxAll(substrateClocks(rt.sub))
+}
+
+// collectiveAlloc implements SPMD-wide allocation: every node calls it with
+// identical arguments in the same program order; node 0 allocates, a
+// barrier publishes, everyone returns the same region.
+func (rt *Runtime) collectiveAlloc(e *Env, size uint64, name string, pol memsim.Policy, fixed int) (memsim.Region, error) {
+	if e.id == 0 {
+		r, err := rt.sub.Alloc(size, name, pol, fixed)
+		rt.collMu.Lock()
+		rt.collAllocs = append(rt.collAllocs, collResult{r, err})
+		rt.collMu.Unlock()
+	}
+	rt.sub.Barrier(e.id)
+	rt.collMu.Lock()
+	res := rt.collAllocs[e.collIdx]
+	rt.collMu.Unlock()
+	e.collIdx++
+	return res.region, res.err
+}

@@ -1,0 +1,588 @@
+// Package hybriddsm implements a hybrid hardware/software DSM in the style
+// of the SCI-VM (Schulz 1999), the system this paper's framework grew out
+// of.
+//
+// A Shared Memory Cluster interconnect (SCI-like SAN) lets any node read
+// and write remote memory directly, with no software protocol on the data
+// path: remote reads are µs-scale PIO loads, remote writes are cheap posted
+// stores drained by an explicit store barrier. Memory management remains in
+// software — pages are distributed across nodes by placement policy — which
+// is what makes the system "hybrid".
+//
+// Two software optimizations sit on top of the raw hardware path, both
+// controlled by relaxed consistency:
+//
+//   - Read caching: a remote page that a node keeps reading is fetched in
+//     one block transfer and cached locally; cached copies are invalidated
+//     by write notices at acquire/barrier points, exactly like a software
+//     DSM but with ~50× cheaper synchronization messages.
+//   - Posted writes: remote stores complete locally and drain in the
+//     background; release points pay one store-barrier flush.
+//
+// There are no twins and no diffs: writes go straight to the home copy.
+// That asymmetry versus package swdsm is the paper's Figure 3 — write-heavy
+// phases (LU initialization) and synchronization-heavy codes benefit most.
+package hybriddsm
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sync"
+
+	"hamster/internal/machine"
+	"hamster/internal/memsim"
+	"hamster/internal/notices"
+	"hamster/internal/pagestore"
+	"hamster/internal/platform"
+	"hamster/internal/vclock"
+)
+
+// DefaultCachePages caps each node's read cache (16 MiB).
+const DefaultCachePages = 4096
+
+// DefaultCacheThreshold is the number of remote reads of one page within
+// an interval that triggers caching the page locally.
+const DefaultCacheThreshold = 16
+
+// Config parameterizes a hybrid-DSM cluster.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Params is the cost model; zero value means machine.Default().
+	Params machine.Params
+	// CachePages caps the per-node read cache (0 = DefaultCachePages).
+	CachePages int
+	// CacheThreshold is the remote-read count that triggers page caching
+	// (0 = DefaultCacheThreshold, negative = caching disabled).
+	CacheThreshold int
+	// DisablePostedWrites makes remote writes synchronous PIO stores
+	// (ablation knob: each write pays the full remote-read latency).
+	DisablePostedWrites bool
+	// Space optionally supplies a shared global address space (multi-DSM
+	// composition, §6).
+	Space *memsim.Space
+	// Clocks optionally supplies shared per-node clocks (multi-DSM
+	// composition). Length must equal Nodes.
+	Clocks []*vclock.Clock
+}
+
+// DSM is one hybrid-DSM cluster.
+type DSM struct {
+	params    machine.Params
+	space     *memsim.Space
+	clocks    []*vclock.Clock
+	nodes     []*node
+	cacheCap  int
+	threshold int
+	posted    bool
+
+	lockMu sync.Mutex
+	locks  []*lockState
+
+	vb       *vclock.VBarrier
+	exchange *notices.EpochExchange
+}
+
+type lockState struct {
+	vl      *vclock.VLock
+	pending *notices.Board
+}
+
+type cpage struct {
+	data []byte
+	lru  *list.Element
+}
+
+type node struct {
+	id   int
+	dsm  *DSM
+	home *pagestore.Store
+	// pcache models this node's CPU cache for local references.
+	pcache *machine.PageCache
+
+	// Owner-goroutine state.
+	cache     map[memsim.PageID]*cpage
+	lru       *list.List
+	readCount map[memsim.PageID]int
+	written   map[memsim.PageID]struct{}
+	postedOut int // posted writes since the last store barrier
+	epoch     uint64
+
+	stats platform.Stats
+}
+
+// New builds a hybrid-DSM cluster.
+func New(cfg Config) (*DSM, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("hybriddsm: need at least one node, got %d", cfg.Nodes)
+	}
+	params := cfg.Params
+	if params.Name == "" {
+		params = machine.Default()
+	}
+	space := cfg.Space
+	if space == nil {
+		space = memsim.NewSpace(cfg.Nodes)
+	}
+	d := &DSM{
+		params:   params,
+		space:    space,
+		clocks:   make([]*vclock.Clock, cfg.Nodes),
+		nodes:    make([]*node, cfg.Nodes),
+		posted:   !cfg.DisablePostedWrites,
+		vb:       vclock.NewVBarrier(cfg.Nodes),
+		exchange: notices.NewEpochExchange(cfg.Nodes),
+	}
+	if cfg.Clocks != nil {
+		if len(cfg.Clocks) != cfg.Nodes {
+			return nil, fmt.Errorf("hybriddsm: %d clocks for %d nodes", len(cfg.Clocks), cfg.Nodes)
+		}
+		copy(d.clocks, cfg.Clocks)
+	}
+	d.cacheCap = cfg.CachePages
+	if d.cacheCap <= 0 {
+		d.cacheCap = DefaultCachePages
+	}
+	switch {
+	case cfg.CacheThreshold < 0:
+		d.threshold = 0 // disabled
+	case cfg.CacheThreshold == 0:
+		d.threshold = DefaultCacheThreshold
+	default:
+		d.threshold = cfg.CacheThreshold
+	}
+	for i := range d.nodes {
+		if d.clocks[i] == nil {
+			d.clocks[i] = &vclock.Clock{}
+		}
+		d.nodes[i] = &node{
+			id:        i,
+			dsm:       d,
+			home:      pagestore.New(),
+			pcache:    machine.NewPageCache(params.Bus.CachePages),
+			cache:     make(map[memsim.PageID]*cpage),
+			lru:       list.New(),
+			readCount: make(map[memsim.PageID]int),
+			written:   make(map[memsim.PageID]struct{}),
+		}
+	}
+	return d, nil
+}
+
+// Kind implements platform.Substrate.
+func (d *DSM) Kind() platform.Kind { return platform.HybridDSM }
+
+// Nodes implements platform.Substrate.
+func (d *DSM) Nodes() int { return len(d.nodes) }
+
+// Clock implements platform.Substrate.
+func (d *DSM) Clock(node int) *vclock.Clock { return d.clocks[node] }
+
+// Space implements platform.Substrate.
+func (d *DSM) Space() *memsim.Space { return d.space }
+
+// Params implements platform.Substrate.
+func (d *DSM) Params() machine.Params { return d.params }
+
+// Caps implements platform.Substrate.
+func (d *DSM) Caps() platform.Caps {
+	return platform.Caps{
+		RemoteAccess:     true,
+		PageCaching:      d.threshold > 0,
+		ConsistencyModel: "release",
+		Placement: []memsim.Policy{
+			memsim.Block, memsim.Cyclic, memsim.FirstTouch, memsim.Fixed,
+		},
+	}
+}
+
+// Alloc implements platform.Substrate.
+func (d *DSM) Alloc(size uint64, name string, pol memsim.Policy, fixedNode int) (memsim.Region, error) {
+	return d.space.Alloc(size, name, pol, fixedNode)
+}
+
+// Free implements platform.Substrate.
+func (d *DSM) Free(r memsim.Region) error { return d.space.Free(r) }
+
+// Compute implements platform.Substrate.
+func (d *DSM) Compute(node int, flops uint64) {
+	d.clocks[node].Advance(vclock.Duration(flops) * d.params.CPU.FlopNs)
+}
+
+// NodeStats implements platform.Substrate. Call while the node is
+// quiescent.
+func (d *DSM) NodeStats(node int) platform.Stats { return d.nodes[node].stats }
+
+// Close implements platform.Substrate.
+func (d *DSM) Close() {}
+
+func (d *DSM) access(nodeID int) *node {
+	if nodeID < 0 || nodeID >= len(d.nodes) {
+		panic(fmt.Sprintf("hybriddsm: invalid node %d", nodeID))
+	}
+	return d.nodes[nodeID]
+}
+
+// touchLocal charges the CPU-cache model for one local page reference.
+func (n *node) touchLocal(p memsim.PageID) {
+	if !n.pcache.Touch(uint64(p)) {
+		n.dsm.clocks[n.id].Advance(n.dsm.params.Bus.MissCost())
+		n.stats.CacheMisses++
+	}
+}
+
+func (n *node) homeOf(p memsim.PageID) int {
+	h := n.dsm.space.Home(p)
+	if h == memsim.NoHome {
+		h = n.dsm.space.TouchHome(p, n.id)
+	}
+	return h
+}
+
+// readWord performs one word-granularity read.
+func (n *node) readWord(a memsim.Addr, get func(fr []byte, off int) uint64) uint64 {
+	d := n.dsm
+	clk := d.clocks[n.id]
+	clk.Advance(d.params.CPU.AccessNs)
+	n.stats.Reads++
+	p := memsim.PageOf(a)
+	off := memsim.Offset(a)
+	home := n.homeOf(p)
+
+	if home == n.id {
+		n.touchLocal(p)
+		hp := n.home.Frame(p)
+		hp.Mu.Lock()
+		v := get(hp.Data, off)
+		hp.Mu.Unlock()
+		return v
+	}
+	if cp, ok := n.cache[p]; ok {
+		n.touchLocal(p)
+		n.lru.MoveToFront(cp.lru)
+		return get(cp.data, off)
+	}
+	// Uncached remote read: PIO load over the SAN.
+	clk.Advance(d.params.SAN.RemoteReadNs)
+	n.stats.RemoteReads++
+	hf := d.nodes[home].home.Frame(p)
+	hf.Mu.Lock()
+	v := get(hf.Data, off)
+	n.maybeCache(p, hf.Data)
+	hf.Mu.Unlock()
+	return v
+}
+
+// maybeCache fetches a hot remote page into the local read cache. Called
+// with the home frame lock held; the copy happens under it.
+func (n *node) maybeCache(p memsim.PageID, homeData []byte) {
+	if n.dsm.threshold <= 0 {
+		return
+	}
+	n.readCount[p]++
+	if n.readCount[p] < n.dsm.threshold {
+		return
+	}
+	d := n.dsm
+	d.clocks[n.id].Advance(d.params.SAN.PageFetchNs + d.params.CPU.PageCopyNs)
+	data := make([]byte, memsim.PageSize)
+	copy(data, homeData)
+	cp := &cpage{data: data}
+	cp.lru = n.lru.PushFront(p)
+	n.cache[p] = cp
+	n.stats.PageFaults++ // block transfers counted as "faults" for parity
+	delete(n.readCount, p)
+	for len(n.cache) > d.cacheCap {
+		el := n.lru.Back()
+		q := el.Value.(memsim.PageID)
+		n.lru.Remove(el)
+		delete(n.cache, q)
+		n.stats.Evictions++
+	}
+}
+
+// writeWord performs one word-granularity write, straight through to the
+// home copy (no twins, no diffs).
+func (n *node) writeWord(a memsim.Addr, put func(fr []byte, off int)) {
+	d := n.dsm
+	clk := d.clocks[n.id]
+	clk.Advance(d.params.CPU.AccessNs)
+	n.stats.Writes++
+	p := memsim.PageOf(a)
+	off := memsim.Offset(a)
+	home := n.homeOf(p)
+	n.written[p] = struct{}{}
+
+	if home == n.id {
+		n.touchLocal(p)
+		hp := n.home.Frame(p)
+		hp.Mu.Lock()
+		put(hp.Data, off)
+		hp.Mu.Unlock()
+		return
+	}
+	if d.posted {
+		clk.Advance(d.params.SAN.RemoteWriteNs)
+		n.postedOut++
+	} else {
+		clk.Advance(d.params.SAN.RemoteReadNs) // synchronous PIO store
+	}
+	n.stats.RemoteWrites++
+	hf := d.nodes[home].home.Frame(p)
+	hf.Mu.Lock()
+	put(hf.Data, off)
+	hf.Mu.Unlock()
+	// Keep a locally cached copy coherent with our own store.
+	if cp, ok := n.cache[p]; ok {
+		put(cp.data, off)
+	}
+}
+
+// ReadF64 implements platform.Substrate.
+func (d *DSM) ReadF64(nodeID int, a memsim.Addr) float64 {
+	return math.Float64frombits(d.access(nodeID).readWord(a, memsim.GetU64))
+}
+
+// WriteF64 implements platform.Substrate.
+func (d *DSM) WriteF64(nodeID int, a memsim.Addr, v float64) {
+	d.access(nodeID).writeWord(a, func(fr []byte, off int) {
+		memsim.PutF64(fr, off, v)
+	})
+}
+
+// ReadI64 implements platform.Substrate.
+func (d *DSM) ReadI64(nodeID int, a memsim.Addr) int64 {
+	return int64(d.access(nodeID).readWord(a, memsim.GetU64))
+}
+
+// WriteI64 implements platform.Substrate.
+func (d *DSM) WriteI64(nodeID int, a memsim.Addr, v int64) {
+	d.access(nodeID).writeWord(a, func(fr []byte, off int) {
+		memsim.PutI64(fr, off, v)
+	})
+}
+
+// ReadBytes implements platform.Substrate.
+func (d *DSM) ReadBytes(nodeID int, a memsim.Addr, buf []byte) {
+	n := d.access(nodeID)
+	for len(buf) > 0 {
+		p := memsim.PageOf(a)
+		off := memsim.Offset(a)
+		chunk := memsim.PageSize - off
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		n.readSpan(p, off, buf[:chunk])
+		buf = buf[chunk:]
+		a += memsim.Addr(chunk)
+	}
+}
+
+func (n *node) readSpan(p memsim.PageID, off int, buf []byte) {
+	d := n.dsm
+	clk := d.clocks[n.id]
+	words := vclock.Duration(1 + len(buf)/memsim.WordSize)
+	clk.Advance(d.params.CPU.AccessNs * words)
+	n.stats.Reads++
+	home := n.homeOf(p)
+	if home == n.id {
+		n.touchLocal(p)
+		hp := n.home.Frame(p)
+		hp.Mu.Lock()
+		copy(buf, hp.Data[off:off+len(buf)])
+		hp.Mu.Unlock()
+		return
+	}
+	if cp, ok := n.cache[p]; ok {
+		n.touchLocal(p)
+		n.lru.MoveToFront(cp.lru)
+		copy(buf, cp.data[off:off+len(buf)])
+		return
+	}
+	clk.Advance(d.params.SAN.RemoteReadNs * words)
+	n.stats.RemoteReads += uint64(words)
+	hf := d.nodes[home].home.Frame(p)
+	hf.Mu.Lock()
+	copy(buf, hf.Data[off:off+len(buf)])
+	n.maybeCache(p, hf.Data)
+	hf.Mu.Unlock()
+}
+
+// WriteBytes implements platform.Substrate.
+func (d *DSM) WriteBytes(nodeID int, a memsim.Addr, data []byte) {
+	n := d.access(nodeID)
+	for len(data) > 0 {
+		p := memsim.PageOf(a)
+		off := memsim.Offset(a)
+		chunk := memsim.PageSize - off
+		if chunk > len(data) {
+			chunk = len(data)
+		}
+		n.writeSpan(p, off, data[:chunk])
+		data = data[chunk:]
+		a += memsim.Addr(chunk)
+	}
+}
+
+func (n *node) writeSpan(p memsim.PageID, off int, data []byte) {
+	d := n.dsm
+	clk := d.clocks[n.id]
+	words := vclock.Duration(1 + len(data)/memsim.WordSize)
+	clk.Advance(d.params.CPU.AccessNs * words)
+	n.stats.Writes++
+	n.written[p] = struct{}{}
+	home := n.homeOf(p)
+	if home == n.id {
+		n.touchLocal(p)
+		hp := n.home.Frame(p)
+		hp.Mu.Lock()
+		copy(hp.Data[off:off+len(data)], data)
+		hp.Mu.Unlock()
+		return
+	}
+	if d.posted {
+		clk.Advance(d.params.SAN.RemoteWriteNs * words)
+		n.postedOut += int(words)
+	} else {
+		clk.Advance(d.params.SAN.RemoteReadNs * words)
+	}
+	n.stats.RemoteWrites += uint64(words)
+	hf := d.nodes[home].home.Frame(p)
+	hf.Mu.Lock()
+	copy(hf.Data[off:off+len(data)], data)
+	hf.Mu.Unlock()
+	if cp, ok := n.cache[p]; ok {
+		copy(cp.data[off:off+len(data)], data)
+	}
+}
+
+// storeBarrier drains the posted-write FIFO.
+func (n *node) storeBarrier() {
+	if n.postedOut > 0 {
+		n.dsm.clocks[n.id].Advance(n.dsm.params.SAN.StoreBarrierNs)
+		n.postedOut = 0
+	}
+}
+
+// collectNotices empties the interval's written-page set.
+func (n *node) collectNotices() []memsim.PageID {
+	out := make([]memsim.PageID, 0, len(n.written))
+	for p := range n.written {
+		out = append(out, p)
+		delete(n.written, p)
+	}
+	return out
+}
+
+// invalidate drops cached copies of noticed pages.
+func (n *node) invalidate(pages []memsim.PageID) {
+	for _, p := range pages {
+		delete(n.readCount, p)
+		cp, ok := n.cache[p]
+		if !ok {
+			continue
+		}
+		n.lru.Remove(cp.lru)
+		delete(n.cache, p)
+		n.stats.Invalidations++
+	}
+}
+
+// NewLock implements platform.Substrate. SAN locks are implemented with
+// remote atomic operations — no CPU is interrupted at any home node.
+func (d *DSM) NewLock() int {
+	d.lockMu.Lock()
+	defer d.lockMu.Unlock()
+	id := len(d.locks)
+	d.locks = append(d.locks, &lockState{vl: vclock.NewVLock(), pending: notices.NewBoard()})
+	return id
+}
+
+func (d *DSM) lock(id int) *lockState {
+	d.lockMu.Lock()
+	defer d.lockMu.Unlock()
+	if id < 0 || id >= len(d.locks) {
+		panic(fmt.Sprintf("hybriddsm: unknown lock %d", id))
+	}
+	return d.locks[id]
+}
+
+// Acquire implements platform.Substrate.
+func (d *DSM) Acquire(nodeID, lock int) {
+	n := d.access(nodeID)
+	st := d.lock(lock)
+	st.vl.Acquire(d.clocks[nodeID], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
+	n.invalidate(st.pending.Take(nodeID))
+	n.stats.LockAcquires++
+}
+
+// Release implements platform.Substrate.
+func (d *DSM) Release(nodeID, lock int) {
+	n := d.access(nodeID)
+	st := d.lock(lock)
+	n.storeBarrier()
+	st.pending.AddForOthers(nodeID, len(d.nodes), n.collectNotices())
+	st.vl.Release(d.clocks[nodeID], d.params.SAN.SyncMsgNs)
+}
+
+// Barrier implements platform.Substrate.
+func (d *DSM) Barrier(nodeID int) {
+	n := d.access(nodeID)
+	n.storeBarrier()
+	epoch := n.epoch
+	n.epoch++
+	d.exchange.Deposit(epoch, nodeID, n.collectNotices())
+	d.vb.Arrive(d.clocks[nodeID], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
+	n.invalidate(d.exchange.CollectOthers(epoch, nodeID))
+
+	d.lockMu.Lock()
+	locks := append([]*lockState(nil), d.locks...)
+	d.lockMu.Unlock()
+	for _, st := range locks {
+		n.invalidate(st.pending.Take(nodeID))
+	}
+	n.stats.BarrierCrossings++
+}
+
+// Fence implements platform.Substrate: drain posted writes and drop the
+// whole read cache.
+func (d *DSM) Fence(nodeID int) {
+	n := d.access(nodeID)
+	n.storeBarrier()
+	for p, cp := range n.cache {
+		n.lru.Remove(cp.lru)
+		delete(n.cache, p)
+		n.stats.Invalidations++
+	}
+	for p := range n.readCount {
+		delete(n.readCount, p)
+	}
+}
+
+// TryAcquire implements platform.Substrate: non-blocking Acquire.
+func (d *DSM) TryAcquire(nodeID, lock int) bool {
+	n := d.access(nodeID)
+	st := d.lock(lock)
+	if !st.vl.TryAcquire(d.clocks[nodeID], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs) {
+		return false
+	}
+	n.invalidate(st.pending.Take(nodeID))
+	n.stats.LockAcquires++
+	return true
+}
+
+// FlushInterval drains this node's posted writes and returns the
+// interval's write notices — the engine-level hook for multi-DSM
+// composition (§6). Call from the node's own goroutine.
+func (d *DSM) FlushInterval(nodeID int) []memsim.PageID {
+	n := d.access(nodeID)
+	n.storeBarrier()
+	return n.collectNotices()
+}
+
+// InvalidatePages drops this node's cached copies of the given pages —
+// the acquire-side hook for multi-DSM composition.
+func (d *DSM) InvalidatePages(nodeID int, pages []memsim.PageID) {
+	d.access(nodeID).invalidate(pages)
+}

@@ -1,0 +1,378 @@
+// Package memsim implements the global shared-memory abstraction that every
+// HAMSTER base architecture must provide (§3.1): a global address space in
+// which memory can be allocated with placement annotations, and in which any
+// node can issue reads and writes.
+//
+// The address space is a flat range of byte addresses divided into 4 KiB
+// pages. A global allocator hands out page-tracked regions; a page table
+// maps every page to its home node according to the region's placement
+// policy. Actual storage lives in frame stores — one per node for substrates
+// with per-node copies (software DSM), or a single distributed store for
+// substrates with one authoritative copy (hybrid DSM, SMP).
+//
+// Because the simulated MMU cannot raise page faults (Go hides signals),
+// substrates detect remote/invalid accesses by software checks on this
+// page table — the state machine is the same as a fault-driven DSM, only
+// the detection point differs.
+package memsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"hamster/internal/machine"
+)
+
+// PageSize is the DSM page size in bytes.
+const PageSize = machine.PageSize
+
+// WordSize is the accessor granularity in bytes.
+const WordSize = machine.WordSize
+
+// Addr is a global byte address.
+type Addr uint64
+
+// PageID identifies one global page.
+type PageID uint64
+
+// PageOf returns the page containing addr.
+func PageOf(a Addr) PageID { return PageID(a / PageSize) }
+
+// PageBase returns the first address of page p.
+func PageBase(p PageID) Addr { return Addr(p) * PageSize }
+
+// Offset returns the byte offset of addr within its page.
+func Offset(a Addr) int { return int(a % PageSize) }
+
+// PagesSpanned returns the pages overlapped by [base, base+size).
+func PagesSpanned(base Addr, size uint64) []PageID {
+	if size == 0 {
+		return nil
+	}
+	first := PageOf(base)
+	last := PageOf(base + Addr(size) - 1)
+	out := make([]PageID, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Policy selects how a region's pages are distributed across nodes.
+// These are the "distribution annotations" of the Memory Management module.
+type Policy int
+
+const (
+	// Block splits the region into contiguous per-node chunks.
+	Block Policy = iota
+	// Cyclic places consecutive pages on consecutive nodes round-robin.
+	Cyclic
+	// FirstTouch defers home assignment until a node first accesses the
+	// page; until then the page table reports NoHome.
+	FirstTouch
+	// Fixed places every page of the region on Region.FixedNode.
+	Fixed
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	case FirstTouch:
+		return "first-touch"
+	case Fixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// NoHome is returned by Home for first-touch pages that nobody touched yet.
+const NoHome = -1
+
+// Region describes one global allocation.
+type Region struct {
+	Base      Addr
+	Size      uint64
+	Name      string
+	Policy    Policy
+	FixedNode int
+}
+
+// End returns the first address past the region.
+func (r Region) End() Addr { return r.Base + Addr(r.Size) }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// Space is a global address space: allocator plus page table.
+// All methods are safe for concurrent use.
+type Space struct {
+	mu      sync.RWMutex
+	nodes   int
+	next    Addr
+	regions []Region
+	free    []Region // freed blocks, page-granular, sorted by Base
+	homes   map[PageID]int
+}
+
+// NewSpace creates an address space for a cluster of n nodes. Address 0 is
+// reserved (a zero Addr can then act as a null pointer for models that
+// need one), so the first allocation starts at PageSize.
+func NewSpace(nodes int) *Space {
+	if nodes <= 0 {
+		panic("memsim: nodes must be positive")
+	}
+	return &Space{nodes: nodes, next: PageSize, homes: make(map[PageID]int)}
+}
+
+// Nodes returns the cluster size the space was built for.
+func (s *Space) Nodes() int { return s.nodes }
+
+// Alloc reserves size bytes with the given placement policy and assigns
+// page homes. Sizes are rounded up to whole pages: page-granularity is what
+// a page-based DSM can manage, and it guarantees no false sharing between
+// separate allocations. fixedNode is used only by the Fixed policy.
+func (s *Space) Alloc(size uint64, name string, pol Policy, fixedNode int) (Region, error) {
+	if size == 0 {
+		return Region{}, fmt.Errorf("memsim: zero-size allocation %q", name)
+	}
+	if pol == Fixed && (fixedNode < 0 || fixedNode >= s.nodes) {
+		return Region{}, fmt.Errorf("memsim: fixed node %d out of range", fixedNode)
+	}
+	rounded := (size + PageSize - 1) / PageSize * PageSize
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	base, ok := s.takeFreeLocked(rounded)
+	if !ok {
+		base = s.next
+		s.next += Addr(rounded)
+	}
+	r := Region{Base: base, Size: rounded, Name: name, Policy: pol, FixedNode: fixedNode}
+	s.regions = append(s.regions, r)
+	s.assignHomesLocked(r)
+	return r, nil
+}
+
+func (s *Space) takeFreeLocked(size uint64) (Addr, bool) {
+	for i, f := range s.free {
+		if f.Size >= size {
+			base := f.Base
+			if f.Size == size {
+				s.free = append(s.free[:i], s.free[i+1:]...)
+			} else {
+				s.free[i].Base += Addr(size)
+				s.free[i].Size -= size
+			}
+			return base, true
+		}
+	}
+	return 0, false
+}
+
+func (s *Space) assignHomesLocked(r Region) {
+	pages := PagesSpanned(r.Base, r.Size)
+	switch r.Policy {
+	case Block:
+		per := (len(pages) + s.nodes - 1) / s.nodes
+		for i, p := range pages {
+			s.homes[p] = i / per
+		}
+	case Cyclic:
+		for i, p := range pages {
+			s.homes[p] = i % s.nodes
+		}
+	case Fixed:
+		for _, p := range pages {
+			s.homes[p] = r.FixedNode
+		}
+	case FirstTouch:
+		// Homes assigned lazily by TouchHome.
+	}
+}
+
+// Free returns a region's pages to the allocator and clears their homes.
+func (s *Space) Free(r Region) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := -1
+	for i, reg := range s.regions {
+		if reg.Base == r.Base && reg.Size == r.Size {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("memsim: Free of unknown region base=%d size=%d", r.Base, r.Size)
+	}
+	s.regions = append(s.regions[:idx], s.regions[idx+1:]...)
+	for _, p := range PagesSpanned(r.Base, r.Size) {
+		delete(s.homes, p)
+	}
+	s.free = append(s.free, Region{Base: r.Base, Size: r.Size})
+	sort.Slice(s.free, func(i, j int) bool { return s.free[i].Base < s.free[j].Base })
+	s.coalesceLocked()
+	return nil
+}
+
+func (s *Space) coalesceLocked() {
+	out := s.free[:0]
+	for _, f := range s.free {
+		if n := len(out); n > 0 && out[n-1].End() == f.Base {
+			out[n-1].Size += f.Size
+		} else {
+			out = append(out, f)
+		}
+	}
+	s.free = out
+}
+
+// Home returns the home node of a page, or NoHome for untouched
+// first-touch pages and unallocated addresses.
+func (s *Space) Home(p PageID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if h, ok := s.homes[p]; ok {
+		return h
+	}
+	return NoHome
+}
+
+// TouchHome assigns node as the home of page p if it has none yet, and
+// returns the page's (possibly pre-existing) home. This implements
+// first-touch placement.
+func (s *Space) TouchHome(p PageID, node int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.homes[p]; ok {
+		return h
+	}
+	s.homes[p] = node
+	return node
+}
+
+// SetHome reassigns a page's home (home migration support).
+func (s *Space) SetHome(p PageID, node int) {
+	s.mu.Lock()
+	s.homes[p] = node
+	s.mu.Unlock()
+}
+
+// RegionOf returns the region containing addr.
+func (s *Space) RegionOf(a Addr) (Region, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, r := range s.regions {
+		if r.Contains(a) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// Regions returns a snapshot of all live regions.
+func (s *Space) Regions() []Region {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Region, len(s.regions))
+	copy(out, s.regions)
+	return out
+}
+
+// Allocated reports the total bytes currently allocated.
+func (s *Space) Allocated() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total uint64
+	for _, r := range s.regions {
+		total += r.Size
+	}
+	return total
+}
+
+// FrameStore holds page frames (the actual bytes). One store models one
+// node's physical memory; frames are allocated zeroed on first use, like
+// anonymous mmap.
+type FrameStore struct {
+	mu     sync.RWMutex
+	frames map[PageID][]byte
+}
+
+// NewFrameStore returns an empty store.
+func NewFrameStore() *FrameStore {
+	return &FrameStore{frames: make(map[PageID][]byte)}
+}
+
+// Frame returns the frame for page p, allocating a zeroed one if needed.
+func (f *FrameStore) Frame(p PageID) []byte {
+	f.mu.RLock()
+	fr, ok := f.frames[p]
+	f.mu.RUnlock()
+	if ok {
+		return fr
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fr, ok = f.frames[p]; ok {
+		return fr
+	}
+	fr = make([]byte, PageSize)
+	f.frames[p] = fr
+	return fr
+}
+
+// Peek returns the frame if present without allocating.
+func (f *FrameStore) Peek(p PageID) ([]byte, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	fr, ok := f.frames[p]
+	return fr, ok
+}
+
+// Drop discards the frame for page p.
+func (f *FrameStore) Drop(p PageID) {
+	f.mu.Lock()
+	delete(f.frames, p)
+	f.mu.Unlock()
+}
+
+// Len reports how many frames are resident.
+func (f *FrameStore) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.frames)
+}
+
+// GetF64 reads a float64 at byte offset off in a frame.
+func GetF64(frame []byte, off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(frame[off:]))
+}
+
+// PutF64 writes a float64 at byte offset off in a frame.
+func PutF64(frame []byte, off int, v float64) {
+	binary.LittleEndian.PutUint64(frame[off:], math.Float64bits(v))
+}
+
+// GetU64 reads a uint64 at byte offset off.
+func GetU64(frame []byte, off int) uint64 {
+	return binary.LittleEndian.Uint64(frame[off:])
+}
+
+// PutU64 writes a uint64 at byte offset off.
+func PutU64(frame []byte, off int, v uint64) {
+	binary.LittleEndian.PutUint64(frame[off:], v)
+}
+
+// GetI64 reads an int64 at byte offset off.
+func GetI64(frame []byte, off int) int64 { return int64(GetU64(frame, off)) }
+
+// PutI64 writes an int64 at byte offset off.
+func PutI64(frame []byte, off int, v int64) { PutU64(frame, off, uint64(v)) }

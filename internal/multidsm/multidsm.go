@@ -1,0 +1,358 @@
+// Package multidsm implements the paper's Future Research proposal (§6):
+// "HAMSTER's ability to concurrently support multiple DSM systems within
+// one framework … makes it possible to combine several different DSM
+// mechanisms within the execution of a single application, resulting in
+// custom-tailored, shared memory solutions".
+//
+// A multidsm cluster hosts two DSM engines over ONE shared address space
+// and ONE set of node clocks — the testbed really did have both
+// interconnects cabled up (§5.1: SCI and switched Fast Ethernet):
+//
+//   - the software-DSM engine (page caching with twins/diffs over the
+//     Ethernet link): amortizes dense reads at page granularity,
+//   - the hybrid-DSM engine (word-granular remote access over the SAN):
+//     cheap sparse/posted writes, no protocol on the data path.
+//
+// Every allocation is routed to one engine by its distribution-policy
+// annotation (configurable); accesses dispatch per page. Synchronization
+// is unified: one lock/barrier layer (over the SAN, the faster medium)
+// performs both engines' consistency actions — flush-and-collect write
+// notices on release, invalidation on acquire — so the composition is a
+// correct relaxed-consistency system, not two systems glued side by side.
+//
+// The paper predicts "individual system performances are dependent upon
+// application characteristics"; the mixed-workload ablation in
+// internal/bench confirms it: a read-streaming region does better on the
+// page-based engine while a scattered-write region does better on the
+// hardware path, and routing each to its engine beats either pure system.
+package multidsm
+
+import (
+	"fmt"
+	"sync"
+
+	"hamster/internal/hybriddsm"
+	"hamster/internal/machine"
+	"hamster/internal/memsim"
+	"hamster/internal/notices"
+	"hamster/internal/platform"
+	"hamster/internal/swdsm"
+	"hamster/internal/vclock"
+)
+
+// Engine names one of the composed DSM mechanisms.
+type Engine int
+
+// The composable engines.
+const (
+	// SW is the page-based software DSM over Ethernet.
+	SW Engine = iota
+	// Hybrid is the word-granular hardware-access DSM over the SAN.
+	Hybrid
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	if e == SW {
+		return "sw"
+	}
+	return "hybrid"
+}
+
+// Config parameterizes a composed cluster.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Params is the cost model; zero value means machine.Default().
+	Params machine.Params
+	// DefaultEngine serves allocations whose policy has no route.
+	DefaultEngine Engine
+	// PolicyRoutes maps distribution annotations to engines, letting the
+	// application's existing placement annotations select mechanisms.
+	PolicyRoutes map[memsim.Policy]Engine
+	// HybridCacheThreshold configures the hybrid engine's read caching
+	// (negative disables it — the raw SCI-VM configuration).
+	HybridCacheThreshold int
+}
+
+// DSM is one composed cluster.
+type DSM struct {
+	params machine.Params
+	space  *memsim.Space
+	clocks []*vclock.Clock
+	sw     *swdsm.DSM
+	hy     *hybriddsm.DSM
+	cfg    Config
+
+	routeMu sync.RWMutex
+	routes  map[memsim.PageID]Engine
+
+	lockMu sync.Mutex
+	locks  []*mixLock
+
+	vb       *vclock.VBarrier
+	exchange *notices.EpochExchange
+	epochs   []uint64 // per-node barrier epoch
+}
+
+type mixLock struct {
+	vl      *vclock.VLock
+	pending *notices.Board
+}
+
+// New builds a composed cluster: one address space, one clock per node,
+// two engines.
+func New(cfg Config) (*DSM, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("multidsm: need at least one node, got %d", cfg.Nodes)
+	}
+	params := cfg.Params
+	if params.Name == "" {
+		params = machine.Default()
+	}
+	space := memsim.NewSpace(cfg.Nodes)
+	clocks := make([]*vclock.Clock, cfg.Nodes)
+	for i := range clocks {
+		clocks[i] = &vclock.Clock{}
+	}
+	sw, err := swdsm.New(swdsm.Config{
+		Nodes: cfg.Nodes, Params: params, Space: space, Clocks: clocks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hy, err := hybriddsm.New(hybriddsm.Config{
+		Nodes: cfg.Nodes, Params: params, Space: space, Clocks: clocks,
+		CacheThreshold: cfg.HybridCacheThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DSM{
+		params:   params,
+		space:    space,
+		clocks:   clocks,
+		sw:       sw,
+		hy:       hy,
+		cfg:      cfg,
+		routes:   make(map[memsim.PageID]Engine),
+		vb:       vclock.NewVBarrier(cfg.Nodes),
+		exchange: notices.NewEpochExchange(cfg.Nodes),
+		epochs:   make([]uint64, cfg.Nodes),
+	}, nil
+}
+
+// Kind implements platform.Substrate. The composition presents itself as
+// a hybrid system (it requires the SAN for its unified synchronization).
+func (d *DSM) Kind() platform.Kind { return platform.HybridDSM }
+
+// Nodes implements platform.Substrate.
+func (d *DSM) Nodes() int { return len(d.clocks) }
+
+// Clock implements platform.Substrate.
+func (d *DSM) Clock(node int) *vclock.Clock { return d.clocks[node] }
+
+// Space implements platform.Substrate.
+func (d *DSM) Space() *memsim.Space { return d.space }
+
+// Params implements platform.Substrate.
+func (d *DSM) Params() machine.Params { return d.params }
+
+// Caps implements platform.Substrate.
+func (d *DSM) Caps() platform.Caps {
+	return platform.Caps{
+		RemoteAccess:     true,
+		PageCaching:      true,
+		ConsistencyModel: "release",
+		Placement: []memsim.Policy{
+			memsim.Block, memsim.Cyclic, memsim.FirstTouch, memsim.Fixed,
+		},
+	}
+}
+
+// engineFor picks the engine serving a policy.
+func (d *DSM) engineFor(pol memsim.Policy) Engine {
+	if e, ok := d.cfg.PolicyRoutes[pol]; ok {
+		return e
+	}
+	return d.cfg.DefaultEngine
+}
+
+// Alloc implements platform.Substrate: the region is placed in the shared
+// space and its pages routed to the policy's engine.
+func (d *DSM) Alloc(size uint64, name string, pol memsim.Policy, fixedNode int) (memsim.Region, error) {
+	r, err := d.space.Alloc(size, name, pol, fixedNode)
+	if err != nil {
+		return r, err
+	}
+	eng := d.engineFor(pol)
+	d.routeMu.Lock()
+	for _, p := range memsim.PagesSpanned(r.Base, r.Size) {
+		d.routes[p] = eng
+	}
+	d.routeMu.Unlock()
+	return r, nil
+}
+
+// RouteOf reports which engine serves an address (for tests/monitoring).
+func (d *DSM) RouteOf(a memsim.Addr) Engine {
+	d.routeMu.RLock()
+	defer d.routeMu.RUnlock()
+	return d.routes[memsim.PageOf(a)]
+}
+
+// Free implements platform.Substrate.
+func (d *DSM) Free(r memsim.Region) error {
+	d.routeMu.Lock()
+	for _, p := range memsim.PagesSpanned(r.Base, r.Size) {
+		delete(d.routes, p)
+	}
+	d.routeMu.Unlock()
+	return d.space.Free(r)
+}
+
+func (d *DSM) engine(a memsim.Addr) platform.Substrate {
+	d.routeMu.RLock()
+	eng := d.routes[memsim.PageOf(a)]
+	d.routeMu.RUnlock()
+	if eng == SW {
+		return d.sw
+	}
+	return d.hy
+}
+
+// ReadF64 implements platform.Substrate.
+func (d *DSM) ReadF64(node int, a memsim.Addr) float64 { return d.engine(a).ReadF64(node, a) }
+
+// WriteF64 implements platform.Substrate.
+func (d *DSM) WriteF64(node int, a memsim.Addr, v float64) { d.engine(a).WriteF64(node, a, v) }
+
+// ReadI64 implements platform.Substrate.
+func (d *DSM) ReadI64(node int, a memsim.Addr) int64 { return d.engine(a).ReadI64(node, a) }
+
+// WriteI64 implements platform.Substrate.
+func (d *DSM) WriteI64(node int, a memsim.Addr, v int64) { d.engine(a).WriteI64(node, a, v) }
+
+// ReadBytes implements platform.Substrate (spans must not cross engine
+// boundaries; allocations never do).
+func (d *DSM) ReadBytes(node int, a memsim.Addr, buf []byte) { d.engine(a).ReadBytes(node, a, buf) }
+
+// WriteBytes implements platform.Substrate.
+func (d *DSM) WriteBytes(node int, a memsim.Addr, data []byte) {
+	d.engine(a).WriteBytes(node, a, data)
+}
+
+// Compute implements platform.Substrate.
+func (d *DSM) Compute(node int, flops uint64) {
+	d.clocks[node].Advance(vclock.Duration(flops) * d.params.CPU.FlopNs)
+}
+
+// NewLock implements platform.Substrate: one unified lock whose
+// acquire/release run BOTH engines' consistency actions.
+func (d *DSM) NewLock() int {
+	d.lockMu.Lock()
+	defer d.lockMu.Unlock()
+	id := len(d.locks)
+	d.locks = append(d.locks, &mixLock{vl: vclock.NewVLock(), pending: notices.NewBoard()})
+	return id
+}
+
+func (d *DSM) lock(id int) *mixLock {
+	d.lockMu.Lock()
+	defer d.lockMu.Unlock()
+	if id < 0 || id >= len(d.locks) {
+		panic(fmt.Sprintf("multidsm: unknown lock %d", id))
+	}
+	return d.locks[id]
+}
+
+// flushBoth collects both engines' interval notices.
+func (d *DSM) flushBoth(node int) []memsim.PageID {
+	pages := d.sw.FlushInterval(node)
+	return append(pages, d.hy.FlushInterval(node)...)
+}
+
+// invalidateBoth applies notices to both engines (each ignores pages it
+// does not hold).
+func (d *DSM) invalidateBoth(node int, pages []memsim.PageID) {
+	if len(pages) == 0 {
+		return
+	}
+	d.sw.InvalidatePages(node, pages)
+	d.hy.InvalidatePages(node, pages)
+}
+
+// Acquire implements platform.Substrate. Sync tokens ride the SAN.
+func (d *DSM) Acquire(node, lock int) {
+	st := d.lock(lock)
+	st.vl.Acquire(d.clocks[node], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
+	d.invalidateBoth(node, st.pending.Take(node))
+}
+
+// TryAcquire implements platform.Substrate.
+func (d *DSM) TryAcquire(node, lock int) bool {
+	st := d.lock(lock)
+	if !st.vl.TryAcquire(d.clocks[node], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs) {
+		return false
+	}
+	d.invalidateBoth(node, st.pending.Take(node))
+	return true
+}
+
+// Release implements platform.Substrate.
+func (d *DSM) Release(node, lock int) {
+	st := d.lock(lock)
+	st.pending.AddForOthers(node, len(d.clocks), d.flushBoth(node))
+	st.vl.Release(d.clocks[node], d.params.SAN.SyncMsgNs)
+}
+
+// Barrier implements platform.Substrate: one rendezvous performing both
+// engines' global consistency actions.
+func (d *DSM) Barrier(node int) {
+	epoch := d.epochs[node]
+	d.epochs[node]++
+	d.exchange.Deposit(epoch, node, d.flushBoth(node))
+	d.vb.Arrive(d.clocks[node], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
+	d.invalidateBoth(node, d.exchange.CollectOthers(epoch, node))
+
+	d.lockMu.Lock()
+	locks := append([]*mixLock(nil), d.locks...)
+	d.lockMu.Unlock()
+	for _, st := range locks {
+		d.invalidateBoth(node, st.pending.Take(node))
+	}
+}
+
+// Fence implements platform.Substrate.
+func (d *DSM) Fence(node int) {
+	d.sw.Fence(node)
+	d.hy.Fence(node)
+}
+
+// NodeStats implements platform.Substrate: the sum of both engines'
+// counters.
+func (d *DSM) NodeStats(node int) platform.Stats {
+	a := d.sw.NodeStats(node)
+	b := d.hy.NodeStats(node)
+	return platform.Stats{
+		Reads:            a.Reads + b.Reads,
+		Writes:           a.Writes + b.Writes,
+		PageFaults:       a.PageFaults + b.PageFaults,
+		RemoteReads:      a.RemoteReads + b.RemoteReads,
+		RemoteWrites:     a.RemoteWrites + b.RemoteWrites,
+		TwinsCreated:     a.TwinsCreated + b.TwinsCreated,
+		DiffsCreated:     a.DiffsCreated + b.DiffsCreated,
+		DiffBytes:        a.DiffBytes + b.DiffBytes,
+		Invalidations:    a.Invalidations + b.Invalidations,
+		LockAcquires:     a.LockAcquires + b.LockAcquires,
+		BarrierCrossings: a.BarrierCrossings + b.BarrierCrossings,
+		Evictions:        a.Evictions + b.Evictions,
+		CacheMisses:      a.CacheMisses + b.CacheMisses,
+	}
+}
+
+// Close implements platform.Substrate.
+func (d *DSM) Close() {
+	d.sw.Close()
+	d.hy.Close()
+}

@@ -1,0 +1,122 @@
+// Package notices implements write-notice bookkeeping shared by the DSM
+// substrates.
+//
+// A write notice names a page some node modified during a synchronization
+// interval. Relaxed-consistency DSMs attach notices to synchronization
+// objects: a lock carries the notices of the critical sections it guarded
+// (scope consistency), a barrier merges everyone's notices globally. On
+// acquire, a node invalidates its cached copies of noticed pages.
+package notices
+
+import (
+	"sync"
+
+	"hamster/internal/memsim"
+)
+
+// Board holds per-destination pending notices for one synchronization
+// object (typically a lock).
+type Board struct {
+	mu  sync.Mutex
+	byN map[int][]memsim.PageID
+}
+
+// NewBoard returns an empty board.
+func NewBoard() *Board {
+	return &Board{byN: make(map[int][]memsim.PageID)}
+}
+
+// Take removes and returns the notices pending for a node.
+func (b *Board) Take(node int) []memsim.PageID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := b.byN[node]
+	delete(b.byN, node)
+	return out
+}
+
+// AddForOthers queues pages as pending notices for every node except self.
+func (b *Board) AddForOthers(self, nodes int, pages []memsim.PageID) {
+	if len(pages) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for m := 0; m < nodes; m++ {
+		if m == self {
+			continue
+		}
+		b.byN[m] = append(b.byN[m], pages...)
+	}
+}
+
+// Pending reports how many notices are queued for a node (tests/monitoring).
+func (b *Board) Pending(node int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.byN[node])
+}
+
+// EpochExchange merges per-node notices at barrier epochs. Every node
+// deposits its notices for epoch e before the barrier rendezvous and
+// collects everyone else's after it; the epoch's storage is reclaimed when
+// all nodes have collected.
+type EpochExchange struct {
+	mu     sync.Mutex
+	nodes  int
+	epochs map[uint64]*epochData
+}
+
+type epochData struct {
+	notices map[int][]memsim.PageID
+	fetched int
+}
+
+// NewEpochExchange creates an exchange for a fixed cluster size.
+func NewEpochExchange(nodes int) *EpochExchange {
+	return &EpochExchange{nodes: nodes, epochs: make(map[uint64]*epochData)}
+}
+
+// Deposit records a node's notices for an epoch. Must be called before the
+// node enters the barrier rendezvous for that epoch.
+func (e *EpochExchange) Deposit(epoch uint64, node int, pages []memsim.PageID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ed, ok := e.epochs[epoch]
+	if !ok {
+		ed = &epochData{notices: make(map[int][]memsim.PageID)}
+		e.epochs[epoch] = ed
+	}
+	ed.notices[node] = pages
+}
+
+// CollectOthers returns the union of all other nodes' notices for an
+// epoch. Must be called after the barrier rendezvous, exactly once per
+// node per epoch.
+func (e *EpochExchange) CollectOthers(epoch uint64, node int) []memsim.PageID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ed, ok := e.epochs[epoch]
+	if !ok {
+		return nil
+	}
+	var out []memsim.PageID
+	for id, pages := range ed.notices {
+		if id == node {
+			continue
+		}
+		out = append(out, pages...)
+	}
+	ed.fetched++
+	if ed.fetched == e.nodes {
+		delete(e.epochs, epoch)
+	}
+	return out
+}
+
+// LiveEpochs reports how many epochs still hold storage (tests).
+func (e *EpochExchange) LiveEpochs() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.epochs)
+}

@@ -1,0 +1,166 @@
+package notices
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hamster/internal/memsim"
+)
+
+func TestBoardTakeEmpty(t *testing.T) {
+	b := NewBoard()
+	if got := b.Take(0); got != nil {
+		t.Fatalf("Take on empty board = %v", got)
+	}
+}
+
+func TestBoardAddForOthers(t *testing.T) {
+	b := NewBoard()
+	b.AddForOthers(1, 3, []memsim.PageID{10, 11})
+	if got := b.Take(1); got != nil {
+		t.Fatalf("self must not receive notices, got %v", got)
+	}
+	for _, n := range []int{0, 2} {
+		got := b.Take(n)
+		if len(got) != 2 || got[0] != 10 || got[1] != 11 {
+			t.Fatalf("node %d notices = %v", n, got)
+		}
+		// Second take drains.
+		if b.Take(n) != nil {
+			t.Fatal("Take must drain")
+		}
+	}
+}
+
+func TestBoardAccumulates(t *testing.T) {
+	b := NewBoard()
+	b.AddForOthers(0, 2, []memsim.PageID{1})
+	b.AddForOthers(0, 2, []memsim.PageID{2})
+	if b.Pending(1) != 2 {
+		t.Fatalf("pending = %d", b.Pending(1))
+	}
+	got := b.Take(1)
+	if len(got) != 2 {
+		t.Fatalf("notices = %v", got)
+	}
+}
+
+func TestBoardEmptyAddIsNoop(t *testing.T) {
+	b := NewBoard()
+	b.AddForOthers(0, 4, nil)
+	for n := 0; n < 4; n++ {
+		if b.Pending(n) != 0 {
+			t.Fatal("empty add must not create entries")
+		}
+	}
+}
+
+func TestEpochExchange(t *testing.T) {
+	e := NewEpochExchange(3)
+	e.Deposit(0, 0, []memsim.PageID{1})
+	e.Deposit(0, 1, []memsim.PageID{2, 3})
+	e.Deposit(0, 2, nil)
+
+	got := e.CollectOthers(0, 0)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("node 0 collected %v", got)
+	}
+	if got := e.CollectOthers(0, 1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("node 1 collected %v", got)
+	}
+	e.CollectOthers(0, 2)
+	if e.LiveEpochs() != 0 {
+		t.Fatalf("epoch storage leaked: %d live", e.LiveEpochs())
+	}
+}
+
+func TestEpochExchangeUnknownEpoch(t *testing.T) {
+	e := NewEpochExchange(2)
+	if got := e.CollectOthers(99, 0); got != nil {
+		t.Fatalf("unknown epoch = %v", got)
+	}
+}
+
+func TestEpochExchangeOverlappingEpochs(t *testing.T) {
+	// Nodes may be in adjacent epochs simultaneously (one node races
+	// ahead to the next barrier).
+	e := NewEpochExchange(2)
+	e.Deposit(0, 0, []memsim.PageID{1})
+	e.Deposit(0, 1, []memsim.PageID{2})
+	got0 := e.CollectOthers(0, 0)
+	// Node 0 proceeds to epoch 1 before node 1 collects epoch 0.
+	e.Deposit(1, 0, []memsim.PageID{3})
+	got1 := e.CollectOthers(0, 1)
+	if len(got0) != 1 || got0[0] != 2 || len(got1) != 1 || got1[0] != 1 {
+		t.Fatalf("epoch 0 exchange wrong: %v %v", got0, got1)
+	}
+	if e.LiveEpochs() != 1 {
+		t.Fatalf("live epochs = %d, want 1 (epoch 1 pending)", e.LiveEpochs())
+	}
+}
+
+// Property: notices deposited by others are exactly what a node collects
+// (as a multiset), for any distribution of pages.
+func TestEpochExchangeProperty(t *testing.T) {
+	f := func(pagesPerNode [][]uint32) bool {
+		nodes := len(pagesPerNode)
+		if nodes == 0 {
+			return true
+		}
+		e := NewEpochExchange(nodes)
+		want := make(map[int]map[memsim.PageID]int)
+		for n := range pagesPerNode {
+			want[n] = make(map[memsim.PageID]int)
+		}
+		for n, raw := range pagesPerNode {
+			pages := make([]memsim.PageID, len(raw))
+			for i, v := range raw {
+				pages[i] = memsim.PageID(v)
+				for m := 0; m < nodes; m++ {
+					if m != n {
+						want[m][memsim.PageID(v)]++
+					}
+				}
+			}
+			e.Deposit(0, n, pages)
+		}
+		for n := 0; n < nodes; n++ {
+			got := make(map[memsim.PageID]int)
+			for _, p := range e.CollectOthers(0, n) {
+				got[p]++
+			}
+			if len(got) != len(want[n]) {
+				return false
+			}
+			for p, c := range want[n] {
+				if got[p] != c {
+					return false
+				}
+			}
+		}
+		return e.LiveEpochs() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoardConcurrent(t *testing.T) {
+	b := NewBoard()
+	var wg sync.WaitGroup
+	const rounds = 200
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				b.AddForOthers(w, 4, []memsim.PageID{memsim.PageID(i)})
+				b.Take(w)
+			}
+		}(w)
+	}
+	wg.Wait() // must not race or deadlock
+}

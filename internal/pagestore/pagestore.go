@@ -1,0 +1,70 @@
+// Package pagestore provides page-granular frame storage with per-page
+// mutexes. DSM substrates keep each page's authoritative copy in such a
+// store: the owning node accesses it in place while protocol handlers
+// (page fetches, diff application, remote writes) run on other goroutines,
+// and the per-page mutex keeps those byte-range accesses coherent even
+// under page-level false sharing, which is legal in data-race-free
+// programs.
+package pagestore
+
+import (
+	"sync"
+
+	"hamster/internal/memsim"
+)
+
+// Frame is one page frame. Lock Mu around any access to Data that can
+// overlap a protocol handler's access.
+type Frame struct {
+	Mu   sync.Mutex
+	Data []byte
+}
+
+// Store maps pages to frames, allocating zeroed frames lazily.
+type Store struct {
+	mu     sync.RWMutex
+	frames map[memsim.PageID]*Frame
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{frames: make(map[memsim.PageID]*Frame)}
+}
+
+// Frame returns the frame for page p, creating it zeroed if absent.
+func (s *Store) Frame(p memsim.PageID) *Frame {
+	s.mu.RLock()
+	f, ok := s.frames[p]
+	s.mu.RUnlock()
+	if ok {
+		return f
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok = s.frames[p]; ok {
+		return f
+	}
+	f = &Frame{Data: make([]byte, memsim.PageSize)}
+	s.frames[p] = f
+	return f
+}
+
+// Len reports how many frames are resident.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.frames)
+}
+
+// Drop removes a page's frame (home migration gives up the authoritative
+// copy). Returns the dropped frame's data, or nil if absent.
+func (s *Store) Drop(p memsim.PageID) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[p]
+	if !ok {
+		return nil
+	}
+	delete(s.frames, p)
+	return f.Data
+}

@@ -1,0 +1,68 @@
+package pagestore
+
+import (
+	"sync"
+	"testing"
+
+	"hamster/internal/memsim"
+)
+
+func TestFrameLazyZeroed(t *testing.T) {
+	s := New()
+	f := s.Frame(7)
+	if len(f.Data) != memsim.PageSize {
+		t.Fatalf("len = %d", len(f.Data))
+	}
+	for _, b := range f.Data {
+		if b != 0 {
+			t.Fatal("frame not zeroed")
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestFrameIdentityStable(t *testing.T) {
+	s := New()
+	a := s.Frame(3)
+	a.Data[0] = 9
+	if b := s.Frame(3); b != a || b.Data[0] != 9 {
+		t.Fatal("Frame must return the same frame")
+	}
+}
+
+func TestConcurrentFrameCreation(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	frames := make([]*Frame, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			frames[i] = s.Frame(42)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < 16; i++ {
+		if frames[i] != frames[0] {
+			t.Fatal("racing creators got different frames")
+		}
+	}
+}
+
+func TestDrop(t *testing.T) {
+	s := New()
+	f := s.Frame(9)
+	f.Data[0] = 7
+	data := s.Drop(9)
+	if data == nil || data[0] != 7 {
+		t.Fatal("Drop must return the frame data")
+	}
+	if s.Len() != 0 {
+		t.Fatal("frame not removed")
+	}
+	if s.Drop(9) != nil {
+		t.Fatal("double drop must return nil")
+	}
+}

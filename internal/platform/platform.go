@@ -1,0 +1,151 @@
+// Package platform defines the contract between the HAMSTER core and its
+// base architectures (§3.1): a global memory abstraction, synchronization
+// mechanisms, and information about the memory consistency model and its
+// control mechanisms. Three substrates implement it — internal/smp
+// (hardware shared memory), internal/hybriddsm (SCI-VM-like NUMA), and
+// internal/swdsm (JiaJia-like software DSM) — and the core deliberately
+// integrates their native shapes rather than forcing a lowest common
+// denominator.
+package platform
+
+import (
+	"hamster/internal/machine"
+	"hamster/internal/memsim"
+	"hamster/internal/vclock"
+)
+
+// Kind enumerates the supported base architectures.
+type Kind int
+
+const (
+	// SMP is a hardware-coherent shared memory multiprocessor (UMA).
+	SMP Kind = iota
+	// HybridDSM is a NUMA-like cluster with remote memory access (SCI-VM).
+	HybridDSM
+	// SWDSM is a Beowulf cluster running a software DSM (JiaJia-like).
+	SWDSM
+)
+
+// String names the platform kind.
+func (k Kind) String() string {
+	switch k {
+	case SMP:
+		return "hardware-dsm(smp)"
+	case HybridDSM:
+		return "hybrid-dsm"
+	case SWDSM:
+		return "software-dsm"
+	default:
+		return "unknown"
+	}
+}
+
+// Caps describes what a substrate's memory system can do. The Memory
+// Management module's capability test service (§4.2) exposes this to
+// programming models.
+type Caps struct {
+	// HardwareCoherent means loads/stores are kept coherent without any
+	// software consistency actions (SMP).
+	HardwareCoherent bool
+	// RemoteAccess means a node can read/write remote memory directly
+	// without migrating or caching the page (hybrid DSM).
+	RemoteAccess bool
+	// PageCaching means remote pages are replicated locally and must be
+	// invalidated by consistency actions.
+	PageCaching bool
+	// ConsistencyModel names the substrate's native model, e.g.
+	// "processor", "scope", "release".
+	ConsistencyModel string
+	// Placement lists the supported distribution policies.
+	Placement []memsim.Policy
+}
+
+// SupportsPolicy reports whether the substrate accepts a placement policy.
+func (c Caps) SupportsPolicy(p memsim.Policy) bool {
+	for _, q := range c.Placement {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats is a snapshot of substrate activity for one node, feeding the
+// Performance Monitoring services (§4.3).
+type Stats struct {
+	Reads, Writes    uint64 // accessor operations
+	PageFaults       uint64 // remote page fetches
+	RemoteReads      uint64 // word-granularity remote reads (hybrid)
+	RemoteWrites     uint64 // word-granularity remote writes (hybrid)
+	TwinsCreated     uint64
+	DiffsCreated     uint64
+	DiffBytes        uint64
+	Invalidations    uint64
+	LockAcquires     uint64
+	BarrierCrossings uint64
+	Evictions        uint64
+	CacheMisses      uint64 // CPU-cache model misses
+	HomeMigrations   uint64 // pages whose home moved to this node
+}
+
+// Substrate is one base architecture instance hosting a fixed-size cluster.
+//
+// Node indices run from 0 to Nodes()-1. All methods taking a node index are
+// called from that node's goroutine unless noted otherwise. Memory accesses
+// use global addresses from the substrate's Space.
+type Substrate interface {
+	// Kind identifies the architecture family.
+	Kind() Kind
+	// Nodes returns the number of execution contexts (cluster nodes, or
+	// CPUs for the SMP substrate).
+	Nodes() int
+	// Clock returns a node's virtual clock.
+	Clock(node int) *vclock.Clock
+	// Space returns the global address space.
+	Space() *memsim.Space
+	// Caps describes the memory system.
+	Caps() Caps
+	// Params returns the cost model in use.
+	Params() machine.Params
+
+	// Alloc reserves global memory. Placement follows pol; fixedNode is
+	// used by the Fixed policy. Alloc itself is not collective — the
+	// Memory Management module adds collective semantics where a
+	// programming model requires them.
+	Alloc(size uint64, name string, pol memsim.Policy, fixedNode int) (memsim.Region, error)
+	// Free releases a region.
+	Free(r memsim.Region) error
+
+	// ReadF64/WriteF64 and ReadI64/WriteI64 access one word. ReadBytes and
+	// WriteBytes move arbitrary spans (may cross pages).
+	ReadF64(node int, a memsim.Addr) float64
+	WriteF64(node int, a memsim.Addr, v float64)
+	ReadI64(node int, a memsim.Addr) int64
+	WriteI64(node int, a memsim.Addr, v int64)
+	ReadBytes(node int, a memsim.Addr, buf []byte)
+	WriteBytes(node int, a memsim.Addr, data []byte)
+
+	// NewLock creates a global lock and returns its id.
+	NewLock() int
+	// Acquire/Release take and drop a global lock, performing whatever
+	// consistency actions the substrate's model attaches to them.
+	Acquire(node, lock int)
+	Release(node, lock int)
+	// TryAcquire attempts Acquire without blocking; on success (true) the
+	// lock is held and entry consistency actions were performed.
+	TryAcquire(node, lock int) bool
+	// Barrier blocks until all nodes arrive, performing global
+	// consistency actions.
+	Barrier(node int)
+	// Fence enforces full local consistency: all local modifications are
+	// made globally visible and stale local copies are discarded.
+	Fence(node int)
+
+	// Compute charges flops of CPU work to a node's clock.
+	Compute(node int, flops uint64)
+
+	// NodeStats snapshots a node's activity counters.
+	NodeStats(node int) Stats
+	// Close releases resources and unblocks any waiting nodes.
+	Close()
+}

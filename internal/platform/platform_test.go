@@ -1,0 +1,83 @@
+package platform_test
+
+import (
+	"testing"
+
+	"hamster/internal/hybriddsm"
+	"hamster/internal/memsim"
+	"hamster/internal/platform"
+	"hamster/internal/smp"
+	"hamster/internal/swdsm"
+)
+
+// Compile-time conformance: all three substrates implement the contract.
+var (
+	_ platform.Substrate = (*swdsm.DSM)(nil)
+	_ platform.Substrate = (*hybriddsm.DSM)(nil)
+	_ platform.Substrate = (*smp.SMP)(nil)
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[platform.Kind]string{
+		platform.SMP:       "hardware-dsm(smp)",
+		platform.HybridDSM: "hybrid-dsm",
+		platform.SWDSM:     "software-dsm",
+		platform.Kind(99):  "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestSupportsPolicy(t *testing.T) {
+	c := platform.Caps{Placement: []memsim.Policy{memsim.Block, memsim.Cyclic}}
+	if !c.SupportsPolicy(memsim.Block) || c.SupportsPolicy(memsim.FirstTouch) {
+		t.Fatal("SupportsPolicy broken")
+	}
+}
+
+// Behavioral conformance: the same tiny program runs identically on all
+// three substrates (the identical-binary claim of §5.4 at substrate level).
+func TestCrossSubstrateEquivalence(t *testing.T) {
+	build := func() []platform.Substrate {
+		sw, _ := swdsm.New(swdsm.Config{Nodes: 2})
+		hy, _ := hybriddsm.New(hybriddsm.Config{Nodes: 2})
+		sm, _ := smp.New(smp.Config{CPUs: 2})
+		return []platform.Substrate{sw, hy, sm}
+	}
+	for _, sub := range build() {
+		t.Run(sub.Kind().String(), func(t *testing.T) {
+			defer sub.Close()
+			r, err := sub.Alloc(memsim.PageSize, "v", memsim.Block, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := sub.NewLock()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < 10; i++ {
+					sub.Acquire(1, l)
+					sub.WriteI64(1, r.Base, sub.ReadI64(1, r.Base)+1)
+					sub.Release(1, l)
+				}
+				sub.Barrier(1)
+			}()
+			for i := 0; i < 10; i++ {
+				sub.Acquire(0, l)
+				sub.WriteI64(0, r.Base, sub.ReadI64(0, r.Base)+1)
+				sub.Release(0, l)
+			}
+			sub.Barrier(0)
+			<-done
+			sub.Acquire(0, l)
+			got := sub.ReadI64(0, r.Base)
+			sub.Release(0, l)
+			if got != 20 {
+				t.Fatalf("counter = %d, want 20", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,291 @@
+// Package simnet simulates the cluster interconnect.
+//
+// Every simulated node is a goroutine with a virtual clock. The network
+// moves byte-payload messages between nodes, charging the sender's and
+// receiver's clocks with the costs of the configured link profile (see
+// internal/machine). Delivery is reliable and, by default, in arrival-time
+// order per receiver; fault injection can reorder or duplicate messages to
+// exercise protocol robustness.
+//
+// Two communication styles are supported:
+//
+//   - Queued messages (Send/Recv): the receiver's goroutine explicitly
+//     waits for a message. Used for user-level messaging, task forwarding,
+//     and startup coordination.
+//   - Service calls (Call, in package amsg): the caller's goroutine
+//     executes a handler against the target node's state, charging the
+//     target with stolen handler cycles. This models interrupt-driven
+//     protocol processing (SIGIO in JiaJia) without requiring the target
+//     goroutine to poll.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"hamster/internal/machine"
+	"hamster/internal/vclock"
+)
+
+// NodeID identifies a node within a cluster, 0-based.
+type NodeID int
+
+// Kind classifies a message for dispatch. Kinds below 1024 are reserved
+// for internal protocol layers; user messaging uses kinds >= 1024.
+type Kind uint16
+
+// UserKindBase is the first Kind available to applications.
+const UserKindBase Kind = 1024
+
+// Message is one unit of communication.
+type Message struct {
+	From, To NodeID
+	Kind     Kind
+	Tag      uint32 // protocol- or user-defined discriminator
+	Payload  []byte
+	// ArriveAt is the virtual time the message reaches the receiver's NIC.
+	ArriveAt vclock.Time
+	seq      uint64 // per-receiver tiebreaker for deterministic ordering
+}
+
+// FaultPlan perturbs message delivery for robustness tests.
+type FaultPlan struct {
+	// ReorderProb is the probability (0..1) that an enqueued message is
+	// swapped with its queue predecessor.
+	ReorderProb float64
+	// DuplicateProb is the probability that a message is delivered twice.
+	DuplicateProb float64
+	// Seed makes the perturbation deterministic.
+	Seed int64
+}
+
+// Network connects a fixed set of nodes with a single link profile.
+type Network struct {
+	link  machine.Link
+	nodes []*endpoint
+	stats Stats
+
+	faultMu sync.Mutex
+	rng     *rand.Rand
+	faults  FaultPlan
+}
+
+// Stats aggregates network activity. All fields are protected by the
+// owning endpoint or updated atomically via the endpoint mutex.
+type Stats struct {
+	mu       sync.Mutex
+	Messages uint64
+	Bytes    uint64
+}
+
+// Snapshot returns a copy of the current counters.
+func (s *Stats) Snapshot() (msgs, bytes uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Messages, s.Bytes
+}
+
+func (s *Stats) add(bytes int) {
+	s.mu.Lock()
+	s.Messages++
+	s.Bytes += uint64(bytes)
+	s.mu.Unlock()
+}
+
+type endpoint struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Message
+	nextSq uint64
+	clock  *vclock.Clock
+	closed bool
+}
+
+// New creates a network of len(clocks) nodes over the given link profile.
+// Each node's costs are charged to the corresponding clock.
+func New(link machine.Link, clocks []*vclock.Clock) *Network {
+	n := &Network{link: link, nodes: make([]*endpoint, len(clocks))}
+	for i, c := range clocks {
+		ep := &endpoint{clock: c}
+		ep.cond = sync.NewCond(&ep.mu)
+		n.nodes[i] = ep
+	}
+	return n
+}
+
+// SetFaults installs a fault plan. Call before traffic starts.
+func (n *Network) SetFaults(p FaultPlan) {
+	n.faultMu.Lock()
+	n.faults = p
+	n.rng = rand.New(rand.NewSource(p.Seed))
+	n.faultMu.Unlock()
+}
+
+// Size returns the number of nodes.
+func (n *Network) Size() int { return len(n.nodes) }
+
+// Link returns the link profile in use.
+func (n *Network) Link() machine.Link { return n.link }
+
+// Clock returns the virtual clock of the given node.
+func (n *Network) Clock(id NodeID) *vclock.Clock { return n.nodes[id].clock }
+
+func (n *Network) checkID(id NodeID) {
+	if id < 0 || int(id) >= len(n.nodes) {
+		panic(fmt.Sprintf("simnet: invalid node id %d (cluster size %d)", id, len(n.nodes)))
+	}
+}
+
+// Send transmits a message from one node to another. The sender's clock is
+// charged the software send cost; the arrival time reflects latency and
+// payload serialization. The payload is not copied — callers must not
+// mutate it after sending.
+func (n *Network) Send(from, to NodeID, kind Kind, tag uint32, payload []byte) {
+	n.checkID(from)
+	n.checkID(to)
+	src := n.nodes[from]
+	src.clock.Advance(n.link.SendSWNs)
+	arrive := src.clock.Now() +
+		vclock.Time(n.link.LatencyNs) +
+		vclock.Time(uint64(len(payload))*uint64(n.link.NsPerByte))
+	m := &Message{From: from, To: to, Kind: kind, Tag: tag, Payload: payload, ArriveAt: arrive}
+	n.stats.add(len(payload))
+	n.deliver(m)
+}
+
+func (n *Network) deliver(m *Message) {
+	dst := n.nodes[m.To]
+	dup := false
+	n.faultMu.Lock()
+	if n.rng != nil {
+		dup = n.rng.Float64() < n.faults.DuplicateProb
+	}
+	n.faultMu.Unlock()
+
+	dst.mu.Lock()
+	m.seq = dst.nextSq
+	dst.nextSq++
+	dst.queue = append(dst.queue, m)
+	n.maybeReorderLocked(dst)
+	if dup {
+		cp := *m
+		cp.seq = dst.nextSq
+		dst.nextSq++
+		dst.queue = append(dst.queue, &cp)
+	}
+	dst.cond.Broadcast()
+	dst.mu.Unlock()
+}
+
+func (n *Network) maybeReorderLocked(ep *endpoint) {
+	n.faultMu.Lock()
+	swap := n.rng != nil && len(ep.queue) >= 2 && n.rng.Float64() < n.faults.ReorderProb
+	n.faultMu.Unlock()
+	if swap {
+		k := len(ep.queue)
+		ep.queue[k-1], ep.queue[k-2] = ep.queue[k-2], ep.queue[k-1]
+	}
+}
+
+// Recv blocks the calling node until a message matching the filter is
+// available, removes it from the queue, charges receive costs, and
+// advances the node's clock past the arrival time. A nil filter matches
+// any message. Returns nil if the network is closed while waiting.
+func (n *Network) Recv(self NodeID, match func(*Message) bool) *Message {
+	n.checkID(self)
+	ep := n.nodes[self]
+	ep.mu.Lock()
+	for {
+		best := -1
+		for i, m := range ep.queue {
+			if match != nil && !match(m) {
+				continue
+			}
+			if best == -1 || less(m, ep.queue[best]) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			m := ep.queue[best]
+			ep.queue = append(ep.queue[:best], ep.queue[best+1:]...)
+			ep.mu.Unlock()
+			ep.clock.AdvanceTo(m.ArriveAt)
+			ep.clock.Advance(n.link.RecvSWNs)
+			return m
+		}
+		if ep.closed {
+			ep.mu.Unlock()
+			return nil
+		}
+		ep.cond.Wait()
+	}
+}
+
+// TryRecv is a non-blocking Recv. It returns nil when no matching message
+// is queued.
+func (n *Network) TryRecv(self NodeID, match func(*Message) bool) *Message {
+	n.checkID(self)
+	ep := n.nodes[self]
+	ep.mu.Lock()
+	best := -1
+	for i, m := range ep.queue {
+		if match != nil && !match(m) {
+			continue
+		}
+		if best == -1 || less(m, ep.queue[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		ep.mu.Unlock()
+		return nil
+	}
+	m := ep.queue[best]
+	ep.queue = append(ep.queue[:best], ep.queue[best+1:]...)
+	ep.mu.Unlock()
+	ep.clock.AdvanceTo(m.ArriveAt)
+	ep.clock.Advance(n.link.RecvSWNs)
+	return m
+}
+
+func less(a, b *Message) bool {
+	if a.ArriveAt != b.ArriveAt {
+		return a.ArriveAt < b.ArriveAt
+	}
+	return a.seq < b.seq
+}
+
+// Broadcast sends the same payload from one node to every other node.
+func (n *Network) Broadcast(from NodeID, kind Kind, tag uint32, payload []byte) {
+	for id := range n.nodes {
+		if NodeID(id) == from {
+			continue
+		}
+		n.Send(from, NodeID(id), kind, tag, payload)
+	}
+}
+
+// Close unblocks all pending Recv calls with nil. Used at teardown.
+func (n *Network) Close() {
+	for _, ep := range n.nodes {
+		ep.mu.Lock()
+		ep.closed = true
+		ep.cond.Broadcast()
+		ep.mu.Unlock()
+	}
+}
+
+// Pending reports how many messages are queued at a node (for tests).
+func (n *Network) Pending(id NodeID) int {
+	n.checkID(id)
+	ep := n.nodes[id]
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return len(ep.queue)
+}
+
+// TotalTraffic reports cumulative message count and bytes.
+func (n *Network) TotalTraffic() (msgs, bytes uint64) {
+	return n.stats.Snapshot()
+}

@@ -1,0 +1,264 @@
+// Package smp implements the tightly-coupled base architecture: a
+// hardware-coherent Symmetric MultiProcessor with Uniform Memory Access.
+//
+// All "nodes" are CPUs of one machine sharing one physical memory. Hardware
+// cache coherence means no software consistency actions are ever needed
+// (§3.2: "those systems come with hardware coherence, and hence do not
+// require explicit consistency control"), and synchronization maps to
+// native atomic operations costing hundreds of nanoseconds instead of
+// microseconds or milliseconds.
+//
+// The catch — and the reason Figure 4's MatMult runs *faster* on two
+// cluster nodes than on one dual-CPU SMP — is the shared memory bus: a
+// page-granularity cache model charges DRAM costs for misses, scaled up by
+// bus contention when multiple CPUs are active.
+package smp
+
+import (
+	"fmt"
+	"sync"
+
+	"hamster/internal/machine"
+	"hamster/internal/memsim"
+	"hamster/internal/platform"
+	"hamster/internal/vclock"
+)
+
+// Config parameterizes an SMP instance.
+type Config struct {
+	// CPUs is the number of processors (execution contexts).
+	CPUs int
+	// Params is the cost model; zero value means machine.Default().
+	Params machine.Params
+}
+
+// SMP is one simulated shared-memory multiprocessor.
+type SMP struct {
+	params machine.Params
+	space  *memsim.Space
+	clocks []*vclock.Clock
+	mem    *memsim.FrameStore
+	cpus   []*cpu
+	dram   vclock.Duration // contention-scaled DRAM cost, fixed per config
+
+	lockMu sync.Mutex
+	locks  []*vclock.VLock
+	vb     *vclock.VBarrier
+}
+
+// cpu holds the per-processor cache model. Owner-goroutine state only.
+type cpu struct {
+	pcache *machine.PageCache
+	stats  platform.Stats
+}
+
+// New builds an SMP.
+func New(cfg Config) (*SMP, error) {
+	if cfg.CPUs <= 0 {
+		return nil, fmt.Errorf("smp: need at least one CPU, got %d", cfg.CPUs)
+	}
+	params := cfg.Params
+	if params.Name == "" {
+		params = machine.Default()
+	}
+	s := &SMP{
+		params: params,
+		space:  memsim.NewSpace(cfg.CPUs),
+		clocks: make([]*vclock.Clock, cfg.CPUs),
+		mem:    memsim.NewFrameStore(),
+		cpus:   make([]*cpu, cfg.CPUs),
+		dram:   params.Bus.EffectiveDRAM(cfg.CPUs),
+		vb:     vclock.NewVBarrier(cfg.CPUs),
+	}
+	for i := range s.cpus {
+		s.clocks[i] = &vclock.Clock{}
+		s.cpus[i] = &cpu{pcache: machine.NewPageCache(params.Bus.CachePages)}
+	}
+	return s, nil
+}
+
+// Kind implements platform.Substrate.
+func (s *SMP) Kind() platform.Kind { return platform.SMP }
+
+// Nodes implements platform.Substrate (CPUs act as nodes).
+func (s *SMP) Nodes() int { return len(s.cpus) }
+
+// Clock implements platform.Substrate.
+func (s *SMP) Clock(node int) *vclock.Clock { return s.clocks[node] }
+
+// Space implements platform.Substrate.
+func (s *SMP) Space() *memsim.Space { return s.space }
+
+// Params implements platform.Substrate.
+func (s *SMP) Params() machine.Params { return s.params }
+
+// Caps implements platform.Substrate.
+func (s *SMP) Caps() platform.Caps {
+	return platform.Caps{
+		HardwareCoherent: true,
+		ConsistencyModel: "processor",
+		Placement: []memsim.Policy{
+			memsim.Block, memsim.Cyclic, memsim.FirstTouch, memsim.Fixed,
+		},
+	}
+}
+
+// Alloc implements platform.Substrate. Placement annotations are accepted
+// but irrelevant on UMA hardware: all memory is equally close.
+func (s *SMP) Alloc(size uint64, name string, pol memsim.Policy, fixedNode int) (memsim.Region, error) {
+	return s.space.Alloc(size, name, pol, fixedNode)
+}
+
+// Free implements platform.Substrate.
+func (s *SMP) Free(r memsim.Region) error { return s.space.Free(r) }
+
+// Compute implements platform.Substrate.
+func (s *SMP) Compute(node int, flops uint64) {
+	s.clocks[node].Advance(vclock.Duration(flops) * s.params.CPU.FlopNs)
+}
+
+// NodeStats implements platform.Substrate.
+func (s *SMP) NodeStats(node int) platform.Stats { return s.cpus[node].stats }
+
+// Close implements platform.Substrate.
+func (s *SMP) Close() {}
+
+func (s *SMP) cpuOf(id int) *cpu {
+	if id < 0 || id >= len(s.cpus) {
+		panic(fmt.Sprintf("smp: invalid CPU %d", id))
+	}
+	return s.cpus[id]
+}
+
+// touch runs the cache model for one access: the shared direct-mapped
+// page-cache model (machine.PageCache); a miss pays the contention-scaled
+// DRAM cost — the same model DSM nodes use, except their buses are
+// private while the SMP's CPUs share one.
+func (s *SMP) touch(c *cpu, id int, p memsim.PageID) {
+	clk := s.clocks[id]
+	clk.Advance(s.params.CPU.AccessNs)
+	if c.pcache.Touch(uint64(p)) {
+		return
+	}
+	clk.Advance(s.dram)
+	c.stats.CacheMisses++
+}
+
+// ReadF64 implements platform.Substrate.
+func (s *SMP) ReadF64(id int, a memsim.Addr) float64 {
+	c := s.cpuOf(id)
+	c.stats.Reads++
+	s.touch(c, id, memsim.PageOf(a))
+	return memsim.GetF64(s.mem.Frame(memsim.PageOf(a)), memsim.Offset(a))
+}
+
+// WriteF64 implements platform.Substrate.
+func (s *SMP) WriteF64(id int, a memsim.Addr, v float64) {
+	c := s.cpuOf(id)
+	c.stats.Writes++
+	s.touch(c, id, memsim.PageOf(a))
+	memsim.PutF64(s.mem.Frame(memsim.PageOf(a)), memsim.Offset(a), v)
+}
+
+// ReadI64 implements platform.Substrate.
+func (s *SMP) ReadI64(id int, a memsim.Addr) int64 {
+	c := s.cpuOf(id)
+	c.stats.Reads++
+	s.touch(c, id, memsim.PageOf(a))
+	return memsim.GetI64(s.mem.Frame(memsim.PageOf(a)), memsim.Offset(a))
+}
+
+// WriteI64 implements platform.Substrate.
+func (s *SMP) WriteI64(id int, a memsim.Addr, v int64) {
+	c := s.cpuOf(id)
+	c.stats.Writes++
+	s.touch(c, id, memsim.PageOf(a))
+	memsim.PutI64(s.mem.Frame(memsim.PageOf(a)), memsim.Offset(a), v)
+}
+
+// ReadBytes implements platform.Substrate.
+func (s *SMP) ReadBytes(id int, a memsim.Addr, buf []byte) {
+	c := s.cpuOf(id)
+	for len(buf) > 0 {
+		p := memsim.PageOf(a)
+		off := memsim.Offset(a)
+		chunk := memsim.PageSize - off
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		c.stats.Reads++
+		s.touch(c, id, p)
+		s.clocks[id].Advance(s.params.CPU.AccessNs * vclock.Duration(chunk/memsim.WordSize))
+		copy(buf[:chunk], s.mem.Frame(p)[off:off+chunk])
+		buf = buf[chunk:]
+		a += memsim.Addr(chunk)
+	}
+}
+
+// WriteBytes implements platform.Substrate.
+func (s *SMP) WriteBytes(id int, a memsim.Addr, data []byte) {
+	c := s.cpuOf(id)
+	for len(data) > 0 {
+		p := memsim.PageOf(a)
+		off := memsim.Offset(a)
+		chunk := memsim.PageSize - off
+		if chunk > len(data) {
+			chunk = len(data)
+		}
+		c.stats.Writes++
+		s.touch(c, id, p)
+		s.clocks[id].Advance(s.params.CPU.AccessNs * vclock.Duration(chunk/memsim.WordSize))
+		copy(s.mem.Frame(p)[off:off+chunk], data[:chunk])
+		data = data[chunk:]
+		a += memsim.Addr(chunk)
+	}
+}
+
+// NewLock implements platform.Substrate.
+func (s *SMP) NewLock() int {
+	s.lockMu.Lock()
+	defer s.lockMu.Unlock()
+	id := len(s.locks)
+	s.locks = append(s.locks, vclock.NewVLock())
+	return id
+}
+
+func (s *SMP) lock(id int) *vclock.VLock {
+	s.lockMu.Lock()
+	defer s.lockMu.Unlock()
+	if id < 0 || id >= len(s.locks) {
+		panic(fmt.Sprintf("smp: unknown lock %d", id))
+	}
+	return s.locks[id]
+}
+
+// Acquire implements platform.Substrate: a locked bus transaction.
+func (s *SMP) Acquire(node, lock int) {
+	s.lock(lock).Acquire(s.clocks[node], s.params.Bus.SyncNs, 0)
+	s.cpus[node].stats.LockAcquires++
+}
+
+// Release implements platform.Substrate.
+func (s *SMP) Release(node, lock int) {
+	s.lock(lock).Release(s.clocks[node], s.params.Bus.SyncNs)
+}
+
+// Barrier implements platform.Substrate: a counter barrier on atomics.
+func (s *SMP) Barrier(node int) {
+	s.vb.Arrive(s.clocks[node], s.params.Bus.SyncNs, s.params.Bus.SyncNs)
+	s.cpus[node].stats.BarrierCrossings++
+}
+
+// Fence implements platform.Substrate: a memory fence instruction.
+func (s *SMP) Fence(node int) {
+	s.clocks[node].Advance(s.params.Bus.SyncNs)
+}
+
+// TryAcquire implements platform.Substrate: a compare-and-swap attempt.
+func (s *SMP) TryAcquire(node, lock int) bool {
+	if !s.lock(lock).TryAcquire(s.clocks[node], s.params.Bus.SyncNs, 0) {
+		return false
+	}
+	s.cpus[node].stats.LockAcquires++
+	return true
+}

@@ -1,0 +1,185 @@
+package smp
+
+import (
+	"sync"
+	"testing"
+
+	"hamster/internal/machine"
+	"hamster/internal/memsim"
+	"hamster/internal/platform"
+	"hamster/internal/vclock"
+)
+
+func newSMP(t testing.TB, cpus int) *SMP {
+	t.Helper()
+	s, err := New(Config{CPUs: cpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func spmd(s *SMP, fn func(id int)) {
+	var wg sync.WaitGroup
+	for id := 0; id < s.Nodes(); id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			fn(id)
+		}(id)
+	}
+	wg.Wait()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{CPUs: 0}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCaps(t *testing.T) {
+	s := newSMP(t, 2)
+	if s.Kind() != platform.SMP {
+		t.Fatal("wrong kind")
+	}
+	c := s.Caps()
+	if !c.HardwareCoherent || c.PageCaching || c.RemoteAccess {
+		t.Fatalf("caps = %+v", c)
+	}
+}
+
+func TestCoherenceWithoutSync(t *testing.T) {
+	// Hardware coherence: a write by CPU 0 is visible to CPU 1 with no
+	// consistency action whatsoever (only program-level ordering needed —
+	// here the accesses are sequential).
+	s := newSMP(t, 2)
+	r, _ := s.Alloc(memsim.PageSize, "x", memsim.Block, 0)
+	s.WriteF64(0, r.Base, 8.125)
+	if got := s.ReadF64(1, r.Base); got != 8.125 {
+		t.Fatalf("CPU1 read = %v", got)
+	}
+}
+
+func TestCacheModelHitsAndMisses(t *testing.T) {
+	s := newSMP(t, 1)
+	r, _ := s.Alloc(2*memsim.PageSize, "x", memsim.Block, 0)
+	s.ReadF64(0, r.Base)                              // miss
+	s.ReadF64(0, r.Base+8)                            // hit (same page)
+	s.ReadF64(0, r.Base+memsim.Addr(memsim.PageSize)) // miss
+	st := s.NodeStats(0)
+	if st.CacheMisses != 2 {
+		t.Fatalf("misses = %d, want 2", st.CacheMisses)
+	}
+}
+
+func TestCacheCapacityEviction(t *testing.T) {
+	params := machine.Default()
+	params.Bus.CachePages = 2
+	s, err := New(Config{CPUs: 1, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, _ := s.Alloc(4*memsim.PageSize, "x", memsim.Block, 0)
+	for p := 0; p < 3; p++ {
+		s.ReadF64(0, r.Base+memsim.Addr(p*memsim.PageSize))
+	}
+	// Page 0 was evicted: rereading it misses again.
+	before := s.NodeStats(0).CacheMisses
+	s.ReadF64(0, r.Base)
+	if s.NodeStats(0).CacheMisses != before+1 {
+		t.Fatal("expected a miss after eviction")
+	}
+}
+
+func TestBusContentionScalesWithCPUs(t *testing.T) {
+	one, _ := New(Config{CPUs: 1})
+	two, _ := New(Config{CPUs: 2})
+	r1, _ := one.Alloc(memsim.PageSize, "x", memsim.Block, 0)
+	r2, _ := two.Alloc(memsim.PageSize, "x", memsim.Block, 0)
+	one.ReadF64(0, r1.Base) // one miss each
+	two.ReadF64(0, r2.Base)
+	if one.Clock(0).Now() >= two.Clock(0).Now() {
+		t.Fatalf("dual-CPU miss (%v) must cost more than single-CPU miss (%v)",
+			two.Clock(0).Now(), one.Clock(0).Now())
+	}
+}
+
+func TestLockAndBarrierCostsAreCheap(t *testing.T) {
+	s := newSMP(t, 2)
+	l := s.NewLock()
+	before := s.Clock(0).Now()
+	s.Acquire(0, l)
+	s.Release(0, l)
+	cost := vclock.Duration(s.Clock(0).Now() - before)
+	if cost > 2_000 {
+		t.Fatalf("SMP lock round trip = %v, want ns-scale", cost)
+	}
+}
+
+func TestLockCounter(t *testing.T) {
+	s := newSMP(t, 4)
+	r, _ := s.Alloc(memsim.PageSize, "c", memsim.Block, 0)
+	l := s.NewLock()
+	const per = 50
+	spmd(s, func(id int) {
+		for i := 0; i < per; i++ {
+			s.Acquire(id, l)
+			s.WriteI64(id, r.Base, s.ReadI64(id, r.Base)+1)
+			s.Release(id, l)
+		}
+		s.Barrier(id)
+	})
+	if got := s.ReadI64(0, r.Base); got != 4*per {
+		t.Fatalf("counter = %d, want %d", got, 4*per)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	s := newSMP(t, 4)
+	spmd(s, func(id int) {
+		s.Clock(id).Advance(vclock.Duration(id) * 10_000)
+		s.Barrier(id)
+	})
+	want := s.Clock(3).Now()
+	for id := 0; id < 4; id++ {
+		if s.Clock(id).Now() < want-vclock.Time(2*s.Params().Bus.SyncNs) {
+			t.Fatalf("CPU %d clock not reconciled", id)
+		}
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	s := newSMP(t, 1)
+	r, _ := s.Alloc(2*memsim.PageSize, "x", memsim.Block, 0)
+	data := []byte{1, 2, 3, 4, 5}
+	start := r.Base + memsim.Addr(memsim.PageSize-2)
+	s.WriteBytes(0, start, data)
+	buf := make([]byte, 5)
+	s.ReadBytes(0, start, buf)
+	for i := range buf {
+		if buf[i] != data[i] {
+			t.Fatalf("byte %d = %d", i, buf[i])
+		}
+	}
+}
+
+func TestFenceIsCheapNoop(t *testing.T) {
+	s := newSMP(t, 1)
+	before := s.Clock(0).Now()
+	s.Fence(0)
+	if cost := vclock.Duration(s.Clock(0).Now() - before); cost > 1_000 {
+		t.Fatalf("fence cost %v, want a few hundred ns", cost)
+	}
+}
+
+func BenchmarkCachedRead(b *testing.B) {
+	s, _ := New(Config{CPUs: 2})
+	r, _ := s.Alloc(memsim.PageSize, "x", memsim.Block, 0)
+	s.ReadF64(0, r.Base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ReadF64(0, r.Base)
+	}
+}

@@ -1,0 +1,83 @@
+package swdsm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hamster/internal/memsim"
+)
+
+// A diff encodes the words of a page that changed relative to its twin, as
+// a sequence of runs: [offset uint16][length uint16][length bytes]. Offsets
+// and lengths are byte-granular but always word-aligned because the scan
+// compares 8-byte words, matching classic multiple-writer DSM protocols:
+// two nodes writing disjoint words of the same page produce disjoint diffs
+// that merge cleanly at the home.
+
+const diffRunHeader = 4 // uint16 offset + uint16 length
+
+// buildDiff scans data against twin and returns the encoded diff. A nil
+// return means the page is unchanged.
+func buildDiff(data, twin []byte) []byte {
+	if len(data) != memsim.PageSize || len(twin) != memsim.PageSize {
+		panic(fmt.Sprintf("swdsm: buildDiff on short buffers %d/%d", len(data), len(twin)))
+	}
+	var out []byte
+	const w = memsim.WordSize
+	runStart := -1
+	for off := 0; off <= memsim.PageSize; off += w {
+		differs := false
+		if off < memsim.PageSize {
+			differs = binary.LittleEndian.Uint64(data[off:]) != binary.LittleEndian.Uint64(twin[off:])
+		}
+		switch {
+		case differs && runStart < 0:
+			runStart = off
+		case !differs && runStart >= 0:
+			runLen := off - runStart
+			out = binary.LittleEndian.AppendUint16(out, uint16(runStart))
+			out = binary.LittleEndian.AppendUint16(out, uint16(runLen))
+			out = append(out, data[runStart:runStart+runLen]...)
+			runStart = -1
+		}
+	}
+	return out
+}
+
+// applyDiff patches a home frame with an encoded diff.
+func applyDiff(frame, diff []byte) error {
+	for i := 0; i < len(diff); {
+		if len(diff)-i < diffRunHeader {
+			return fmt.Errorf("swdsm: truncated diff header at %d", i)
+		}
+		off := int(binary.LittleEndian.Uint16(diff[i:]))
+		n := int(binary.LittleEndian.Uint16(diff[i+2:]))
+		i += diffRunHeader
+		if n == 0 || off+n > memsim.PageSize || len(diff)-i < n {
+			return fmt.Errorf("swdsm: bad diff run off=%d len=%d", off, n)
+		}
+		copy(frame[off:off+n], diff[i:i+n])
+		i += n
+	}
+	return nil
+}
+
+// encodeNotices serializes a write-notice page list.
+func encodeNotices(pages []memsim.PageID) []byte {
+	out := make([]byte, 0, 4+8*len(pages))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(pages)))
+	for _, p := range pages {
+		out = binary.LittleEndian.AppendUint64(out, uint64(p))
+	}
+	return out
+}
+
+// decodeNotices parses a write-notice page list.
+func decodeNotices(b []byte) []memsim.PageID {
+	n := int(binary.LittleEndian.Uint32(b))
+	out := make([]memsim.PageID, n)
+	for i := 0; i < n; i++ {
+		out[i] = memsim.PageID(binary.LittleEndian.Uint64(b[4+8*i:]))
+	}
+	return out
+}

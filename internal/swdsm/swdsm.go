@@ -1,0 +1,507 @@
+// Package swdsm implements a software distributed shared memory system in
+// the style of JiaJia (Hu, Shi, Tang 1999): home-based Scope Consistency
+// with a multiple-writer protocol.
+//
+// Every global page has a home node holding the authoritative copy. Other
+// nodes cache pages on demand; a first write after validation creates a
+// twin, and at release points (lock release, barrier, fence) the writer
+// diffs its copy against the twin and sends the diff to the home. Write
+// notices — the identities of modified pages — travel with synchronization:
+// a lock carries the notices of critical sections protected by it (the
+// scope), a barrier merges everyone's notices globally. Acquiring nodes
+// invalidate their cached copies of noticed pages and refetch from the home
+// on next access.
+//
+// The paper integrates JiaJia as its Beowulf-architecture substrate (§3.2)
+// after replacing its startup and messaging with HAMSTER's coalesced layer
+// (§3.3); this package correspondingly accepts an externally provided
+// active-message layer, and the page cache is intentionally per-node real
+// storage: a protocol bug produces wrong benchmark results, not just wrong
+// cost numbers.
+package swdsm
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"hamster/internal/amsg"
+	"hamster/internal/machine"
+	"hamster/internal/memsim"
+	"hamster/internal/notices"
+	"hamster/internal/pagestore"
+	"hamster/internal/platform"
+	"hamster/internal/simnet"
+	"hamster/internal/vclock"
+)
+
+// Active-message kinds used by the protocol.
+const (
+	kindFetchPage amsg.Kind = iota + 1
+	kindApplyDiff
+)
+
+// DefaultCachePages is the per-node cached-page capacity when the
+// configuration leaves it zero (16 MiB of remote data per node).
+const DefaultCachePages = 4096
+
+// Protocol selects the consistency protocol variant (§4.5: the
+// consistency API carries "optimized implementations of all widely used
+// models").
+type Protocol int
+
+const (
+	// ScopeConsistency (the default, JiaJia's model): write notices
+	// travel with the lock under which the writes happened; acquiring a
+	// lock invalidates only that scope's pages.
+	ScopeConsistency Protocol = iota
+	// EagerRC is eager Release Consistency: every release publishes its
+	// write notices toward all nodes immediately (paying a message per
+	// peer), and any subsequent acquire — of any lock — invalidates them.
+	// Stronger than scope, correspondingly noisier.
+	EagerRC
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	if p == EagerRC {
+		return "eager-rc"
+	}
+	return "scope"
+}
+
+// Config parameterizes a DSM instance.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Params is the cost model; zero value means machine.Default().
+	Params machine.Params
+	// CachePages caps the per-node page cache (0 = DefaultCachePages).
+	CachePages int
+	// Layer optionally supplies a shared active-message layer (HAMSTER's
+	// coalesced messaging). When nil the DSM builds a private network —
+	// the "native JiaJia" configuration.
+	Layer *amsg.Layer
+	// Space optionally supplies a shared global address space (multi-DSM
+	// composition, §6). When nil the DSM owns a private space.
+	Space *memsim.Space
+	// Clocks optionally supplies shared per-node clocks (multi-DSM
+	// composition). Length must equal Nodes. Ignored when Layer is set
+	// (the layer's network already carries the clocks).
+	Clocks []*vclock.Clock
+	// MigrateAfter enables home migration (JiaJia's single-writer
+	// optimization): a page whose cached copy produced this many
+	// consecutive diffs without an intervening invalidation migrates its
+	// home to the writer at the next barrier. 0 disables migration.
+	MigrateAfter int
+	// Protocol selects Scope Consistency (default) or eager Release
+	// Consistency.
+	Protocol Protocol
+}
+
+// DSM is one software-DSM cluster.
+type DSM struct {
+	params machine.Params
+	space  *memsim.Space
+	clocks []*vclock.Clock
+	layer  *amsg.Layer
+	nodes  []*node
+
+	cacheCap     int
+	migrateAfter int
+	protocol     Protocol
+	rcPending    *notices.Board // EagerRC: one global notice board
+	migration    *migrationState
+	vbMig        *vclock.VBarrier
+
+	lockMu sync.Mutex
+	locks  []*lockState
+
+	barrier *barrierState
+}
+
+// cpage is one cached remote page. Owned exclusively by the node's
+// goroutine.
+type cpage struct {
+	data []byte
+	twin []byte // non-nil while the page is dirty
+	lru  *list.Element
+	// diffStreak counts consecutive intervals in which this node diffed
+	// the page without anyone else's write notice invalidating it — the
+	// single-writer detector for home migration.
+	diffStreak int
+}
+
+type node struct {
+	id   int
+	dsm  *DSM
+	home *pagestore.Store
+	// pcache models this node's CPU cache for local references (see
+	// machine.PageCache); misses pay the private-bus DRAM cost.
+	pcache *machine.PageCache
+
+	// Owner-goroutine state: the page cache and interval tracking. Only
+	// the node's own goroutine touches these (invalidations are applied
+	// by the owner when it acquires), so no locking is needed.
+	cache     map[memsim.PageID]*cpage
+	lru       *list.List // front = most recent
+	dirty     map[memsim.PageID]struct{}
+	homeDirty map[memsim.PageID]struct{}
+	epoch     uint64
+
+	stats platform.Stats
+}
+
+// New builds a software-DSM cluster.
+func New(cfg Config) (*DSM, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("swdsm: need at least one node, got %d", cfg.Nodes)
+	}
+	params := cfg.Params
+	if params.Name == "" {
+		params = machine.Default()
+	}
+	space := cfg.Space
+	if space == nil {
+		space = memsim.NewSpace(cfg.Nodes)
+	}
+	d := &DSM{
+		params: params,
+		space:  space,
+		clocks: make([]*vclock.Clock, cfg.Nodes),
+		nodes:  make([]*node, cfg.Nodes),
+	}
+	if cfg.Clocks != nil {
+		if len(cfg.Clocks) != cfg.Nodes {
+			return nil, fmt.Errorf("swdsm: %d clocks for %d nodes", len(cfg.Clocks), cfg.Nodes)
+		}
+		copy(d.clocks, cfg.Clocks)
+	} else {
+		for i := range d.clocks {
+			d.clocks[i] = &vclock.Clock{}
+		}
+	}
+	if cfg.Layer != nil {
+		if cfg.Layer.Network().Size() != cfg.Nodes {
+			return nil, fmt.Errorf("swdsm: shared layer has %d nodes, want %d",
+				cfg.Layer.Network().Size(), cfg.Nodes)
+		}
+		d.layer = cfg.Layer
+		for i := range d.clocks {
+			d.clocks[i] = cfg.Layer.Network().Clock(simnet.NodeID(i))
+		}
+	} else {
+		net := simnet.New(params.Ethernet, d.clocks)
+		d.layer = amsg.New(net, params.Ethernet)
+	}
+	cap := cfg.CachePages
+	if cap <= 0 {
+		cap = DefaultCachePages
+	}
+	for i := range d.nodes {
+		n := &node{
+			id:        i,
+			dsm:       d,
+			home:      pagestore.New(),
+			pcache:    machine.NewPageCache(params.Bus.CachePages),
+			cache:     make(map[memsim.PageID]*cpage),
+			lru:       list.New(),
+			dirty:     make(map[memsim.PageID]struct{}),
+			homeDirty: make(map[memsim.PageID]struct{}),
+		}
+		d.nodes[i] = n
+		d.registerHandlers(n)
+		d.registerMigrateHandler(n)
+	}
+	d.cacheCap = cap
+	d.protocol = cfg.Protocol
+	d.rcPending = notices.NewBoard()
+	d.migrateAfter = cfg.MigrateAfter
+	d.migration = newMigrationState()
+	d.vbMig = vclock.NewVBarrier(cfg.Nodes)
+	d.barrier = newBarrierState(cfg.Nodes)
+	return d, nil
+}
+
+func (d *DSM) registerHandlers(n *node) {
+	id := simnet.NodeID(n.id)
+	d.layer.Register(id, kindFetchPage, func(_ amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
+		p := memsim.PageID(amsg.NewDec(req).U64())
+		hp := n.home.Frame(p)
+		hp.Mu.Lock()
+		out := make([]byte, memsim.PageSize)
+		copy(out, hp.Data)
+		hp.Mu.Unlock()
+		return out, d.params.CPU.PageCopyNs
+	})
+	d.layer.Register(id, kindApplyDiff, func(_ amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
+		dec := amsg.NewDec(req)
+		p := memsim.PageID(dec.U64())
+		diff := dec.Blob()
+		hp := n.home.Frame(p)
+		hp.Mu.Lock()
+		err := applyDiff(hp.Data, diff)
+		hp.Mu.Unlock()
+		if err != nil {
+			panic(err) // internal protocol corruption
+		}
+		// Applying a diff costs roughly a proportional share of a page copy.
+		cost := d.params.CPU.PageCopyNs * vclock.Duration(len(diff)+1) / memsim.PageSize
+		return nil, cost
+	})
+}
+
+// Kind implements platform.Substrate.
+func (d *DSM) Kind() platform.Kind { return platform.SWDSM }
+
+// Nodes implements platform.Substrate.
+func (d *DSM) Nodes() int { return len(d.nodes) }
+
+// Clock implements platform.Substrate.
+func (d *DSM) Clock(node int) *vclock.Clock { return d.clocks[node] }
+
+// Space implements platform.Substrate.
+func (d *DSM) Space() *memsim.Space { return d.space }
+
+// Params implements platform.Substrate.
+func (d *DSM) Params() machine.Params { return d.params }
+
+// Layer exposes the active-message layer (for the integration tests and
+// the coalesced-messaging configuration).
+func (d *DSM) Layer() *amsg.Layer { return d.layer }
+
+// Caps implements platform.Substrate.
+func (d *DSM) Caps() platform.Caps {
+	return platform.Caps{
+		PageCaching:      true,
+		ConsistencyModel: d.protocol.String(),
+		Placement: []memsim.Policy{
+			memsim.Block, memsim.Cyclic, memsim.FirstTouch, memsim.Fixed,
+		},
+	}
+}
+
+// Alloc implements platform.Substrate.
+func (d *DSM) Alloc(size uint64, name string, pol memsim.Policy, fixedNode int) (memsim.Region, error) {
+	return d.space.Alloc(size, name, pol, fixedNode)
+}
+
+// Free implements platform.Substrate.
+func (d *DSM) Free(r memsim.Region) error { return d.space.Free(r) }
+
+// Compute implements platform.Substrate.
+func (d *DSM) Compute(node int, flops uint64) {
+	d.clocks[node].Advance(vclock.Duration(flops) * d.params.CPU.FlopNs)
+}
+
+// NodeStats implements platform.Substrate. Call only while the node's
+// program is quiescent (e.g., after the SPMD run joined).
+func (d *DSM) NodeStats(node int) platform.Stats { return d.nodes[node].stats }
+
+// Close implements platform.Substrate.
+func (d *DSM) Close() { d.layer.Network().Close() }
+
+// homeOf resolves (and first-touch assigns) the home of a page for an
+// accessing node.
+func (n *node) homeOf(p memsim.PageID) int {
+	h := n.dsm.space.Home(p)
+	if h == memsim.NoHome {
+		h = n.dsm.space.TouchHome(p, n.id)
+	}
+	return h
+}
+
+// frameForRead returns the bytes of the page containing a, fetching it
+// into the cache on a miss. When the page is homed locally the returned
+// homePage is non-nil and its mutex is HELD: the caller must release it
+// after performing the access. This keeps the owner's in-place home
+// accesses coherent with remote fetch/diff handlers running on other
+// goroutines (false sharing between nodes is legal in DRF programs).
+func (n *node) frameForRead(p memsim.PageID) ([]byte, *pagestore.Frame) {
+	home := n.homeOf(p)
+	if home == n.id {
+		hp := n.home.Frame(p)
+		hp.Mu.Lock()
+		return hp.Data, hp
+	}
+	if cp, ok := n.cache[p]; ok {
+		n.lru.MoveToFront(cp.lru)
+		return cp.data, nil
+	}
+	return n.fault(p, home).data, nil
+}
+
+// fault fetches a remote page into the cache.
+func (n *node) fault(p memsim.PageID, home int) *cpage {
+	req := amsg.NewEnc(8).U64(uint64(p)).Bytes()
+	data := n.dsm.layer.Call(simnet.NodeID(n.id), simnet.NodeID(home), kindFetchPage, req)
+	n.dsm.clocks[n.id].Advance(n.dsm.params.CPU.PageCopyNs) // install copy
+	cp := &cpage{data: data}
+	cp.lru = n.lru.PushFront(p)
+	n.cache[p] = cp
+	n.stats.PageFaults++
+	n.evictIfNeeded()
+	return cp
+}
+
+func (n *node) evictIfNeeded() {
+	for len(n.cache) > n.dsm.cacheCap {
+		el := n.lru.Back()
+		if el == nil {
+			return
+		}
+		p := el.Value.(memsim.PageID)
+		cp := n.cache[p]
+		if cp.twin != nil {
+			n.flushPage(p, cp)
+		}
+		n.lru.Remove(el)
+		delete(n.cache, p)
+		delete(n.dirty, p)
+		n.stats.Evictions++
+	}
+}
+
+// prepareWrite returns the writable frame for page p, creating a twin for
+// remote pages on the first write of an interval. Like frameForRead, a
+// non-nil homePage is returned locked and must be released by the caller.
+func (n *node) prepareWrite(p memsim.PageID) ([]byte, *pagestore.Frame) {
+	home := n.homeOf(p)
+	if home == n.id {
+		n.homeDirty[p] = struct{}{}
+		hp := n.home.Frame(p)
+		hp.Mu.Lock()
+		return hp.Data, hp
+	}
+	cp, ok := n.cache[p]
+	if !ok {
+		cp = n.fault(p, home)
+	} else {
+		n.lru.MoveToFront(cp.lru)
+	}
+	if cp.twin == nil {
+		cp.twin = make([]byte, memsim.PageSize)
+		copy(cp.twin, cp.data)
+		n.dsm.clocks[n.id].Advance(n.dsm.params.CPU.PageCopyNs)
+		n.stats.TwinsCreated++
+		n.dirty[p] = struct{}{}
+	}
+	return cp.data, nil
+}
+
+// touchLocal charges the CPU-cache model for one local page reference.
+func (n *node) touchLocal(p memsim.PageID) {
+	if !n.pcache.Touch(uint64(p)) {
+		n.dsm.clocks[n.id].Advance(n.dsm.params.Bus.MissCost())
+		n.stats.CacheMisses++
+	}
+}
+
+func (d *DSM) access(nodeID int) *node {
+	if nodeID < 0 || nodeID >= len(d.nodes) {
+		panic(fmt.Sprintf("swdsm: invalid node %d", nodeID))
+	}
+	return d.nodes[nodeID]
+}
+
+// ReadF64 implements platform.Substrate.
+func (d *DSM) ReadF64(nodeID int, a memsim.Addr) float64 {
+	n := d.access(nodeID)
+	d.clocks[nodeID].Advance(d.params.CPU.AccessNs)
+	n.stats.Reads++
+	n.touchLocal(memsim.PageOf(a))
+	fr, hp := n.frameForRead(memsim.PageOf(a))
+	v := memsim.GetF64(fr, memsim.Offset(a))
+	if hp != nil {
+		hp.Mu.Unlock()
+	}
+	return v
+}
+
+// WriteF64 implements platform.Substrate.
+func (d *DSM) WriteF64(nodeID int, a memsim.Addr, v float64) {
+	n := d.access(nodeID)
+	d.clocks[nodeID].Advance(d.params.CPU.AccessNs)
+	n.stats.Writes++
+	n.touchLocal(memsim.PageOf(a))
+	fr, hp := n.prepareWrite(memsim.PageOf(a))
+	memsim.PutF64(fr, memsim.Offset(a), v)
+	if hp != nil {
+		hp.Mu.Unlock()
+	}
+}
+
+// ReadI64 implements platform.Substrate.
+func (d *DSM) ReadI64(nodeID int, a memsim.Addr) int64 {
+	n := d.access(nodeID)
+	d.clocks[nodeID].Advance(d.params.CPU.AccessNs)
+	n.stats.Reads++
+	n.touchLocal(memsim.PageOf(a))
+	fr, hp := n.frameForRead(memsim.PageOf(a))
+	v := memsim.GetI64(fr, memsim.Offset(a))
+	if hp != nil {
+		hp.Mu.Unlock()
+	}
+	return v
+}
+
+// WriteI64 implements platform.Substrate.
+func (d *DSM) WriteI64(nodeID int, a memsim.Addr, v int64) {
+	n := d.access(nodeID)
+	d.clocks[nodeID].Advance(d.params.CPU.AccessNs)
+	n.stats.Writes++
+	n.touchLocal(memsim.PageOf(a))
+	fr, hp := n.prepareWrite(memsim.PageOf(a))
+	memsim.PutI64(fr, memsim.Offset(a), v)
+	if hp != nil {
+		hp.Mu.Unlock()
+	}
+}
+
+// ReadBytes implements platform.Substrate; the span may cross pages.
+func (d *DSM) ReadBytes(nodeID int, a memsim.Addr, buf []byte) {
+	n := d.access(nodeID)
+	for len(buf) > 0 {
+		p := memsim.PageOf(a)
+		off := memsim.Offset(a)
+		chunk := memsim.PageSize - off
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		d.clocks[nodeID].Advance(d.params.CPU.AccessNs *
+			vclock.Duration(1+chunk/memsim.WordSize))
+		n.stats.Reads++
+		n.touchLocal(p)
+		fr, hp := n.frameForRead(p)
+		copy(buf[:chunk], fr[off:off+chunk])
+		if hp != nil {
+			hp.Mu.Unlock()
+		}
+		buf = buf[chunk:]
+		a += memsim.Addr(chunk)
+	}
+}
+
+// WriteBytes implements platform.Substrate; the span may cross pages.
+func (d *DSM) WriteBytes(nodeID int, a memsim.Addr, data []byte) {
+	n := d.access(nodeID)
+	for len(data) > 0 {
+		p := memsim.PageOf(a)
+		off := memsim.Offset(a)
+		chunk := memsim.PageSize - off
+		if chunk > len(data) {
+			chunk = len(data)
+		}
+		d.clocks[nodeID].Advance(d.params.CPU.AccessNs *
+			vclock.Duration(1+chunk/memsim.WordSize))
+		n.stats.Writes++
+		n.touchLocal(p)
+		fr, hp := n.prepareWrite(p)
+		copy(fr[off:off+chunk], data[:chunk])
+		if hp != nil {
+			hp.Mu.Unlock()
+		}
+		data = data[chunk:]
+		a += memsim.Addr(chunk)
+	}
+}

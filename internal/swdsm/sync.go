@@ -1,0 +1,316 @@
+package swdsm
+
+import (
+	"fmt"
+
+	"hamster/internal/amsg"
+	"hamster/internal/memsim"
+	"hamster/internal/notices"
+	"hamster/internal/simnet"
+	"hamster/internal/vclock"
+)
+
+// lockState is one global lock. The lock lives at a home node (id % nodes,
+// like JiaJia's static lock distribution); acquisition and release are
+// modeled as messages to the home plus the virtual-time serialization of
+// vclock.VLock. The pending map carries the scope's write notices: when a
+// node releases, the pages it modified are queued for every other node and
+// delivered (as invalidations) on that node's next acquire of this lock.
+type lockState struct {
+	id      int
+	home    int
+	vl      *vclock.VLock
+	pending *notices.Board
+}
+
+// NewLock implements platform.Substrate. Locks are distributed across
+// nodes round-robin.
+func (d *DSM) NewLock() int {
+	d.lockMu.Lock()
+	defer d.lockMu.Unlock()
+	id := len(d.locks)
+	d.locks = append(d.locks, &lockState{
+		id:      id,
+		home:    id % len(d.nodes),
+		vl:      vclock.NewVLock(),
+		pending: notices.NewBoard(),
+	})
+	return id
+}
+
+func (d *DSM) lock(id int) *lockState {
+	d.lockMu.Lock()
+	defer d.lockMu.Unlock()
+	if id < 0 || id >= len(d.locks) {
+		panic(fmt.Sprintf("swdsm: unknown lock %d", id))
+	}
+	return d.locks[id]
+}
+
+// noticeMsgBytes is the wire size of a notice list.
+func noticeMsgBytes(n int) int { return 16 + 8*n }
+
+// Acquire implements platform.Substrate: take the lock, then invalidate
+// the cached copies of every page covered by the lock's pending write
+// notices (scope consistency's entry action).
+func (d *DSM) Acquire(nodeID, lock int) {
+	n := d.access(nodeID)
+	st := d.lock(lock)
+	clk := d.clocks[nodeID]
+
+	var reqCost vclock.Duration
+	if st.home != nodeID {
+		reqCost = d.params.Ethernet.MsgCost(noticeMsgBytes(0))
+		d.clocks[st.home].Steal(d.params.Ethernet.HandlerNs)
+	} else {
+		reqCost = amsg.LocalCallNs
+	}
+	st.vl.Acquire(clk, reqCost, 0)
+
+	pages := st.pending.Take(nodeID)
+	if d.protocol == EagerRC {
+		// Eager RC: any acquire applies every pending notice, regardless
+		// of which lock published it.
+		pages = append(pages, d.rcPending.Take(nodeID)...)
+	}
+	if st.home != nodeID {
+		clk.Advance(d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+	}
+	n.invalidate(pages)
+	n.stats.LockAcquires++
+}
+
+// Release implements platform.Substrate: flush this node's modifications
+// to their homes, attach the write notices to the lock, and free it.
+func (d *DSM) Release(nodeID, lock int) {
+	n := d.access(nodeID)
+	st := d.lock(lock)
+	clk := d.clocks[nodeID]
+
+	pages := n.flushAll()
+	if d.protocol == EagerRC {
+		// Eager RC: publish the notices toward every peer at release,
+		// paying one message per peer (the eagerness the lazy protocols
+		// were invented to avoid).
+		d.rcPending.AddForOthers(nodeID, len(d.nodes), pages)
+		if len(pages) > 0 {
+			clk.Advance(vclock.Duration(len(d.nodes)-1) *
+				d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+			for m := range d.nodes {
+				if m != nodeID {
+					d.clocks[m].Steal(d.params.Ethernet.HandlerNs)
+				}
+			}
+		}
+	} else {
+		st.pending.AddForOthers(nodeID, len(d.nodes), pages)
+	}
+
+	var relCost vclock.Duration
+	if st.home != nodeID {
+		relCost = d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages)))
+		d.clocks[st.home].Steal(d.params.Ethernet.HandlerNs)
+	} else {
+		relCost = amsg.LocalCallNs
+	}
+	st.vl.Release(clk, relCost)
+}
+
+// invalidate drops cached copies of the noticed pages. A page that is
+// locally dirty (false sharing across scopes) is flushed home first so no
+// modification is lost — the multiple-writer guarantee.
+func (n *node) invalidate(pages []memsim.PageID) {
+	for _, p := range pages {
+		cp, ok := n.cache[p]
+		if !ok {
+			continue
+		}
+		if cp.twin != nil {
+			n.flushPage(p, cp)
+		}
+		n.lru.Remove(cp.lru)
+		delete(n.cache, p)
+		delete(n.dirty, p)
+		n.stats.Invalidations++
+	}
+}
+
+// flushPage diffs one dirty page against its twin and applies the diff at
+// the home. The page stays cached and clean.
+func (n *node) flushPage(p memsim.PageID, cp *cpage) {
+	d := n.dsm
+	d.clocks[n.id].Advance(d.params.CPU.DiffScanNs)
+	diff := buildDiff(cp.data, cp.twin)
+	cp.twin = nil
+	delete(n.dirty, p)
+	if len(diff) == 0 {
+		return
+	}
+	home := d.space.Home(p)
+	req := amsg.NewEnc(12 + len(diff)).U64(uint64(p)).Blob(diff).Bytes()
+	d.layer.Call(simnet.NodeID(n.id), simnet.NodeID(home), kindApplyDiff, req)
+	n.stats.DiffsCreated++
+	n.stats.DiffBytes += uint64(len(diff))
+	cp.diffStreak++
+}
+
+// flushAll flushes every dirty cached page home and returns the write
+// notices for this interval: all pages this node modified, cached or
+// home-resident.
+func (n *node) flushAll() []memsim.PageID {
+	out := make([]memsim.PageID, 0, len(n.dirty)+len(n.homeDirty))
+	for p := range n.dirty {
+		out = append(out, p)
+	}
+	for _, p := range out {
+		if cp, ok := n.cache[p]; ok && cp.twin != nil {
+			n.flushPage(p, cp)
+		}
+	}
+	for p := range n.homeDirty {
+		out = append(out, p)
+		delete(n.homeDirty, p)
+	}
+	return out
+}
+
+// barrierState coordinates the global barrier: a virtual-time barrier plus
+// per-epoch merged write notices.
+type barrierState struct {
+	vb       *vclock.VBarrier
+	exchange *notices.EpochExchange
+}
+
+func newBarrierState(parties int) *barrierState {
+	return &barrierState{
+		vb:       vclock.NewVBarrier(parties),
+		exchange: notices.NewEpochExchange(parties),
+	}
+}
+
+// Barrier implements platform.Substrate. The barrier manager is node 0
+// (matching JiaJia's centralized barrier): every node flushes its
+// modifications home, deposits its write notices, and after the rendezvous
+// invalidates its cached copies of every page any other node modified.
+func (d *DSM) Barrier(nodeID int) {
+	n := d.access(nodeID)
+	clk := d.clocks[nodeID]
+	b := d.barrier
+	const manager = 0
+
+	mine := n.flushAll()
+	epoch := n.epoch
+	n.epoch++
+
+	b.exchange.Deposit(epoch, nodeID, mine)
+
+	var arriveCost vclock.Duration
+	if nodeID != manager {
+		arriveCost = d.params.Ethernet.MsgCost(noticeMsgBytes(len(mine)))
+		d.clocks[manager].Steal(d.params.Ethernet.HandlerNs)
+	} else {
+		arriveCost = amsg.LocalCallNs
+	}
+	b.vb.Arrive(clk, arriveCost, 0)
+
+	// Collect everyone else's notices for this epoch.
+	others := b.exchange.CollectOthers(epoch, nodeID)
+
+	if nodeID != manager {
+		clk.Advance(d.params.Ethernet.MsgCost(noticeMsgBytes(len(others))))
+	}
+	n.invalidate(others)
+
+	// Drain pending per-lock notices too: a barrier is a global
+	// synchronization point, so modifications published under any lock
+	// become visible here.
+	d.lockMu.Lock()
+	locks := append([]*lockState(nil), d.locks...)
+	d.lockMu.Unlock()
+	for _, st := range locks {
+		n.invalidate(st.pending.Take(nodeID))
+	}
+	n.invalidate(d.rcPending.Take(nodeID))
+
+	// Home migration phase (when enabled): a second rendezvous opens a
+	// quiescent window in which the winning nodes retarget page homes.
+	if d.migrateAfter > 0 {
+		d.migration.depositWishes(epoch, nodeID, n.migrationWishes())
+		arrive := d.params.Ethernet.MsgCost(16)
+		if nodeID == manager {
+			arrive = amsg.LocalCallNs
+		}
+		d.vbMig.Arrive(clk, arrive, 0)
+		if d.migration.peekAny(epoch) {
+			n.performMigrations(d.migration.grants(epoch, nodeID))
+			d.vbMig.Arrive(clk, arrive, 0)
+		}
+		d.migration.finish(epoch, len(d.nodes))
+	}
+	n.stats.BarrierCrossings++
+}
+
+// Fence implements platform.Substrate: flush all local modifications home
+// and drop every cached page, forcing refetches. Together with every other
+// node fencing, this yields sequential-consistency-like behavior (at great
+// cost — exactly why relaxed models exist).
+func (d *DSM) Fence(nodeID int) {
+	n := d.access(nodeID)
+	n.flushAll()
+	for p, cp := range n.cache {
+		if cp.twin != nil {
+			n.flushPage(p, cp)
+		}
+		n.lru.Remove(cp.lru)
+		delete(n.cache, p)
+		n.stats.Invalidations++
+	}
+	for p := range n.dirty {
+		delete(n.dirty, p)
+	}
+}
+
+// TryAcquire implements platform.Substrate: non-blocking Acquire. On
+// success the pending write notices are consumed and applied exactly as in
+// Acquire.
+func (d *DSM) TryAcquire(nodeID, lock int) bool {
+	n := d.access(nodeID)
+	st := d.lock(lock)
+	clk := d.clocks[nodeID]
+
+	var reqCost vclock.Duration
+	if st.home != nodeID {
+		reqCost = d.params.Ethernet.MsgCost(noticeMsgBytes(0))
+		d.clocks[st.home].Steal(d.params.Ethernet.HandlerNs)
+	} else {
+		reqCost = amsg.LocalCallNs
+	}
+	if !st.vl.TryAcquire(clk, reqCost, 0) {
+		return false
+	}
+	pages := st.pending.Take(nodeID)
+	if d.protocol == EagerRC {
+		pages = append(pages, d.rcPending.Take(nodeID)...)
+	}
+	if st.home != nodeID {
+		clk.Advance(d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+	}
+	n.invalidate(pages)
+	n.stats.LockAcquires++
+	return true
+}
+
+// FlushInterval flushes this node's interval modifications home and
+// returns the write notices — the engine-level hook multi-DSM composition
+// (§6) uses to attach this engine's consistency actions to an external
+// synchronization object. Call from the node's own goroutine.
+func (d *DSM) FlushInterval(nodeID int) []memsim.PageID {
+	return d.access(nodeID).flushAll()
+}
+
+// InvalidatePages drops this node's cached copies of the given pages
+// (flushing dirty ones first) — the acquire-side hook for multi-DSM
+// composition. Pages this engine does not cache are ignored.
+func (d *DSM) InvalidatePages(nodeID int, pages []memsim.PageID) {
+	d.access(nodeID).invalidate(pages)
+}

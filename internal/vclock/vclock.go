@@ -1,0 +1,145 @@
+// Package vclock implements the virtual-time engine that underlies every
+// simulated platform in this repository.
+//
+// The reproduction runs a whole "cluster" inside one process: each simulated
+// node is a goroutine, and instead of measuring wall-clock time each node
+// carries a Clock that is advanced explicitly by modeled costs (CPU work,
+// memory accesses, network latencies). Synchronization constructs reconcile
+// clocks so that causality is preserved conservatively: a clock only ever
+// moves forward, and an event that depends on another event can never be
+// stamped before it.
+//
+// Two kinds of charges exist:
+//
+//   - Owner charges (Advance, AdvanceTo): applied by the node's own
+//     goroutine as it executes simulated work.
+//   - Stolen charges (Steal): applied asynchronously by protocol handlers
+//     that run on behalf of the node (for example, a DSM home node servicing
+//     a page fault for a remote node is interrupted; the handler cost is
+//     charged to the home node without blocking its goroutine).
+//
+// Stolen charges model the SIGIO-style interrupt handling of classic
+// software DSM systems such as JiaJia: the serving node keeps computing, but
+// its total virtual time grows by the handler cost.
+package vclock
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time uint64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration uint64
+
+// String formats a virtual time using the most natural unit.
+func (t Time) String() string { return Duration(t).String() }
+
+// String formats a duration using the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(d)/1e9)
+	case d >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(d)/1e6)
+	case d >= 1e3:
+		return fmt.Sprintf("%.3fµs", float64(d)/1e3)
+	default:
+		return fmt.Sprintf("%dns", uint64(d))
+	}
+}
+
+// Seconds returns the duration in seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// Micros returns the duration in microseconds.
+func (d Duration) Micros() float64 { return float64(d) / 1e3 }
+
+// Clock is a per-node virtual clock.
+//
+// All methods are safe for concurrent use. Several tasks time-sharing one
+// node (thread programming models forward calls between nodes) may charge
+// the same clock: their Advance calls accumulate, which is exactly the
+// behavior of work serializing on one CPU.
+type Clock struct {
+	local  atomic.Uint64 // accumulated execution charges
+	stolen atomic.Uint64 // asynchronous protocol-handler charges
+}
+
+// Now returns the node's current virtual time, including stolen cycles.
+func (c *Clock) Now() Time {
+	return Time(c.local.Load() + c.stolen.Load())
+}
+
+// Advance moves the clock forward by d.
+func (c *Clock) Advance(d Duration) {
+	c.local.Add(uint64(d))
+}
+
+// AdvanceTo moves the clock forward so that Now() >= t. The clock never
+// moves backwards; if Now() already exceeds t this is a no-op.
+func (c *Clock) AdvanceTo(t Time) {
+	for {
+		st := c.stolen.Load()
+		if uint64(t) <= st {
+			return
+		}
+		want := uint64(t) - st
+		cur := c.local.Load()
+		if want <= cur {
+			return
+		}
+		if c.local.CompareAndSwap(cur, want) {
+			return
+		}
+	}
+}
+
+// Steal charges d nanoseconds of asynchronous handler work to the node.
+// Safe to call from any goroutine.
+func (c *Clock) Steal(d Duration) {
+	c.stolen.Add(uint64(d))
+}
+
+// Stolen reports the total asynchronously charged time. Useful for
+// monitoring how much protocol service work a node absorbed.
+func (c *Clock) Stolen() Duration {
+	return Duration(c.stolen.Load())
+}
+
+// Reset returns the clock to time zero. Must not race with other use.
+func (c *Clock) Reset() {
+	c.local.Store(0)
+	c.stolen.Store(0)
+}
+
+// Max returns the larger of two times.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MaxAll returns the maximum Now() across the given clocks, or zero when
+// the slice is empty.
+func MaxAll(clocks []*Clock) Time {
+	var m Time
+	for _, c := range clocks {
+		if t := c.Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Since returns t2-t1, clamped at zero (virtual clocks reconcile with max,
+// so an "earlier" stamp observed later is not an error).
+func Since(t1, t2 Time) Duration {
+	if t2 <= t1 {
+		return 0
+	}
+	return Duration(t2 - t1)
+}

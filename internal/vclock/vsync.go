@@ -1,0 +1,309 @@
+package vclock
+
+import "sync"
+
+// VBarrier is a virtual-time barrier for a fixed set of participants.
+//
+// Arrive blocks the calling goroutine until all parties have arrived, then
+// advances the caller's clock to the maximum arrival time across all
+// parties plus the supplied per-party release cost. This models the
+// semantics of any real barrier — nobody leaves before the last arrival —
+// while letting each platform charge its own communication cost.
+type VBarrier struct {
+	mu      sync.Mutex
+	parties int
+	arrived int
+	maxT    Time // accumulating max for the current generation
+	gen     uint64
+	relT    map[uint64]Time // release times of completed generations
+	readers map[uint64]int  // parties that still need to read relT[gen]
+	release *sync.Cond
+}
+
+// NewVBarrier creates a barrier for the given number of parties.
+func NewVBarrier(parties int) *VBarrier {
+	if parties <= 0 {
+		panic("vclock: barrier parties must be positive")
+	}
+	b := &VBarrier{
+		parties: parties,
+		relT:    make(map[uint64]Time),
+		readers: make(map[uint64]int),
+	}
+	b.release = sync.NewCond(&b.mu)
+	return b
+}
+
+// Parties returns the number of participants.
+func (b *VBarrier) Parties() int { return b.parties }
+
+// Arrive enters the barrier at the clock's current time plus arriveCost
+// (the cost of announcing arrival), blocks until all parties arrive, and
+// leaves with the clock advanced to max(arrivals within THIS generation)
+// + releaseCost. Release times are recorded per generation: real-time
+// scheduling can let a fast party race ahead into the next barrier
+// generation before a slow waiter has woken up, and the fast party's new
+// arrival time must never inflate the timestamp handed to the previous
+// generation's waiters.
+// It returns the reconciled release time.
+func (b *VBarrier) Arrive(c *Clock, arriveCost, releaseCost Duration) Time {
+	c.Advance(arriveCost)
+	t := c.Now()
+
+	b.mu.Lock()
+	myGen := b.gen
+	if t > b.maxT {
+		b.maxT = t
+	}
+	b.arrived++
+	if b.arrived == b.parties {
+		b.relT[myGen] = b.maxT
+		b.readers[myGen] = b.parties
+		b.arrived = 0
+		b.maxT = 0
+		b.gen++
+		b.release.Broadcast()
+	} else {
+		for {
+			if _, done := b.relT[myGen]; done {
+				break
+			}
+			b.release.Wait()
+		}
+	}
+	releaseAt := b.relT[myGen]
+	b.readers[myGen]--
+	if b.readers[myGen] == 0 {
+		delete(b.readers, myGen)
+		delete(b.relT, myGen)
+	}
+	b.mu.Unlock()
+
+	c.AdvanceTo(releaseAt)
+	c.Advance(releaseCost)
+	return c.Now()
+}
+
+// VLock is a virtual-time mutual-exclusion lock.
+//
+// Virtual time requires locks to serialize not just execution but the
+// simulated timeline: the n-th holder cannot acquire before the (n-1)-th
+// holder released. VLock tracks the virtual time at which the lock became
+// free and pushes each new holder's clock past it.
+type VLock struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	held   bool
+	freeAt Time // virtual time at which the previous holder released
+	acqs   uint64
+}
+
+// NewVLock returns an unlocked virtual lock.
+func NewVLock() *VLock {
+	l := &VLock{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Acquire obtains the lock. The caller's clock is advanced by reqCost (the
+// cost of issuing the request), then to at least the time the lock became
+// free, then by grantCost (the cost of the grant reaching the caller).
+// It returns the virtual time at which the caller holds the lock.
+func (l *VLock) Acquire(c *Clock, reqCost, grantCost Duration) Time {
+	c.Advance(reqCost)
+	l.mu.Lock()
+	for l.held {
+		l.cond.Wait()
+	}
+	l.held = true
+	l.acqs++
+	free := l.freeAt
+	l.mu.Unlock()
+
+	c.AdvanceTo(free)
+	c.Advance(grantCost)
+	return c.Now()
+}
+
+// TryAcquire attempts to obtain the lock without blocking. On success it
+// behaves like Acquire and returns true.
+func (l *VLock) TryAcquire(c *Clock, reqCost, grantCost Duration) bool {
+	c.Advance(reqCost)
+	l.mu.Lock()
+	if l.held {
+		l.mu.Unlock()
+		return false
+	}
+	l.held = true
+	l.acqs++
+	free := l.freeAt
+	l.mu.Unlock()
+	c.AdvanceTo(free)
+	c.Advance(grantCost)
+	return true
+}
+
+// Release frees the lock, charging relCost to the caller first. The lock's
+// free time becomes the caller's clock after the charge.
+func (l *VLock) Release(c *Clock, relCost Duration) {
+	c.Advance(relCost)
+	now := c.Now()
+	l.mu.Lock()
+	if !l.held {
+		l.mu.Unlock()
+		panic("vclock: release of unheld VLock")
+	}
+	l.held = false
+	if now > l.freeAt {
+		l.freeAt = now
+	}
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// Acquisitions reports how many times the lock has been acquired.
+func (l *VLock) Acquisitions() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acqs
+}
+
+// VCond is a virtual-time condition signal: waiters block until signaled,
+// and a signaled waiter's clock is advanced past the signaler's time plus a
+// delivery cost. It models cross-node event notification (e.g., JiaJia's
+// jia_wait / thread join) without spinning.
+type VCond struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	signalT  Time
+	signaled uint64 // generation counter
+}
+
+// NewVCond returns a new condition signal.
+func NewVCond() *VCond {
+	c := &VCond{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Wait blocks until Signal or Broadcast is called after Wait began, then
+// advances clk past the signal time plus deliverCost.
+func (v *VCond) Wait(clk *Clock, deliverCost Duration) {
+	v.mu.Lock()
+	gen := v.signaled
+	for v.signaled == gen {
+		v.cond.Wait()
+	}
+	t := v.signalT
+	v.mu.Unlock()
+	clk.AdvanceTo(t)
+	clk.Advance(deliverCost)
+}
+
+// Broadcast wakes all current waiters with the signaler's time.
+func (v *VCond) Broadcast(clk *Clock, sendCost Duration) {
+	clk.Advance(sendCost)
+	now := clk.Now()
+	v.mu.Lock()
+	if now > v.signalT {
+		v.signalT = now
+	}
+	v.signaled++
+	v.cond.Broadcast()
+	v.mu.Unlock()
+}
+
+// VSemaphore is a virtual-time counting semaphore. Acquire blocks until a
+// unit is available and reconciles the acquirer's clock with the release
+// that produced the unit.
+type VSemaphore struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int
+	max     int
+	availAt Time // virtual time the most recent unit became available
+}
+
+// NewVSemaphore creates a semaphore with an initial count and a maximum
+// (0 max means unbounded).
+func NewVSemaphore(initial, max int) *VSemaphore {
+	if initial < 0 || (max > 0 && initial > max) {
+		panic("vclock: bad semaphore initial count")
+	}
+	s := &VSemaphore{count: initial, max: max}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Acquire takes one unit, charging reqCost before the wait.
+func (s *VSemaphore) Acquire(c *Clock, reqCost Duration) {
+	c.Advance(reqCost)
+	s.mu.Lock()
+	for s.count == 0 {
+		s.cond.Wait()
+	}
+	s.count--
+	t := s.availAt
+	s.mu.Unlock()
+	c.AdvanceTo(t)
+}
+
+// TryAcquire takes a unit if one is available without blocking.
+func (s *VSemaphore) TryAcquire(c *Clock, reqCost Duration) bool {
+	c.Advance(reqCost)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	c.AdvanceTo(s.availAt)
+	return true
+}
+
+// Release returns n units. It reports false (releasing nothing) when the
+// maximum would be exceeded, matching Win32 ReleaseSemaphore semantics.
+func (s *VSemaphore) Release(c *Clock, n int, relCost Duration) bool {
+	c.Advance(relCost)
+	now := c.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.max > 0 && s.count+n > s.max {
+		return false
+	}
+	s.count += n
+	if now > s.availAt {
+		s.availAt = now
+	}
+	if n == 1 {
+		s.cond.Signal()
+	} else {
+		s.cond.Broadcast()
+	}
+	return true
+}
+
+// Count returns the current unit count.
+func (s *VSemaphore) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// WaitWith is Wait with an atomic entry: beforeWait runs after the waiter
+// is registered (so a signal issued once beforeWait has started can no
+// longer be missed) but before blocking. Condition-variable
+// implementations pass their mutex-unlock here to get the POSIX
+// atomic-release-and-wait contract without lost wakeups.
+func (v *VCond) WaitWith(clk *Clock, deliverCost Duration, beforeWait func()) {
+	v.mu.Lock()
+	gen := v.signaled
+	beforeWait()
+	for v.signaled == gen {
+		v.cond.Wait()
+	}
+	t := v.signalT
+	v.mu.Unlock()
+	clk.AdvanceTo(t)
+	clk.Advance(deliverCost)
+}

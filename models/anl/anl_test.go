@@ -1,0 +1,133 @@
+package anl
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hamster"
+)
+
+func boot(t testing.TB, kind hamster.PlatformKind, nodes int) *System {
+	t.Helper()
+	s, err := Boot(hamster.Config{Platform: kind, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func TestMasterWorkerPids(t *testing.T) {
+	s := boot(t, hamster.SMP, 4)
+	var pids [4]atomic.Bool
+	s.MainEnv(func(a *ANL) {
+		pids[a.GetPid()].Store(true)
+		for i := 1; i < a.NProcs(); i++ {
+			a.Create(func(w *ANL) {
+				pids[w.GetPid()].Store(true)
+			})
+		}
+		a.WaitForEnd(a.NProcs() - 1)
+	})
+	for i := range pids {
+		if !pids[i].Load() {
+			t.Fatalf("pid %d never ran", i)
+		}
+	}
+}
+
+func TestSplashStyleSum(t *testing.T) {
+	// The canonical SPLASH shape: master G_MALLOCs, CREATEs P-1 workers,
+	// everyone sums a slice under LOCK, BARRIER, master reads the total.
+	for _, kind := range []hamster.PlatformKind{hamster.SMP, hamster.SWDSM} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := boot(t, kind, 3)
+			var total int64
+			s.MainEnv(func(a *ANL) {
+				gm := a.GMalloc(hamster.PageSize)
+				lock := a.LockInit()
+				bar := a.BarInit()
+
+				work := func(w *ANL) {
+					part := int64(0)
+					for i := w.GetPid(); i < 30; i += w.NProcs() {
+						part += int64(i)
+					}
+					w.Lock(lock)
+					w.WriteI64(gm, w.ReadI64(gm)+part)
+					w.Unlock(lock)
+					w.Barrier(bar)
+				}
+				for i := 1; i < a.NProcs(); i++ {
+					a.Create(work)
+				}
+				work(a) // the master participates
+				a.WaitForEnd(a.NProcs() - 1)
+				a.Lock(lock)
+				total = a.ReadI64(gm)
+				a.Unlock(lock)
+			})
+			if total != 435 { // sum 0..29
+				t.Fatalf("total = %d, want 435", total)
+			}
+		})
+	}
+}
+
+func TestArrayLocks(t *testing.T) {
+	s := boot(t, hamster.SMP, 2)
+	s.MainEnv(func(a *ANL) {
+		base := a.ALockInit(4)
+		gm := a.GMalloc(hamster.PageSize)
+		a.Create(func(w *ANL) {
+			for i := 0; i < 4; i++ {
+				w.ALock(base, i)
+				w.WriteI64(gm+hamster.Addr(8*i), w.ReadI64(gm+hamster.Addr(8*i))+1)
+				w.AUnlock(base, i)
+			}
+		})
+		for i := 0; i < 4; i++ {
+			a.ALock(base, i)
+			a.WriteI64(gm+hamster.Addr(8*i), a.ReadI64(gm+hamster.Addr(8*i))+1)
+			a.AUnlock(base, i)
+		}
+		a.WaitForEnd(1)
+		for i := 0; i < 4; i++ {
+			a.ALock(base, i)
+			if a.ReadI64(gm+hamster.Addr(8*i)) != 2 {
+				panic("array lock slot wrong")
+			}
+			a.AUnlock(base, i)
+		}
+	})
+}
+
+func TestClockAdvances(t *testing.T) {
+	s := boot(t, hamster.SMP, 1)
+	s.MainEnv(func(a *ANL) {
+		before := a.Clock()
+		a.Compute(10_000_000)
+		if a.Clock() <= before {
+			panic("CLOCK did not advance")
+		}
+	})
+}
+
+func TestWorkersRunOnDistinctNodes(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 3)
+	var nodes [3]atomic.Bool
+	s.MainEnv(func(a *ANL) {
+		nodes[a.Env().ID()].Store(true)
+		for i := 1; i < 3; i++ {
+			a.Create(func(w *ANL) {
+				nodes[w.Env().ID()].Store(true)
+			})
+		}
+		a.WaitForEnd(2)
+	})
+	for i := range nodes {
+		if !nodes[i].Load() {
+			t.Fatalf("no task ran on node %d", i)
+		}
+	}
+}

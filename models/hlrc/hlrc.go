@@ -1,0 +1,130 @@
+// Package hlrc implements the Home-based Lazy Release Consistency API
+// (Rangarajan et al. 1999) on top of HAMSTER. Like JiaJia, HLRC uses
+// global synchronous allocation with an implicit barrier; its API is a
+// compact set of release-consistency primitives, which makes it the
+// thinnest port in the paper's Table 2 (~5.5 lines per call).
+//
+// Go method names mirror the original entry points:
+//
+//	rc_init     -> Boot / System.Run
+//	rc_exit     -> System.Shutdown
+//	rc_pid      -> RC.Pid
+//	rc_nprocs   -> RC.Nprocs
+//	rc_malloc   -> RC.Malloc
+//	rc_free     -> RC.Free
+//	rc_acquire  -> RC.Acquire
+//	rc_release  -> RC.Release
+//	rc_barrier  -> RC.Barrier
+//	rc_flush    -> RC.Flush
+//	rc_time     -> RC.Time
+package hlrc
+
+import (
+	"fmt"
+
+	"hamster"
+)
+
+// MaxLocks mirrors HLRC's static lock table.
+const MaxLocks = 256
+
+// System is one booted HLRC world.
+type System struct {
+	rt    *hamster.Runtime
+	locks []int
+}
+
+// Boot performs rc_init.
+func Boot(cfg hamster.Config) (*System, error) {
+	rt, err := hamster.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("hlrc: %w", err)
+	}
+	s := &System{rt: rt, locks: make([]int, MaxLocks)}
+	e := rt.Env(0)
+	for i := range s.locks {
+		s.locks[i] = e.Sync.NewLock()
+	}
+	return s, nil
+}
+
+// Shutdown performs rc_exit.
+func (s *System) Shutdown() { s.rt.Close() }
+
+// Runtime exposes the underlying runtime.
+func (s *System) Runtime() *hamster.Runtime { return s.rt }
+
+// Run executes the application on every process.
+func (s *System) Run(main func(rc *RC)) {
+	s.rt.Run(func(e *hamster.Env) {
+		main(&RC{e: e, sys: s})
+	})
+}
+
+// RC is one process's handle (the rc_* call surface).
+type RC struct {
+	e   *hamster.Env
+	sys *System
+}
+
+// Pid returns rc_pid.
+func (r *RC) Pid() int { return r.e.ID() }
+
+// Nprocs returns rc_nprocs.
+func (r *RC) Nprocs() int { return r.e.N() }
+
+// Malloc performs rc_malloc: global synchronous allocation on all nodes.
+func (r *RC) Malloc(bytes uint64) hamster.Addr {
+	reg, err := r.e.Mem.Alloc(bytes, hamster.AllocOpts{
+		Name: "rc_malloc", Policy: hamster.Block, Collective: true,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("hlrc: rc_malloc: %v", err))
+	}
+	return reg.Base
+}
+
+// Free performs rc_free.
+func (r *RC) Free(a hamster.Addr) {
+	reg, ok := r.e.Mem.RegionOf(a)
+	if !ok {
+		panic("hlrc: rc_free of unknown address")
+	}
+	if err := r.e.Mem.Free(reg); err != nil {
+		panic(fmt.Sprintf("hlrc: rc_free: %v", err))
+	}
+}
+
+// Acquire performs rc_acquire.
+func (r *RC) Acquire(lock int) { r.e.Sync.Lock(r.sys.locks[lock%MaxLocks]) }
+
+// Release performs rc_release.
+func (r *RC) Release(lock int) { r.e.Sync.Unlock(r.sys.locks[lock%MaxLocks]) }
+
+// Barrier performs rc_barrier.
+func (r *RC) Barrier() { r.e.Sync.Barrier() }
+
+// Flush performs rc_flush: push all local modifications home and drop
+// stale copies (the full consistency action).
+func (r *RC) Flush() { r.e.Cons.Fence() }
+
+// Time performs rc_time: seconds of virtual time.
+func (r *RC) Time() float64 { return float64(r.e.Now()) / 1e9 }
+
+// ReadF64 loads from shared memory.
+func (r *RC) ReadF64(a hamster.Addr) float64 { return r.e.ReadF64(a) }
+
+// WriteF64 stores to shared memory.
+func (r *RC) WriteF64(a hamster.Addr, v float64) { r.e.WriteF64(a, v) }
+
+// ReadI64 loads an int64 from shared memory.
+func (r *RC) ReadI64(a hamster.Addr) int64 { return r.e.ReadI64(a) }
+
+// WriteI64 stores an int64 to shared memory.
+func (r *RC) WriteI64(a hamster.Addr, v int64) { r.e.WriteI64(a, v) }
+
+// Compute charges local CPU work.
+func (r *RC) Compute(flops uint64) { r.e.Compute(flops) }
+
+// Env exposes the raw HAMSTER services.
+func (r *RC) Env() *hamster.Env { return r.e }

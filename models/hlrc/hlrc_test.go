@@ -1,0 +1,97 @@
+package hlrc
+
+import (
+	"testing"
+
+	"hamster"
+)
+
+func boot(t testing.TB, kind hamster.PlatformKind, nodes int) *System {
+	t.Helper()
+	s, err := Boot(hamster.Config{Platform: kind, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func TestIdentity(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 2)
+	s.Run(func(rc *RC) {
+		if rc.Nprocs() != 2 || rc.Pid() > 1 {
+			panic("identity broken")
+		}
+	})
+}
+
+func TestMallocIsGlobalSynchronous(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 3)
+	addrs := make([]hamster.Addr, 3)
+	s.Run(func(rc *RC) {
+		addrs[rc.Pid()] = rc.Malloc(hamster.PageSize)
+	})
+	if addrs[0] != addrs[1] || addrs[1] != addrs[2] {
+		t.Fatalf("rc_malloc returned different addresses: %v", addrs)
+	}
+}
+
+func TestAcquireReleaseCriticalSection(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 4)
+	var total int64
+	s.Run(func(rc *RC) {
+		a := rc.Malloc(hamster.PageSize)
+		for i := 0; i < 6; i++ {
+			rc.Acquire(2)
+			rc.WriteI64(a, rc.ReadI64(a)+1)
+			rc.Release(2)
+		}
+		rc.Barrier()
+		if rc.Pid() == 0 {
+			rc.Acquire(2)
+			total = rc.ReadI64(a)
+			rc.Release(2)
+		}
+	})
+	if total != 24 {
+		t.Fatalf("counter = %d, want 24", total)
+	}
+}
+
+func TestFlushPublishes(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 2)
+	s.Run(func(rc *RC) {
+		a := rc.Malloc(hamster.PageSize)
+		if rc.Pid() == 1 {
+			rc.WriteF64(a, 8.5)
+			rc.Flush()
+		}
+		rc.Barrier()
+		if got := rc.ReadF64(a); got != 8.5 {
+			panic("flush did not publish the write")
+		}
+		rc.Barrier()
+	})
+}
+
+func TestFreeByAddress(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 2)
+	s.Run(func(rc *RC) {
+		a := rc.Malloc(hamster.PageSize)
+		rc.Barrier()
+		if rc.Pid() == 0 {
+			rc.Free(a)
+		}
+		rc.Barrier()
+	})
+}
+
+func TestTime(t *testing.T) {
+	s := boot(t, hamster.SMP, 1)
+	s.Run(func(rc *RC) {
+		rc.Compute(500_000)
+		if rc.Time() <= 0 {
+			panic("rc_time returned nothing")
+		}
+	})
+}

@@ -1,0 +1,168 @@
+// Package jiajia implements the JiaJia programming model (Hu, Shi, Tang
+// 1999) on top of HAMSTER: the jia_* API of the software DSM whose
+// benchmark suite the paper evaluates with (§5.1). Calls map almost one to
+// one onto HAMSTER services — the paper's Table 2 reports about 6 lines per
+// call for this model.
+//
+// Go method names mirror the original C entry points:
+//
+//	jia_init     -> Boot / System.Run
+//	jia_exit     -> System.Shutdown
+//	jiapid       -> Jia.Pid
+//	jiahosts     -> Jia.Hosts
+//	jia_alloc    -> Jia.Alloc
+//	jia_lock     -> Jia.Lock
+//	jia_unlock   -> Jia.Unlock
+//	jia_barrier  -> Jia.Barrier
+//	jia_wait     -> Jia.Wait
+//	jia_setcv / jia_waitcv -> Jia.Setcv / Jia.Waitcv
+//	jia_clock    -> Jia.Clock
+//	jia_error    -> Jia.Error
+package jiajia
+
+import (
+	"fmt"
+
+	"hamster"
+)
+
+// MaxLocks mirrors JiaJia's static lock table size.
+const MaxLocks = 64
+
+// MaxCVs mirrors JiaJia's condition-variable table size.
+const MaxCVs = 16
+
+// System is one booted JiaJia world.
+type System struct {
+	rt    *hamster.Runtime
+	locks [MaxLocks]int
+	cvs   [MaxCVs]*hamster.Event
+}
+
+// Boot performs jia_init: it starts the runtime and creates the static
+// lock and condition-variable tables.
+func Boot(cfg hamster.Config) (*System, error) {
+	rt, err := hamster.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("jiajia: %w", err)
+	}
+	s := &System{rt: rt}
+	e := rt.Env(0)
+	for i := range s.locks {
+		s.locks[i] = e.Sync.NewLock()
+	}
+	for i := range s.cvs {
+		s.cvs[i] = e.Sync.NewEvent()
+	}
+	return s, nil
+}
+
+// Shutdown performs jia_exit.
+func (s *System) Shutdown() { s.rt.Close() }
+
+// Runtime exposes the underlying runtime.
+func (s *System) Runtime() *hamster.Runtime { return s.rt }
+
+// Run executes the application on every host.
+func (s *System) Run(main func(j *Jia)) {
+	s.rt.Run(func(e *hamster.Env) {
+		main(&Jia{e: e, sys: s})
+	})
+}
+
+// Jia is one host's handle (the jia_* call surface).
+type Jia struct {
+	e   *hamster.Env
+	sys *System
+}
+
+// Pid returns jiapid, the host rank.
+func (j *Jia) Pid() int { return j.e.ID() }
+
+// Hosts returns jiahosts, the host count.
+func (j *Jia) Hosts() int { return j.e.N() }
+
+// Alloc performs jia_alloc: global allocation, block-distributed across
+// hosts, synchronous on all hosts (implicit barrier).
+func (j *Jia) Alloc(bytes uint64) hamster.Addr {
+	r, err := j.e.Mem.Alloc(bytes, hamster.AllocOpts{
+		Name: "jia_alloc", Policy: hamster.Block, Collective: true,
+	})
+	if err != nil {
+		j.Error("jia_alloc: %v", err)
+	}
+	return r.Base
+}
+
+// Alloc3 performs jia_alloc3: allocation with an explicit starting host
+// (pages placed round-robin starting there; we map it to cyclic placement).
+func (j *Jia) Alloc3(bytes uint64, starthost int) hamster.Addr {
+	_ = starthost
+	r, err := j.e.Mem.Alloc(bytes, hamster.AllocOpts{
+		Name: "jia_alloc3", Policy: hamster.Cyclic, Collective: true,
+	})
+	if err != nil {
+		j.Error("jia_alloc3: %v", err)
+	}
+	return r.Base
+}
+
+// Lock performs jia_lock.
+func (j *Jia) Lock(id int) { j.e.Sync.Lock(j.sys.locks[id%MaxLocks]) }
+
+// Unlock performs jia_unlock.
+func (j *Jia) Unlock(id int) { j.e.Sync.Unlock(j.sys.locks[id%MaxLocks]) }
+
+// Barrier performs jia_barrier.
+func (j *Jia) Barrier() { j.e.Sync.Barrier() }
+
+// Setcv performs jia_setcv: signal a condition variable.
+func (j *Jia) Setcv(cv int) { j.e.Sync.Signal(j.sys.cvs[cv%MaxCVs]) }
+
+// Waitcv performs jia_waitcv: wait on a condition variable.
+func (j *Jia) Waitcv(cv int) { j.e.Sync.Wait(j.sys.cvs[cv%MaxCVs]) }
+
+// Wait performs jia_wait: a full barrier used as a quiesce point.
+func (j *Jia) Wait() { j.e.Sync.Barrier() }
+
+// Clock performs jia_clock: seconds of virtual time.
+func (j *Jia) Clock() float64 { return float64(j.e.Now()) / 1e9 }
+
+// Error performs jia_error: report and abort.
+func (j *Jia) Error(format string, args ...any) {
+	panic(fmt.Sprintf("jiajia: host %d: %s", j.Pid(), fmt.Sprintf(format, args...)))
+}
+
+// ReadF64 loads from shared memory (C code dereferences the jia_alloc'd
+// pointer; Go spells the access out).
+func (j *Jia) ReadF64(a hamster.Addr) float64 { return j.e.ReadF64(a) }
+
+// WriteF64 stores to shared memory.
+func (j *Jia) WriteF64(a hamster.Addr, v float64) { j.e.WriteF64(a, v) }
+
+// ReadI64 loads an int64 from shared memory.
+func (j *Jia) ReadI64(a hamster.Addr) int64 { return j.e.ReadI64(a) }
+
+// WriteI64 stores an int64 to shared memory.
+func (j *Jia) WriteI64(a hamster.Addr, v int64) { j.e.WriteI64(a, v) }
+
+// Compute charges local CPU work.
+func (j *Jia) Compute(flops uint64) { j.e.Compute(flops) }
+
+// Env exposes the raw HAMSTER services.
+func (j *Jia) Env() *hamster.Env { return j.e }
+
+// Startstat performs jia_startstat: reset the statistics counters so a
+// measurement interval can begin (§4.3 names JiaJia's performance
+// statistics among the model-specific monitoring facilities HAMSTER
+// generalizes).
+func (j *Jia) Startstat() { j.e.Mon.ResetAll() }
+
+// Stopstat performs jia_stopstat: snapshot the interval's counters.
+func (j *Jia) Stopstat() hamster.SubstrateStats { return j.e.Mon.Substrate() }
+
+// Printstat performs jia_printstat: render this host's monitoring report.
+func (j *Jia) Printstat() string { return j.e.Mon.Report() }
+
+// Errexit performs jia_errexit — jia_error under its other common name.
+func (j *Jia) Errexit(format string, args ...any) { j.Error(format, args...) }

@@ -1,0 +1,154 @@
+package jiajia
+
+import (
+	"strings"
+	"testing"
+
+	"hamster"
+)
+
+func boot(t testing.TB, kind hamster.PlatformKind, nodes int) *System {
+	t.Helper()
+	s, err := Boot(hamster.Config{Platform: kind, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func TestPidHosts(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 4)
+	var pids [4]bool
+	s.Run(func(j *Jia) {
+		if j.Hosts() != 4 {
+			panic("jiahosts wrong")
+		}
+		pids[j.Pid()] = true
+	})
+	for i, ok := range pids {
+		if !ok {
+			t.Fatalf("host %d missing", i)
+		}
+	}
+}
+
+func TestAllocLockBarrier(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 3)
+	var final int64
+	s.Run(func(j *Jia) {
+		arr := j.Alloc(hamster.PageSize)
+		j.Barrier()
+		for i := 0; i < 7; i++ {
+			j.Lock(5)
+			j.WriteI64(arr, j.ReadI64(arr)+1)
+			j.Unlock(5)
+		}
+		j.Barrier()
+		if j.Pid() == 0 {
+			j.Lock(5)
+			final = j.ReadI64(arr)
+			j.Unlock(5)
+		}
+	})
+	if final != 21 {
+		t.Fatalf("counter = %d, want 21", final)
+	}
+}
+
+func TestAlloc3Cyclic(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 2)
+	s.Run(func(j *Jia) {
+		a := j.Alloc3(4*hamster.PageSize, 0)
+		j.Barrier()
+		// Cyclic placement: page 1 homes on host 1.
+		if j.Pid() == 1 {
+			j.WriteF64(a+hamster.PageSize, 1.0)
+			if st := j.Env().Mon.Substrate(); st.TwinsCreated != 0 {
+				panic("cyclic page not local to host 1")
+			}
+		}
+		j.Barrier()
+	})
+}
+
+func TestCondVars(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 2)
+	s.Run(func(j *Jia) {
+		if j.Pid() == 0 {
+			j.Compute(10000)
+			j.Setcv(3)
+		} else {
+			j.Waitcv(3)
+		}
+		j.Wait()
+	})
+}
+
+func TestClockAndLockWrap(t *testing.T) {
+	s := boot(t, hamster.SMP, 1)
+	s.Run(func(j *Jia) {
+		j.Compute(1_000_000)
+		if j.Clock() <= 0 {
+			panic("jia_clock returned no time")
+		}
+		// Lock ids wrap modulo the table size, like JiaJia's.
+		j.Lock(MaxLocks + 2)
+		j.Unlock(MaxLocks + 2)
+	})
+}
+
+func TestErrorPanics(t *testing.T) {
+	s := boot(t, hamster.SMP, 1)
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "boom") {
+			t.Fatalf("jia_error did not propagate: %v", r)
+		}
+	}()
+	s.Run(func(j *Jia) {
+		j.Error("boom %d", 42)
+	})
+}
+
+func TestScopeConsistencyThroughModel(t *testing.T) {
+	// The JiaJia model on the JiaJia-like substrate: a host's update is
+	// visible to another host only after synchronization.
+	s := boot(t, hamster.SWDSM, 2)
+	s.Run(func(j *Jia) {
+		a := j.Alloc(hamster.PageSize)
+		j.Barrier()
+		if j.Pid() == 0 {
+			j.Lock(1)
+			j.WriteF64(a, 2.5)
+			j.Unlock(1)
+		}
+		j.Barrier()
+		if got := j.ReadF64(a); got != 2.5 {
+			panic("update lost across barrier")
+		}
+		j.Barrier()
+	})
+}
+
+func TestStatServices(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 2)
+	s.Run(func(j *Jia) {
+		a := j.Alloc(hamster.PageSize)
+		j.Barrier()
+		j.Startstat()
+		if j.Pid() == 1 {
+			j.Lock(2)
+			j.WriteF64(a, 1)
+			j.Unlock(2)
+			st := j.Stopstat()
+			if st.LockAcquires == 0 || st.Writes == 0 {
+				panic("jia_stopstat missed the interval's activity")
+			}
+			if j.Printstat() == "" {
+				panic("jia_printstat empty")
+			}
+		}
+		j.Barrier()
+	})
+}

@@ -1,0 +1,186 @@
+package openmp
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"hamster"
+)
+
+func boot(t testing.TB, kind hamster.PlatformKind, nodes int) *System {
+	t.Helper()
+	s, err := Boot(hamster.Config{Platform: kind, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func TestParallelIdentity(t *testing.T) {
+	s := boot(t, hamster.SMP, 4)
+	var seen [4]atomic.Bool
+	s.Parallel(func(o *OMP) {
+		if o.NumThreads() != 4 {
+			panic("num_threads wrong")
+		}
+		seen[o.ThreadNum()].Store(true)
+	})
+	for i := range seen {
+		if !seen[i].Load() {
+			t.Fatalf("thread %d never ran", i)
+		}
+	}
+}
+
+func TestStaticFor(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 3)
+	const n = 100
+	var hits [n]atomic.Int32
+	s.Parallel(func(o *OMP) {
+		o.For(0, n, func(i int) {
+			hits[i].Add(1)
+		})
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d executed %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestDynamicForCoversRangeExactlyOnce(t *testing.T) {
+	s := boot(t, hamster.SMP, 4)
+	const n = 137
+	var hits [n]atomic.Int32
+	s.Parallel(func(o *OMP) {
+		o.ForDynamic(0, n, 5, func(i int) {
+			hits[i].Add(1)
+		})
+	})
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d executed %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestDynamicForTwoInstances(t *testing.T) {
+	// Consecutive dynamic loops must each reset the dispenser.
+	s := boot(t, hamster.SMP, 2)
+	var first, second atomic.Int32
+	s.Parallel(func(o *OMP) {
+		o.ForDynamic(0, 20, 3, func(i int) { first.Add(1) })
+		o.ForDynamic(0, 30, 4, func(i int) { second.Add(1) })
+	})
+	if first.Load() != 20 || second.Load() != 30 {
+		t.Fatalf("loops covered %d and %d iterations, want 20 and 30", first.Load(), second.Load())
+	}
+}
+
+func TestCriticalProtectsSharedCounter(t *testing.T) {
+	for _, kind := range []hamster.PlatformKind{hamster.SMP, hamster.SWDSM} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := boot(t, kind, 3)
+			var total int64
+			s.Parallel(func(o *OMP) {
+				acc := o.Shared(hamster.PageSize)
+				for k := 0; k < 10; k++ {
+					o.Critical(0, func() {
+						o.WriteI64(acc, o.ReadI64(acc)+1)
+					})
+				}
+				o.Barrier()
+				o.Master(func() { total = o.ReadI64(acc) })
+			})
+			if total != 30 {
+				t.Fatalf("counter = %d, want 30", total)
+			}
+		})
+	}
+}
+
+func TestSingleRunsExactlyOnce(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 3)
+	var runs atomic.Int32
+	s.Parallel(func(o *OMP) {
+		for k := 0; k < 4; k++ {
+			o.Single(func() { runs.Add(1) })
+		}
+	})
+	if runs.Load() != 4 {
+		t.Fatalf("4 single regions ran %d times total, want 4", runs.Load())
+	}
+}
+
+func TestSinglePublishesToAll(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 3)
+	s.Parallel(func(o *OMP) {
+		x := o.Shared(hamster.PageSize)
+		o.Single(func() { o.WriteF64(x, 7.25) })
+		if got := o.ReadF64(x); got != 7.25 {
+			panic("single's write not visible after implicit barrier")
+		}
+	})
+}
+
+func TestReduction(t *testing.T) {
+	s := boot(t, hamster.HybridDSM, 4)
+	s.Parallel(func(o *OMP) {
+		got := o.ReduceSumF64(float64(o.ThreadNum() + 1))
+		if got != 10 {
+			panic("reduction wrong")
+		}
+	})
+}
+
+func TestOMPPi(t *testing.T) {
+	// The canonical OpenMP example: pi by reduction over a parallel for.
+	s := boot(t, hamster.SWDSM, 4)
+	const n = 100_000
+	var pi float64
+	s.Parallel(func(o *OMP) {
+		h := 1.0 / n
+		local := 0.0
+		o.For(0, n, func(i int) {
+			x := h * (float64(i) + 0.5)
+			local += 4.0 / (1.0 + x*x)
+		})
+		o.Compute(6 * n / uint64(o.NumThreads()))
+		total := o.ReduceSumF64(local * h)
+		o.Master(func() { pi = total })
+	})
+	if math.Abs(pi-math.Pi) > 1e-6 {
+		t.Fatalf("pi = %v", pi)
+	}
+}
+
+func TestLocksAndWtime(t *testing.T) {
+	s := boot(t, hamster.SMP, 1)
+	s.Parallel(func(o *OMP) {
+		if !o.TestLock(3) {
+			panic("test_lock on free lock failed")
+		}
+		if o.TestLock(3) {
+			panic("test_lock on held lock succeeded")
+		}
+		o.UnsetLock(3)
+		o.SetLock(3)
+		o.UnsetLock(3)
+		o.Compute(1_000_000)
+		if o.Wtime() <= 0 {
+			panic("omp_get_wtime returned nothing")
+		}
+	})
+}
+
+func TestForEmptyAndUnevenRanges(t *testing.T) {
+	s := boot(t, hamster.SMP, 3)
+	s.Parallel(func(o *OMP) {
+		o.For(5, 5, func(i int) { panic("empty range must not execute") })
+		count := 0
+		o.For(0, 2, func(i int) { count++ }) // fewer items than threads
+		_ = count
+	})
+}

@@ -1,0 +1,72 @@
+// Package smpspmd implements the SMP/SPMD programming model of Table 2:
+// the SPMD abstraction specialized for shared memory multiprocessors. Per
+// §3.3, multiprocessors are integrated into HAMSTER two ways — this model
+// takes the process-parallel route, treating each CPU as a separate SPMD
+// "node" while exposing the SMP-specific properties (hardware coherence,
+// bus topology) that SPMD codes can exploit.
+package smpspmd
+
+import (
+	"fmt"
+
+	"hamster"
+	"hamster/models/spmd"
+)
+
+// System is one booted SMP/SPMD world.
+type System struct {
+	inner *spmd.System
+	cpus  int
+}
+
+// Boot starts the model on an SMP with the given CPU count. The platform
+// is forced to SMP — that specialization is the model's reason to exist.
+func Boot(cpus int) (*System, error) {
+	inner, err := spmd.Boot(hamster.Config{Platform: hamster.SMP, Nodes: cpus})
+	if err != nil {
+		return nil, fmt.Errorf("smpspmd: %w", err)
+	}
+	return &System{inner: inner, cpus: cpus}, nil
+}
+
+// Shutdown stops the system.
+func (s *System) Shutdown() { s.inner.Shutdown() }
+
+// Runtime exposes the underlying runtime.
+func (s *System) Runtime() *hamster.Runtime { return s.inner.Runtime() }
+
+// Run executes main once per CPU.
+func (s *System) Run(main func(p *Proc)) {
+	s.inner.Run(func(sp *spmd.Proc) {
+		main(&Proc{Proc: sp, sys: s})
+	})
+}
+
+// Proc is one CPU's handle: the full SPMD call surface plus the
+// SMP-specific services.
+type Proc struct {
+	*spmd.Proc
+	sys *System
+}
+
+// NumCPUs returns the processor count of the multiprocessor.
+func (p *Proc) NumCPUs() int { return p.sys.cpus }
+
+// HardwareCoherent reports that no software consistency actions are
+// needed — SMP codes may skip flush/acquire discipline entirely.
+func (p *Proc) HardwareCoherent() bool { return p.Probe().HardwareCoherent }
+
+// CacheMisses exposes the bus-level cache miss counter, the statistic SMP
+// tuning revolves around.
+func (p *Proc) CacheMisses() uint64 { return p.Stats().CacheMisses }
+
+// LocalBarrier is a cheap CPU-local synchronization (all CPUs share one
+// OS image, so this is the same global barrier — named separately because
+// SPMD codes ported from clusters distinguish the two).
+func (p *Proc) LocalBarrier() { p.Barrier() }
+
+// AllocShared allocates hardware-coherent shared memory; placement
+// annotations are meaningless on UMA hardware, so none are taken.
+func (p *Proc) AllocShared(bytes uint64, name string) hamster.Region {
+	return p.AllocGlobal(bytes, name)
+}

@@ -1,0 +1,71 @@
+package smpspmd
+
+import (
+	"testing"
+
+	"hamster"
+)
+
+func boot(t testing.TB, cpus int) *System {
+	t.Helper()
+	s, err := Boot(cpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func TestForcesSMPPlatform(t *testing.T) {
+	s := boot(t, 2)
+	if s.Runtime().Substrate().Kind() != hamster.SMP {
+		t.Fatal("smpspmd must run on the SMP substrate")
+	}
+}
+
+func TestSMPSpecificServices(t *testing.T) {
+	s := boot(t, 2)
+	s.Run(func(p *Proc) {
+		if p.NumCPUs() != 2 {
+			panic("NumCPUs wrong")
+		}
+		if !p.HardwareCoherent() {
+			panic("SMP must be hardware coherent")
+		}
+		r := p.AllocShared(hamster.PageSize, "shared")
+		if p.Me() == 0 {
+			p.WriteF64(r.Base, 7.75)
+		}
+		p.LocalBarrier()
+		if p.ReadF64(r.Base) != 7.75 {
+			panic("coherence broken")
+		}
+		p.LocalBarrier()
+		if p.CacheMisses() == 0 {
+			panic("cache model inactive")
+		}
+	})
+}
+
+func TestInheritedSPMDSurface(t *testing.T) {
+	s := boot(t, 3)
+	var total int64
+	s.Run(func(p *Proc) {
+		r := p.AllocShared(hamster.PageSize, "ctr")
+		var lock int
+		if p.Me() == 0 {
+			lock = p.CreateLock()
+		}
+		p.Barrier()
+		p.Lock(lock)
+		p.WriteI64(r.Base, p.ReadI64(r.Base)+int64(p.Me()))
+		p.Unlock(lock)
+		p.Barrier()
+		if p.Me() == 0 {
+			total = p.ReadI64(r.Base)
+		}
+	})
+	if total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+}

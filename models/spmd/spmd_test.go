@@ -1,0 +1,187 @@
+package spmd
+
+import (
+	"testing"
+
+	"hamster"
+)
+
+func boot(t testing.TB, kind hamster.PlatformKind, nodes int) *System {
+	t.Helper()
+	s, err := Boot(hamster.Config{Platform: kind, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func TestIdentity(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 4)
+	seen := make([]bool, 4)
+	s.Run(func(p *Proc) {
+		if p.NProcs() != 4 {
+			panic("wrong NProcs")
+		}
+		seen[p.Me()] = true
+	})
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("process %d never ran", i)
+		}
+	}
+}
+
+func TestAllocBarrierLockCounter(t *testing.T) {
+	for _, kind := range []hamster.PlatformKind{hamster.SMP, hamster.HybridDSM, hamster.SWDSM} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := boot(t, kind, 3)
+			var total int64
+			s.Run(func(p *Proc) {
+				r := p.AllocGlobal(hamster.PageSize, "counter")
+				var lock int
+				if p.Me() == 0 {
+					lock = p.CreateLock()
+				}
+				p.Barrier()
+				for i := 0; i < 10; i++ {
+					p.Lock(lock)
+					p.WriteI64(r.Base, p.ReadI64(r.Base)+1)
+					p.Unlock(lock)
+				}
+				p.Barrier()
+				if p.Me() == 0 {
+					p.Lock(lock)
+					total = p.ReadI64(r.Base)
+					p.Unlock(lock)
+				}
+			})
+			if total != 30 {
+				t.Fatalf("counter = %d, want 30", total)
+			}
+		})
+	}
+}
+
+func TestReduceAndBroadcast(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 4)
+	s.Run(func(p *Proc) {
+		sum := p.ReduceF64(float64(p.Me()+1), Sum) // 1+2+3+4
+		if sum != 10 {
+			panic("sum reduce wrong")
+		}
+		max := p.ReduceF64(float64(p.Me()), Max)
+		if max != 3 {
+			panic("max reduce wrong")
+		}
+		min := p.ReduceF64(float64(p.Me()), Min)
+		if min != 0 {
+			panic("min reduce wrong")
+		}
+		v := p.BcastF64(2, float64(p.Me())*7)
+		if v != 14 {
+			panic("broadcast wrong")
+		}
+	})
+}
+
+func TestPointToPointMessaging(t *testing.T) {
+	s := boot(t, hamster.HybridDSM, 2)
+	s.Run(func(p *Proc) {
+		if p.Me() == 0 {
+			p.Send(1, 3, []byte("payload"))
+		} else {
+			data, from := p.Recv(3)
+			if from != 0 || string(data) != "payload" {
+				panic("message corrupted")
+			}
+		}
+	})
+}
+
+func TestAllocGlobalWithPolicy(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 2)
+	s.Run(func(p *Proc) {
+		r := p.AllocGlobalWith(hamster.PageSize, "fixed", hamster.Fixed, 1)
+		if p.Me() == 1 {
+			p.WriteF64(r.Base, 5) // local write at its home
+			if st := p.Stats(); st.PageFaults != 0 {
+				panic("fixed placement ignored")
+			}
+		}
+		p.Barrier()
+	})
+}
+
+func TestProbeAndTiming(t *testing.T) {
+	s := boot(t, hamster.SMP, 1)
+	s.Run(func(p *Proc) {
+		if !p.Probe().HardwareCoherent {
+			panic("SMP must be coherent")
+		}
+		start := p.Time()
+		p.Compute(1000)
+		if p.Elapsed(start) == 0 {
+			panic("Elapsed broken")
+		}
+		p.ResetStats()
+		if p.Env() == nil {
+			panic("Env escape hatch broken")
+		}
+	})
+}
+
+func TestTryLock(t *testing.T) {
+	s := boot(t, hamster.SMP, 1)
+	s.Run(func(p *Proc) {
+		l := p.CreateLock()
+		if !p.TryLock(l) {
+			panic("first TryLock failed")
+		}
+		if p.TryLock(l) {
+			panic("second TryLock succeeded while held")
+		}
+		p.Unlock(l)
+	})
+}
+
+func TestFreeGlobal(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 2)
+	s.Run(func(p *Proc) {
+		r := p.AllocGlobal(hamster.PageSize, "temp")
+		p.Barrier()
+		if p.Me() == 0 {
+			p.FreeGlobal(r)
+		}
+		p.Barrier()
+	})
+}
+
+func TestEventsAndSpawn(t *testing.T) {
+	s, err := Boot(hamster.Config{Platform: hamster.SMP, Nodes: 2, Threaded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	s.Run(func(p *Proc) {
+		if p.Me() != 0 {
+			return
+		}
+		ev := p.CreateEvent()
+		task, err := p.Spawn(1, func(q *Proc) int64 {
+			q.Compute(1000)
+			q.SetEvent(ev)
+			return int64(q.Me())
+		})
+		if err != nil {
+			panic(err)
+		}
+		p.WaitEvent(ev)
+		if p.Join(task) != 1 {
+			panic("spawned task wrong result")
+		}
+		if p.QueryNode(1).ID != 1 {
+			panic("QueryNode broken")
+		}
+	})
+}

@@ -1,0 +1,144 @@
+// Package treadmarks implements the TreadMarks programming model (Amza et
+// al. 1996) on top of HAMSTER. TreadMarks is the model the paper singles
+// out as the cheapest port (§5.2, Table 2: ~25 lines over 13 calls):
+// almost every Tmk_* routine maps directly onto a HAMSTER service. The one
+// exception is its single-node allocation scheme — Tmk_malloc allocates on
+// the calling node only, and a separate Tmk_distribute routine delivers
+// the allocation to the other nodes; that routine is the only piece
+// implemented "fully by hand" on the messaging layer.
+//
+// Go method names mirror the original C entry points:
+//
+//	Tmk_startup      -> Boot / System.Run
+//	Tmk_exit         -> System.Shutdown / Tmk.Exit
+//	Tmk_nprocs       -> Tmk.Nprocs
+//	Tmk_proc_id      -> Tmk.ProcID
+//	Tmk_malloc       -> Tmk.Malloc
+//	Tmk_free         -> Tmk.Free
+//	Tmk_distribute   -> Tmk.Distribute (sender) / Tmk.Receive (others)
+//	Tmk_barrier      -> Tmk.Barrier
+//	Tmk_lock_acquire -> Tmk.LockAcquire
+//	Tmk_lock_release -> Tmk.LockRelease
+package treadmarks
+
+import (
+	"fmt"
+
+	"hamster"
+)
+
+// MaxLocks mirrors TreadMarks' static lock count.
+const MaxLocks = 1024
+
+// System is one booted TreadMarks world.
+type System struct {
+	rt    *hamster.Runtime
+	locks []int
+}
+
+// Boot performs Tmk_startup.
+func Boot(cfg hamster.Config) (*System, error) {
+	rt, err := hamster.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("treadmarks: %w", err)
+	}
+	s := &System{rt: rt, locks: make([]int, MaxLocks)}
+	e := rt.Env(0)
+	for i := range s.locks {
+		s.locks[i] = e.Sync.NewLock()
+	}
+	return s, nil
+}
+
+// Shutdown performs the system side of Tmk_exit.
+func (s *System) Shutdown() { s.rt.Close() }
+
+// Runtime exposes the underlying runtime.
+func (s *System) Runtime() *hamster.Runtime { return s.rt }
+
+// Run executes the application on every process.
+func (s *System) Run(main func(t *Tmk)) {
+	s.rt.Run(func(e *hamster.Env) {
+		main(&Tmk{e: e, sys: s})
+	})
+}
+
+// Tmk is one process's handle (the Tmk_* call surface).
+type Tmk struct {
+	e   *hamster.Env
+	sys *System
+}
+
+// ProcID returns Tmk_proc_id.
+func (t *Tmk) ProcID() int { return t.e.ID() }
+
+// Nprocs returns Tmk_nprocs.
+func (t *Tmk) Nprocs() int { return t.e.N() }
+
+// Malloc performs Tmk_malloc: allocation local to THIS process — no
+// barrier, no other process knows about it until Distribute.
+func (t *Tmk) Malloc(bytes uint64) hamster.Region {
+	r, err := t.e.Mem.Alloc(bytes, hamster.AllocOpts{
+		Name: "Tmk_malloc", Policy: hamster.Fixed, FixedNode: t.e.ID(),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("treadmarks: Tmk_malloc: %v", err))
+	}
+	return r
+}
+
+// Free performs Tmk_free.
+func (t *Tmk) Free(r hamster.Region) {
+	if err := t.e.Mem.Free(r); err != nil {
+		panic(fmt.Sprintf("treadmarks: Tmk_free: %v", err))
+	}
+}
+
+// Distribute performs Tmk_distribute on the allocating side: the region's
+// metadata is shipped to every other process over the messaging layer.
+// This is the single hand-written routine of the port.
+func (t *Tmk) Distribute(r hamster.Region) { t.e.Mem.Distribute(r) }
+
+// Receive completes Tmk_distribute on the other processes.
+func (t *Tmk) Receive() hamster.Region {
+	r, ok := t.e.Mem.AcceptRegion()
+	if !ok {
+		panic("treadmarks: Tmk_distribute receive interrupted")
+	}
+	return r
+}
+
+// Barrier performs Tmk_barrier. TreadMarks numbers its barriers; all
+// barriers are global here, so the id only guards against mismatched use.
+func (t *Tmk) Barrier(id int) {
+	_ = id
+	t.e.Sync.Barrier()
+}
+
+// LockAcquire performs Tmk_lock_acquire.
+func (t *Tmk) LockAcquire(id int) { t.e.Sync.Lock(t.sys.locks[id%MaxLocks]) }
+
+// LockRelease performs Tmk_lock_release.
+func (t *Tmk) LockRelease(id int) { t.e.Sync.Unlock(t.sys.locks[id%MaxLocks]) }
+
+// Exit performs the per-process side of Tmk_exit (a final barrier so that
+// no process tears down while others still compute).
+func (t *Tmk) Exit() { t.e.Sync.Barrier() }
+
+// ReadF64 loads from shared memory.
+func (t *Tmk) ReadF64(a hamster.Addr) float64 { return t.e.ReadF64(a) }
+
+// WriteF64 stores to shared memory.
+func (t *Tmk) WriteF64(a hamster.Addr, v float64) { t.e.WriteF64(a, v) }
+
+// ReadI64 loads an int64 from shared memory.
+func (t *Tmk) ReadI64(a hamster.Addr) int64 { return t.e.ReadI64(a) }
+
+// WriteI64 stores an int64 to shared memory.
+func (t *Tmk) WriteI64(a hamster.Addr, v int64) { t.e.WriteI64(a, v) }
+
+// Compute charges local CPU work.
+func (t *Tmk) Compute(flops uint64) { t.e.Compute(flops) }
+
+// Env exposes the raw HAMSTER services.
+func (t *Tmk) Env() *hamster.Env { return t.e }

@@ -1,0 +1,117 @@
+package treadmarks
+
+import (
+	"testing"
+
+	"hamster"
+)
+
+func boot(t testing.TB, kind hamster.PlatformKind, nodes int) *System {
+	t.Helper()
+	s, err := Boot(hamster.Config{Platform: kind, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func TestProcIDAndNprocs(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 3)
+	s.Run(func(tm *Tmk) {
+		if tm.Nprocs() != 3 || tm.ProcID() < 0 || tm.ProcID() > 2 {
+			panic("identity broken")
+		}
+	})
+}
+
+func TestMallocDistribute(t *testing.T) {
+	// The TreadMarks allocation pattern: proc 0 mallocs locally, then
+	// distributes; everyone ends up sharing the same region.
+	s := boot(t, hamster.SWDSM, 3)
+	s.Run(func(tm *Tmk) {
+		var r hamster.Region
+		if tm.ProcID() == 0 {
+			r = tm.Malloc(hamster.PageSize)
+			tm.Distribute(r)
+			tm.WriteF64(r.Base, 6.5)
+		} else {
+			r = tm.Receive()
+		}
+		tm.Barrier(0)
+		if got := tm.ReadF64(r.Base); got != 6.5 {
+			panic("distributed region not shared")
+		}
+		tm.Barrier(1)
+	})
+}
+
+func TestSingleNodeAllocationIsLocal(t *testing.T) {
+	// Tmk_malloc places pages on the allocating node — no implicit
+	// barrier, no consistency overhead for other nodes (the paper's
+	// §5.2 contrast with global allocation).
+	s := boot(t, hamster.SWDSM, 2)
+	s.Run(func(tm *Tmk) {
+		if tm.ProcID() == 1 {
+			r := tm.Malloc(2 * hamster.PageSize)
+			tm.WriteF64(r.Base, 1)
+			if st := tm.Env().Mon.Substrate(); st.PageFaults != 0 || st.TwinsCreated != 0 {
+				panic("Tmk_malloc was not node-local")
+			}
+			tm.Free(r)
+		}
+		tm.Barrier(0)
+	})
+}
+
+func TestLocksAcquireRelease(t *testing.T) {
+	s := boot(t, hamster.HybridDSM, 4)
+	var total int64
+	s.Run(func(tm *Tmk) {
+		var r hamster.Region
+		if tm.ProcID() == 0 {
+			r = tm.Malloc(hamster.PageSize)
+			tm.Distribute(r)
+		} else {
+			r = tm.Receive()
+		}
+		tm.Barrier(0)
+		for i := 0; i < 5; i++ {
+			tm.LockAcquire(9)
+			tm.WriteI64(r.Base, tm.ReadI64(r.Base)+1)
+			tm.LockRelease(9)
+		}
+		tm.Barrier(1)
+		if tm.ProcID() == 0 {
+			tm.LockAcquire(9)
+			total = tm.ReadI64(r.Base)
+			tm.LockRelease(9)
+		}
+		tm.Exit()
+	})
+	if total != 20 {
+		t.Fatalf("counter = %d, want 20", total)
+	}
+}
+
+func TestRunsOnAllPlatforms(t *testing.T) {
+	for _, kind := range []hamster.PlatformKind{hamster.SMP, hamster.HybridDSM, hamster.SWDSM} {
+		t.Run(kind.String(), func(t *testing.T) {
+			s := boot(t, kind, 2)
+			s.Run(func(tm *Tmk) {
+				var r hamster.Region
+				if tm.ProcID() == 0 {
+					r = tm.Malloc(hamster.PageSize)
+					tm.Distribute(r)
+					tm.WriteI64(r.Base, 77)
+				} else {
+					r = tm.Receive()
+				}
+				tm.Barrier(0)
+				if tm.ReadI64(r.Base) != 77 {
+					panic("value lost")
+				}
+			})
+		})
+	}
+}

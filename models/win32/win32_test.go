@@ -1,0 +1,214 @@
+package win32
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hamster"
+)
+
+func boot(t testing.TB, kind hamster.PlatformKind, nodes int) *System {
+	t.Helper()
+	s, err := Boot(hamster.Config{Platform: kind, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func TestCreateThreadAndWait(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 2)
+	s.Main(func(w *W32) {
+		th, err := w.CreateThread(func(wt *W32) int64 { return 1234 })
+		if err != nil {
+			panic(err)
+		}
+		if r := w.WaitForSingleObject(th, Infinite); r != WaitObject0 {
+			panic("wait failed")
+		}
+		code, done := w.GetExitCodeThread(th)
+		if !done || code != 1234 {
+			panic("exit code wrong")
+		}
+		w.CloseHandle(th)
+	})
+}
+
+func TestMutexHandle(t *testing.T) {
+	s := boot(t, hamster.SMP, 2)
+	s.Main(func(w *W32) {
+		addr := w.VirtualAlloc(hamster.PageSize)
+		m := w.CreateMutex()
+		worker := func(wt *W32) int64 {
+			for i := 0; i < 10; i++ {
+				wt.WaitForSingleObject(m, Infinite)
+				wt.WriteI64(addr, wt.ReadI64(addr)+1)
+				wt.ReleaseMutex(m)
+			}
+			return 0
+		}
+		th, _ := w.CreateThread(worker)
+		worker(w)
+		w.WaitForSingleObject(th, Infinite)
+		w.WaitForSingleObject(m, Infinite)
+		total := w.ReadI64(addr)
+		w.ReleaseMutex(m)
+		if total != 20 {
+			panic("mutex counter wrong")
+		}
+	})
+}
+
+func TestMutexZeroTimeoutPolls(t *testing.T) {
+	s := boot(t, hamster.SMP, 1)
+	s.Main(func(w *W32) {
+		m := w.CreateMutex()
+		if w.WaitForSingleObject(m, 0) != WaitObject0 {
+			panic("poll on free mutex failed")
+		}
+		if w.WaitForSingleObject(m, 0) != WaitTimeout {
+			panic("poll on held mutex must time out")
+		}
+		w.ReleaseMutex(m)
+	})
+}
+
+func TestAutoResetEvent(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 2)
+	s.Main(func(w *W32) {
+		ev := w.CreateEvent(false, false) // auto-reset, unsignaled
+		th, _ := w.CreateThread(func(wt *W32) int64 {
+			wt.WaitForSingleObject(ev, Infinite)
+			return 7
+		})
+		w.SetEvent(ev)
+		if w.WaitForSingleObject(th, Infinite) != WaitObject0 {
+			panic("thread never woke")
+		}
+		// Auto-reset: the signal was consumed.
+		if w.WaitForSingleObject(ev, 0) != WaitTimeout {
+			panic("auto-reset event still signaled")
+		}
+	})
+}
+
+func TestManualResetEvent(t *testing.T) {
+	s := boot(t, hamster.SMP, 1)
+	s.Main(func(w *W32) {
+		ev := w.CreateEvent(true, true) // manual-reset, initially signaled
+		if w.WaitForSingleObject(ev, 0) != WaitObject0 {
+			panic("initially signaled event not signaled")
+		}
+		// Manual reset: still signaled after a wait.
+		if w.WaitForSingleObject(ev, 0) != WaitObject0 {
+			panic("manual-reset event consumed")
+		}
+		w.ResetEvent(ev)
+		if w.WaitForSingleObject(ev, 0) != WaitTimeout {
+			panic("reset event still signaled")
+		}
+	})
+}
+
+func TestSemaphore(t *testing.T) {
+	s := boot(t, hamster.SMP, 2)
+	s.Main(func(w *W32) {
+		sem := w.CreateSemaphore(2, 2)
+		if w.WaitForSingleObject(sem, 0) != WaitObject0 {
+			panic("first unit missing")
+		}
+		if w.WaitForSingleObject(sem, 0) != WaitObject0 {
+			panic("second unit missing")
+		}
+		if w.WaitForSingleObject(sem, 0) != WaitTimeout {
+			panic("semaphore over-granted")
+		}
+		if !w.ReleaseSemaphore(sem, 2) {
+			panic("release failed")
+		}
+		if w.ReleaseSemaphore(sem, 1) {
+			panic("release beyond max succeeded")
+		}
+	})
+}
+
+func TestCriticalSection(t *testing.T) {
+	s := boot(t, hamster.SMP, 2)
+	s.Main(func(w *W32) {
+		cs := w.InitializeCriticalSection()
+		var counter atomic.Int64
+		th, _ := w.CreateThread(func(wt *W32) int64 {
+			for i := 0; i < 50; i++ {
+				wt.EnterCriticalSection(cs)
+				counter.Add(1)
+				wt.LeaveCriticalSection(cs)
+			}
+			return 0
+		})
+		for i := 0; i < 50; i++ {
+			w.EnterCriticalSection(cs)
+			counter.Add(1)
+			w.LeaveCriticalSection(cs)
+		}
+		w.WaitForSingleObject(th, Infinite)
+		if counter.Load() != 100 {
+			panic("critical section lost updates")
+		}
+	})
+}
+
+func TestWaitForMultipleObjectsAll(t *testing.T) {
+	s := boot(t, hamster.SWDSM, 3)
+	s.Main(func(w *W32) {
+		var hs []Handle
+		for i := 0; i < 2; i++ {
+			th, _ := w.CreateThread(func(wt *W32) int64 {
+				wt.Compute(1000)
+				return 0
+			})
+			hs = append(hs, th)
+		}
+		if w.WaitForMultipleObjects(hs, true, Infinite) != WaitObject0 {
+			panic("WaitAll failed")
+		}
+	})
+}
+
+func TestPulseEvent(t *testing.T) {
+	s := boot(t, hamster.SMP, 1)
+	s.Main(func(w *W32) {
+		ev := w.CreateEvent(true, false)
+		w.PulseEvent(ev)
+		// After a pulse with no waiters the event is unsignaled.
+		if w.WaitForSingleObject(ev, 0) != WaitTimeout {
+			panic("pulse left the event signaled")
+		}
+	})
+}
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	s := boot(t, hamster.SMP, 1)
+	s.Main(func(w *W32) {
+		before := w.Env().Now()
+		w.Sleep(5)
+		if w.Env().Elapsed(before) < 5_000_000 {
+			panic("Sleep did not advance virtual time")
+		}
+	})
+}
+
+func TestThreadIDs(t *testing.T) {
+	s := boot(t, hamster.SMP, 2)
+	s.Main(func(w *W32) {
+		if w.GetCurrentThreadID() != 0 {
+			panic("main thread id wrong")
+		}
+		th, _ := w.CreateThread(func(wt *W32) int64 { return wt.GetCurrentThreadID() })
+		w.WaitForSingleObject(th, Infinite)
+		code, _ := w.GetExitCodeThread(th)
+		if code == 0 {
+			panic("worker thread id must differ from main")
+		}
+	})
+}
