@@ -6,11 +6,16 @@
 //
 //	hamsterbench [-size small|default|paper] [-models DIR]
 //	             [-table1] [-table2] [-fig2] [-fig3] [-fig4] [-ablations]
+//	hamsterbench -json FILE
 //
-// With no selection flags, everything runs.
+// With no selection flags, everything runs. -json instead runs the kernel
+// wall-clock benchmark (simulator throughput on the software DSM) and
+// writes per-kernel wall-clock plus virtual-time measurements to FILE
+// ("-" for stdout).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,7 +34,36 @@ func main() {
 	f3 := flag.Bool("fig3", false, "run Figure 3 (hybrid vs software DSM)")
 	f4 := flag.Bool("fig4", false, "run Figure 4 (hardware vs hybrid vs software DSM)")
 	abl := flag.Bool("ablations", false, "run the design-choice ablations")
+	jsonOut := flag.String("json", "", "run the kernel wall-clock benchmark and write JSON to this file (\"-\" for stdout)")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		rows, err := bench.KernelWall()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kernelwall: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := json.MarshalIndent(struct {
+			Description string                   `json:"description"`
+			Results     []bench.KernelWallResult `json:"results"`
+		}{
+			Description: "simulator throughput: real wall-clock per kernel next to its modeled virtual time (swdsm, 4 nodes)",
+			Results:     rows,
+		}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kernelwall: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "kernelwall: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, bench.RenderKernelWall(rows))
+		return
+	}
 
 	var sz bench.Sizes
 	switch *size {

@@ -78,11 +78,24 @@ func (m *nativeMachine) ReadF64(a memsim.Addr) float64     { return m.w.sub.Read
 func (m *nativeMachine) WriteF64(a memsim.Addr, v float64) { m.w.sub.WriteF64(m.id, a, v) }
 func (m *nativeMachine) ReadI64(a memsim.Addr) int64       { return m.w.sub.ReadI64(m.id, a) }
 func (m *nativeMachine) WriteI64(a memsim.Addr, v int64)   { m.w.sub.WriteI64(m.id, a, v) }
-func (m *nativeMachine) Compute(flops uint64)              { m.w.sub.Compute(m.id, flops) }
-func (m *nativeMachine) Lock(i int)                        { m.w.sub.Acquire(m.id, m.w.locks[i%LockTableSize]) }
-func (m *nativeMachine) Unlock(i int)                      { m.w.sub.Release(m.id, m.w.locks[i%LockTableSize]) }
-func (m *nativeMachine) Barrier()                          { m.w.sub.Barrier(m.id) }
-func (m *nativeMachine) Now() vclock.Time                  { return m.w.sub.Clock(m.id).Now() }
+
+func (m *nativeMachine) ReadF64Block(a memsim.Addr, dst []float64) {
+	m.w.sub.ReadF64Block(m.id, a, dst)
+}
+func (m *nativeMachine) WriteF64Block(a memsim.Addr, src []float64) {
+	m.w.sub.WriteF64Block(m.id, a, src)
+}
+func (m *nativeMachine) ReadI64Block(a memsim.Addr, dst []int64) {
+	m.w.sub.ReadI64Block(m.id, a, dst)
+}
+func (m *nativeMachine) WriteI64Block(a memsim.Addr, src []int64) {
+	m.w.sub.WriteI64Block(m.id, a, src)
+}
+func (m *nativeMachine) Compute(flops uint64) { m.w.sub.Compute(m.id, flops) }
+func (m *nativeMachine) Lock(i int)           { m.w.sub.Acquire(m.id, m.w.locks[i%LockTableSize]) }
+func (m *nativeMachine) Unlock(i int)         { m.w.sub.Release(m.id, m.w.locks[i%LockTableSize]) }
+func (m *nativeMachine) Barrier()             { m.w.sub.Barrier(m.id) }
+func (m *nativeMachine) Now() vclock.Time     { return m.w.sub.Clock(m.id).Now() }
 
 // RunOnJia executes a kernel through the full HAMSTER stack with the
 // JiaJia programming model on top — the framework path of Figure 2 and the
@@ -119,11 +132,16 @@ func (m *jiaMachine) ReadF64(a memsim.Addr) float64     { return m.j.ReadF64(a) 
 func (m *jiaMachine) WriteF64(a memsim.Addr, v float64) { m.j.WriteF64(a, v) }
 func (m *jiaMachine) ReadI64(a memsim.Addr) int64       { return m.j.ReadI64(a) }
 func (m *jiaMachine) WriteI64(a memsim.Addr, v int64)   { m.j.WriteI64(a, v) }
-func (m *jiaMachine) Compute(flops uint64)              { m.j.Compute(flops) }
-func (m *jiaMachine) Lock(i int)                        { m.j.Lock(i % LockTableSize) }
-func (m *jiaMachine) Unlock(i int)                      { m.j.Unlock(i % LockTableSize) }
-func (m *jiaMachine) Barrier()                          { m.j.Barrier() }
-func (m *jiaMachine) Now() vclock.Time                  { return m.j.Env().Now() }
+
+func (m *jiaMachine) ReadF64Block(a memsim.Addr, dst []float64)  { m.j.ReadF64Block(a, dst) }
+func (m *jiaMachine) WriteF64Block(a memsim.Addr, src []float64) { m.j.WriteF64Block(a, src) }
+func (m *jiaMachine) ReadI64Block(a memsim.Addr, dst []int64)    { m.j.ReadI64Block(a, dst) }
+func (m *jiaMachine) WriteI64Block(a memsim.Addr, src []int64)   { m.j.WriteI64Block(a, src) }
+func (m *jiaMachine) Compute(flops uint64)                       { m.j.Compute(flops) }
+func (m *jiaMachine) Lock(i int)                                 { m.j.Lock(i % LockTableSize) }
+func (m *jiaMachine) Unlock(i int)                               { m.j.Unlock(i % LockTableSize) }
+func (m *jiaMachine) Barrier()                                   { m.j.Barrier() }
+func (m *jiaMachine) Now() vclock.Time                           { return m.j.Env().Now() }
 
 // RunOnEnv executes a kernel directly against HAMSTER's core services (no
 // programming-model layer) — used by examples and by ablations that vary
@@ -161,11 +179,16 @@ func (m *envMachine) ReadF64(a memsim.Addr) float64     { return m.e.ReadF64(a) 
 func (m *envMachine) WriteF64(a memsim.Addr, v float64) { m.e.WriteF64(a, v) }
 func (m *envMachine) ReadI64(a memsim.Addr) int64       { return m.e.ReadI64(a) }
 func (m *envMachine) WriteI64(a memsim.Addr, v int64)   { m.e.WriteI64(a, v) }
-func (m *envMachine) Compute(flops uint64)              { m.e.Compute(flops) }
-func (m *envMachine) Lock(i int)                        { m.e.Sync.Lock(m.locks[i%LockTableSize]) }
-func (m *envMachine) Unlock(i int)                      { m.e.Sync.Unlock(m.locks[i%LockTableSize]) }
-func (m *envMachine) Barrier()                          { m.e.Sync.Barrier() }
-func (m *envMachine) Now() vclock.Time                  { return m.e.Now() }
+
+func (m *envMachine) ReadF64Block(a memsim.Addr, dst []float64)  { m.e.ReadF64Block(a, dst) }
+func (m *envMachine) WriteF64Block(a memsim.Addr, src []float64) { m.e.WriteF64Block(a, src) }
+func (m *envMachine) ReadI64Block(a memsim.Addr, dst []int64)    { m.e.ReadI64Block(a, dst) }
+func (m *envMachine) WriteI64Block(a memsim.Addr, src []int64)   { m.e.WriteI64Block(a, src) }
+func (m *envMachine) Compute(flops uint64)                       { m.e.Compute(flops) }
+func (m *envMachine) Lock(i int)                                 { m.e.Sync.Lock(m.locks[i%LockTableSize]) }
+func (m *envMachine) Unlock(i int)                               { m.e.Sync.Unlock(m.locks[i%LockTableSize]) }
+func (m *envMachine) Barrier()                                   { m.e.Sync.Barrier() }
+func (m *envMachine) Now() vclock.Time                           { return m.e.Now() }
 
 // MaxTotal returns the slowest node's total time — the SPMD wall clock.
 func MaxTotal(results []Result) vclock.Duration {
@@ -228,4 +251,32 @@ func (m *seqMachine) ReadI64(a memsim.Addr) int64 {
 func (m *seqMachine) WriteI64(a memsim.Addr, v int64) {
 	m.e.WriteI64(a, v)
 	m.e.Cons.Fence()
+}
+
+// The sequential-consistency ablation fences around EVERY word, so its
+// block accessors degrade to fenced word loops — a block cannot be
+// allowed to skip the per-access fences the model is defined by.
+
+func (m *seqMachine) ReadF64Block(a memsim.Addr, dst []float64) {
+	for i := range dst {
+		dst[i] = m.ReadF64(f64(a, i))
+	}
+}
+
+func (m *seqMachine) WriteF64Block(a memsim.Addr, src []float64) {
+	for i, v := range src {
+		m.WriteF64(f64(a, i), v)
+	}
+}
+
+func (m *seqMachine) ReadI64Block(a memsim.Addr, dst []int64) {
+	for i := range dst {
+		dst[i] = m.ReadI64(f64(a, i))
+	}
+}
+
+func (m *seqMachine) WriteI64Block(a memsim.Addr, src []int64) {
+	for i, v := range src {
+		m.WriteI64(f64(a, i), v)
+	}
 }

@@ -32,6 +32,15 @@ type Machine interface {
 	ReadI64(a memsim.Addr) int64
 	WriteI64(a memsim.Addr, v int64)
 
+	// Block accessors move contiguous word runs through the substrate's
+	// bulk fast path: same modeled cost and consistency actions as the
+	// per-word loop, much cheaper to simulate. A block must not span a
+	// synchronization point.
+	ReadF64Block(a memsim.Addr, dst []float64)
+	WriteF64Block(a memsim.Addr, src []float64)
+	ReadI64Block(a memsim.Addr, dst []int64)
+	WriteI64Block(a memsim.Addr, src []int64)
+
 	// Compute charges local CPU work in floating-point operations.
 	Compute(flops uint64)
 

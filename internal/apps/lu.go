@@ -35,33 +35,43 @@ func LU(m Machine, n int) Result {
 	// costs a fault, a twin, and a full-page diff, while the hybrid DSM
 	// streams posted remote writes.
 	if m.ID() == 0 {
+		row := make([]float64, n)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				v := float64((i*j)%9)/16.0 + 0.25
 				if i == j {
 					v = float64(n) // diagonal dominance: no pivoting needed
 				}
-				m.WriteF64(f64(mat, i*stride+j), v)
+				row[j] = v
 			}
+			m.WriteF64Block(f64(mat, i*stride), row)
 		}
 	}
 	timedBarrier(m, &barT)
 	initT := vclock.Since(t0, m.Now())
 
 	coreT := vclock.Duration(0)
+	pivRow := make([]float64, n)
+	myRow := make([]float64, n)
 	for k := 0; k < n-1; k++ {
 		cs := m.Now()
 		pivot := m.ReadF64(f64(mat, k*stride+k))
+		// One block fetch of the pivot row's trailing segment serves every
+		// row this process eliminates in this step.
+		piv := pivRow[:n-k-1]
+		m.ReadF64Block(f64(mat, k*stride+k+1), piv)
 		for i := k + 1; i < n; i++ {
 			if i%m.N() != m.ID() {
 				continue
 			}
 			factor := m.ReadF64(f64(mat, i*stride+k)) / pivot
 			m.WriteF64(f64(mat, i*stride+k), factor)
-			for j := k + 1; j < n; j++ {
-				v := m.ReadF64(f64(mat, i*stride+j)) - factor*m.ReadF64(f64(mat, k*stride+j))
-				m.WriteF64(f64(mat, i*stride+j), v)
+			row := myRow[:n-k-1]
+			m.ReadF64Block(f64(mat, i*stride+k+1), row)
+			for j := range row {
+				row[j] -= factor * piv[j]
 			}
+			m.WriteF64Block(f64(mat, i*stride+k+1), row)
 			m.Compute(uint64(2*(n-k-1) + 2))
 		}
 		coreT += vclock.Since(cs, m.Now())

@@ -30,15 +30,18 @@ func SOR(m Machine, n, iters int, optimized bool) Result {
 		}
 	}
 
-	// Init: each process populates its rows; boundary values are fixed.
+	// Init: each process populates its rows, one block transfer per row;
+	// boundary values are fixed.
+	rowBuf := make([]float64, n)
 	for _, i := range myRows {
 		for j := 0; j < n; j++ {
 			v := 0.0
 			if i == 0 || j == 0 || i == n-1 || j == n-1 {
 				v = float64((i+j)%3 + 1)
 			}
-			m.WriteF64(f64(grid, i*n+j), v)
+			rowBuf[j] = v
 		}
+		m.WriteF64Block(f64(grid, i*n), rowBuf)
 	}
 	timedBarrier(m, &barT)
 	initT := vclock.Since(t0, m.Now())
@@ -52,12 +55,17 @@ func SOR(m Machine, n, iters int, optimized bool) Result {
 				if i == 0 || i == n-1 {
 					continue
 				}
+				// Own row: one block read serves old/left/right. The
+				// neighbor rows must stay word reads of the opposite color
+				// only — a whole-row read would race the neighbors' same-
+				// phase writes to their active cells.
+				m.ReadF64Block(f64(grid, i*n), rowBuf)
 				for j := 1 + (i+color)%2; j < n-1; j += 2 {
 					up := m.ReadF64(f64(grid, (i-1)*n+j))
 					down := m.ReadF64(f64(grid, (i+1)*n+j))
-					left := m.ReadF64(f64(grid, i*n+j-1))
-					right := m.ReadF64(f64(grid, i*n+j+1))
-					old := m.ReadF64(f64(grid, i*n+j))
+					left := rowBuf[j-1]
+					right := rowBuf[j+1]
+					old := rowBuf[j]
 					m.WriteF64(f64(grid, i*n+j),
 						old+omega*((up+down+left+right)/4-old))
 				}
@@ -71,8 +79,9 @@ func SOR(m Machine, n, iters int, optimized bool) Result {
 	// Checksum: interior norm row-sampled (read by all, shared pages).
 	check := 0.0
 	for i := 1; i < n-1; i += n / 8 {
+		m.ReadF64Block(f64(grid, i*n+1), rowBuf[:n-2])
 		for j := 1; j < n-1; j++ {
-			check += m.ReadF64(f64(grid, i*n+j))
+			check += rowBuf[j-1]
 		}
 	}
 	timedBarrier(m, &barT)

@@ -17,26 +17,32 @@ func Stream(m Machine, n, iters int, pol memsim.Policy) Result {
 	var barT vclock.Duration
 
 	lo, hi := blockRange(n, m.N(), m.ID())
+	mine := make([]float64, hi-lo)
 	for i := lo; i < hi; i++ {
-		m.WriteF64(f64(arr, i), float64(i))
+		mine[i-lo] = float64(i)
 	}
+	m.WriteF64Block(f64(arr, lo), mine)
 	timedBarrier(m, &barT)
 	initT := vclock.Since(t0, m.Now())
 
 	coreStart := m.Now()
 	sum := 0.0
+	sweep := make([]float64, n)
 	for it := 0; it < iters; it++ {
+		m.ReadF64Block(f64(arr, 0), sweep)
 		for i := 0; i < n; i++ {
-			sum += m.ReadF64(f64(arr, i))
+			sum += sweep[i]
 		}
 		// The read sweep and the update phase must be separated by a
 		// barrier: without it, one process's whole-array read races
 		// another's block update. (Found by the §6 consistency checker —
 		// internal/apps.TestAllKernelsAreDRF.)
 		timedBarrier(m, &barT)
-		for i := lo; i < hi; i++ {
-			m.WriteF64(f64(arr, i), m.ReadF64(f64(arr, i))+1)
+		m.ReadF64Block(f64(arr, lo), mine)
+		for i := range mine {
+			mine[i]++
 		}
+		m.WriteF64Block(f64(arr, lo), mine)
 		m.Compute(uint64(2 * n))
 		timedBarrier(m, &barT)
 	}

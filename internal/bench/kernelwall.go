@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hamster/internal/apps"
+	"hamster/internal/swdsm"
+	"hamster/internal/vclock"
+)
+
+// KernelWallResult is one kernel's simulator-throughput measurement: how
+// much REAL time the simulation took (wall_ns) next to the modeled result
+// it produced (virtual_ns). The bulk-access fast path moves only the
+// former; the latter must stay put (see TestBlockWordEquivalence).
+type KernelWallResult struct {
+	Kernel    string  `json:"kernel"`
+	Substrate string  `json:"substrate"`
+	Nodes     int     `json:"nodes"`
+	WallNs    int64   `json:"wall_ns"`
+	VirtualNs uint64  `json:"virtual_ns"`
+	Check     float64 `json:"check"`
+}
+
+// KernelWall runs the standard kernel set on a 4-node software DSM — the
+// substrate whose per-word simulation overhead dominates large runs — and
+// reports wall-clock plus virtual time per kernel. The workloads mirror
+// BenchmarkSWDSMKernelWall so numbers are comparable with `go test -bench`.
+func KernelWall() ([]KernelWallResult, error) {
+	const nodes = 4
+	cases := []struct {
+		name   string
+		kernel apps.Kernel
+	}{
+		{"matmult", func(m apps.Machine) apps.Result { return apps.MatMult(m, 96) }},
+		{"sor-opt", func(m apps.Machine) apps.Result { return apps.SOR(m, 192, 6, true) }},
+		{"lu", func(m apps.Machine) apps.Result { return apps.LU(m, 96) }},
+		{"stream", func(m apps.Machine) apps.Result { return apps.Stream(m, 1<<15, 8, 0) }},
+	}
+	out := make([]KernelWallResult, 0, len(cases))
+	for _, c := range cases {
+		d, err := swdsm.New(swdsm.Config{Nodes: nodes})
+		if err != nil {
+			return nil, fmt.Errorf("bench: kernelwall %s: %w", c.name, err)
+		}
+		start := time.Now()
+		res := apps.RunOnSubstrate(d, c.kernel)
+		wall := time.Since(start)
+		d.Close()
+		out = append(out, KernelWallResult{
+			Kernel:    c.name,
+			Substrate: "swdsm",
+			Nodes:     nodes,
+			WallNs:    wall.Nanoseconds(),
+			VirtualNs: uint64(apps.MaxTotal(res)),
+			Check:     res[0].Check,
+		})
+	}
+	return out, nil
+}
+
+// RenderKernelWall prints the measurements as a text table.
+func RenderKernelWall(rows []KernelWallResult) string {
+	s := "Kernel wall-clock (simulator throughput, swdsm, 4 nodes)\n\n"
+	s += fmt.Sprintf("  %-10s %12s %14s\n", "kernel", "wall", "virtual")
+	for _, r := range rows {
+		s += fmt.Sprintf("  %-10s %12v %14v\n",
+			r.Kernel, time.Duration(r.WallNs).Round(time.Microsecond),
+			vclock.Duration(r.VirtualNs))
+	}
+	return s
+}

@@ -138,6 +138,40 @@ func (e *Env) WriteI64(a memsim.Addr, v int64) {
 	e.unlockSerial()
 }
 
+// ReadF64Block reads a contiguous float64 run through the substrate's
+// bulk fast path. Modeled cost and consistency actions are identical to
+// the per-word loop; only the real (simulator) cost is amortized.
+func (e *Env) ReadF64Block(a memsim.Addr, dst []float64) {
+	e.traceBlock(conscheck.Read, a, len(dst))
+	e.lockSerial()
+	e.rt.sub.ReadF64Block(e.id, a, dst)
+	e.unlockSerial()
+}
+
+// WriteF64Block writes a contiguous float64 run through the bulk path.
+func (e *Env) WriteF64Block(a memsim.Addr, src []float64) {
+	e.traceBlock(conscheck.Write, a, len(src))
+	e.lockSerial()
+	e.rt.sub.WriteF64Block(e.id, a, src)
+	e.unlockSerial()
+}
+
+// ReadI64Block reads a contiguous int64 run through the bulk path.
+func (e *Env) ReadI64Block(a memsim.Addr, dst []int64) {
+	e.traceBlock(conscheck.Read, a, len(dst))
+	e.lockSerial()
+	e.rt.sub.ReadI64Block(e.id, a, dst)
+	e.unlockSerial()
+}
+
+// WriteI64Block writes a contiguous int64 run through the bulk path.
+func (e *Env) WriteI64Block(a memsim.Addr, src []int64) {
+	e.traceBlock(conscheck.Write, a, len(src))
+	e.lockSerial()
+	e.rt.sub.WriteI64Block(e.id, a, src)
+	e.unlockSerial()
+}
+
 // ReadBytes copies a global span into buf.
 func (e *Env) ReadBytes(a memsim.Addr, buf []byte) {
 	e.traceAccess(conscheck.Read, a)

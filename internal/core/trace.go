@@ -77,6 +77,24 @@ func (e *Env) traceAccess(kind conscheck.Kind, a memsim.Addr) {
 	})
 }
 
+// traceBlock records a block access as its per-word events if tracing is
+// on — the checker sees exactly the trace the equivalent word loop would
+// produce, so block accesses participate in race detection word by word.
+func (e *Env) traceBlock(kind conscheck.Kind, a memsim.Addr, words int) {
+	t := e.rt.tracer.Load()
+	if t == nil {
+		return
+	}
+	a -= a % memsim.WordSize
+	for i := 0; i < words; i++ {
+		t.record(conscheck.Event{
+			Node: e.id,
+			Kind: kind,
+			Addr: a + memsim.Addr(i*memsim.WordSize),
+		})
+	}
+}
+
 // traceSync records a synchronization event if tracing is on.
 func (e *Env) traceSync(kind conscheck.Kind, lock int) {
 	t := e.rt.tracer.Load()

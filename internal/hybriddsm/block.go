@@ -1,0 +1,170 @@
+package hybriddsm
+
+import (
+	"hamster/internal/memsim"
+	"hamster/internal/vclock"
+)
+
+// Block accessors: the bulk fast path of platform.Substrate. Each maximal
+// within-page run resolves the page's home ONCE and charges the clock in
+// ONE batched Advance, but the charged amounts, counters, and protocol
+// state transitions are word-for-word identical to the per-word loop —
+// including the read-caching threshold: a run that crosses the threshold
+// mid-way pays per-word PIO cost up to the trigger, then the block fetch,
+// then cache-hit cost for the remainder, exactly as N readWord calls
+// would.
+
+// readRun performs one within-page run of count words; get copies count
+// words out of a frame starting at byte offset off.
+func (n *node) readRun(p memsim.PageID, off, count int, get func(fr []byte)) {
+	d := n.dsm
+	clk := d.clocks[n.id]
+	home := n.homeOf(p)
+
+	if home == n.id {
+		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		n.stats.Reads += uint64(count)
+		n.touchLocal(p)
+		hp := n.home.Frame(p)
+		hp.Mu.Lock()
+		get(hp.Data)
+		hp.Mu.Unlock()
+		return
+	}
+	if cp, ok := n.cache[p]; ok {
+		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		n.stats.Reads += uint64(count)
+		n.touchLocal(p)
+		n.lru.MoveToFront(cp.lru)
+		get(cp.data)
+		return
+	}
+
+	// Uncached remote run. The first `pio` words are PIO loads over the
+	// SAN; if they push the page's read count to the caching threshold the
+	// page is fetched in one block transfer and the remaining words are
+	// local cache hits — the same state machine readWord steps through.
+	pio := count
+	caches := false
+	if d.threshold > 0 {
+		if left := d.threshold - n.readCount[p]; left <= count {
+			pio = left
+			caches = true
+		}
+	}
+	clk.Advance((d.params.CPU.AccessNs + d.params.SAN.RemoteReadNs) * vclock.Duration(pio))
+	n.stats.Reads += uint64(pio)
+	n.stats.RemoteReads += uint64(pio)
+
+	hf := d.nodes[home].home.Frame(p)
+	hf.Mu.Lock()
+	get(hf.Data)
+	if !caches {
+		if d.threshold > 0 {
+			n.readCount[p] += pio
+		}
+		hf.Mu.Unlock()
+		return
+	}
+	// Threshold reached: install the page (the readCount bookkeeping and
+	// eviction mirror maybeCache) and serve the rest from the cache.
+	clk.Advance(d.params.SAN.PageFetchNs + d.params.CPU.PageCopyNs)
+	data := make([]byte, memsim.PageSize)
+	copy(data, hf.Data)
+	hf.Mu.Unlock()
+	cp := &cpage{data: data}
+	cp.lru = n.lru.PushFront(p)
+	n.cache[p] = cp
+	n.stats.PageFaults++
+	delete(n.readCount, p)
+	for len(n.cache) > d.cacheCap {
+		el := n.lru.Back()
+		q := el.Value.(memsim.PageID)
+		n.lru.Remove(el)
+		delete(n.cache, q)
+		n.stats.Evictions++
+	}
+	if rest := count - pio; rest > 0 {
+		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(rest))
+		n.stats.Reads += uint64(rest)
+		n.touchLocal(p)
+	}
+}
+
+// writeRun performs one within-page run of count words; put copies count
+// words into a frame starting at byte offset off.
+func (n *node) writeRun(p memsim.PageID, off, count int, put func(fr []byte)) {
+	d := n.dsm
+	clk := d.clocks[n.id]
+	clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+	n.stats.Writes += uint64(count)
+	n.written[p] = struct{}{}
+	home := n.homeOf(p)
+
+	if home == n.id {
+		n.touchLocal(p)
+		hp := n.home.Frame(p)
+		hp.Mu.Lock()
+		put(hp.Data)
+		hp.Mu.Unlock()
+		return
+	}
+	if d.posted {
+		clk.Advance(d.params.SAN.RemoteWriteNs * vclock.Duration(count))
+		n.postedOut += count
+	} else {
+		clk.Advance(d.params.SAN.RemoteReadNs * vclock.Duration(count))
+	}
+	n.stats.RemoteWrites += uint64(count)
+	hf := d.nodes[home].home.Frame(p)
+	hf.Mu.Lock()
+	put(hf.Data)
+	hf.Mu.Unlock()
+	if cp, ok := n.cache[p]; ok {
+		put(cp.data)
+	}
+}
+
+// ReadF64Block implements platform.Substrate.
+func (d *DSM) ReadF64Block(nodeID int, a memsim.Addr, dst []float64) {
+	n := d.access(nodeID)
+	n.stats.BlockReads++
+	memsim.WordRuns(a, len(dst), func(p memsim.PageID, off, count int) {
+		out := dst[:count]
+		n.readRun(p, off, count, func(fr []byte) { memsim.GetF64Slice(fr, off, out) })
+		dst = dst[count:]
+	})
+}
+
+// WriteF64Block implements platform.Substrate.
+func (d *DSM) WriteF64Block(nodeID int, a memsim.Addr, src []float64) {
+	n := d.access(nodeID)
+	n.stats.BlockWrites++
+	memsim.WordRuns(a, len(src), func(p memsim.PageID, off, count int) {
+		in := src[:count]
+		n.writeRun(p, off, count, func(fr []byte) { memsim.PutF64Slice(fr, off, in) })
+		src = src[count:]
+	})
+}
+
+// ReadI64Block implements platform.Substrate.
+func (d *DSM) ReadI64Block(nodeID int, a memsim.Addr, dst []int64) {
+	n := d.access(nodeID)
+	n.stats.BlockReads++
+	memsim.WordRuns(a, len(dst), func(p memsim.PageID, off, count int) {
+		out := dst[:count]
+		n.readRun(p, off, count, func(fr []byte) { memsim.GetI64Slice(fr, off, out) })
+		dst = dst[count:]
+	})
+}
+
+// WriteI64Block implements platform.Substrate.
+func (d *DSM) WriteI64Block(nodeID int, a memsim.Addr, src []int64) {
+	n := d.access(nodeID)
+	n.stats.BlockWrites++
+	memsim.WordRuns(a, len(src), func(p memsim.PageID, off, count int) {
+		in := src[:count]
+		n.writeRun(p, off, count, func(fr []byte) { memsim.PutI64Slice(fr, off, in) })
+		src = src[count:]
+	})
+}

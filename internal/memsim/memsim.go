@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hamster/internal/machine"
 )
@@ -59,6 +60,30 @@ func PagesSpanned(base Addr, size uint64) []PageID {
 		out = append(out, p)
 	}
 	return out
+}
+
+// WordRuns splits the word span [a, a+WordSize*words) into maximal
+// per-page runs and calls fn once per run with the page, the byte offset
+// of the run's first word, and the run's word count. Bulk accessors use
+// this to pay page-granular costs (home lookup, frame resolution, twin
+// creation) once per page instead of once per word. The address must be
+// word-aligned — the same alignment the word accessors and the diff
+// protocol assume.
+func WordRuns(a Addr, words int, fn func(p PageID, off, count int)) {
+	if a%WordSize != 0 {
+		panic(fmt.Sprintf("memsim: unaligned block access at %#x", uint64(a)))
+	}
+	for words > 0 {
+		p := PageOf(a)
+		off := Offset(a)
+		count := (PageSize - off) / WordSize
+		if count > words {
+			count = words
+		}
+		fn(p, off, count)
+		words -= count
+		a += Addr(count * WordSize)
+	}
 }
 
 // Policy selects how a region's pages are distributed across nodes.
@@ -119,7 +144,11 @@ type Space struct {
 	next    Addr
 	regions []Region
 	free    []Region // freed blocks, page-granular, sorted by Base
-	homes   map[PageID]int
+	// homes is published copy-on-write: Home() is on the word-access hot
+	// path of every substrate, and even a reader lock there serializes
+	// the whole cluster's goroutines on one cache line. Mutators hold
+	// s.mu, clone the map, and swap the pointer; readers just load it.
+	homes atomic.Pointer[map[PageID]int]
 }
 
 // NewSpace creates an address space for a cluster of n nodes. Address 0 is
@@ -129,7 +158,22 @@ func NewSpace(nodes int) *Space {
 	if nodes <= 0 {
 		panic("memsim: nodes must be positive")
 	}
-	return &Space{nodes: nodes, next: PageSize, homes: make(map[PageID]int)}
+	s := &Space{nodes: nodes, next: PageSize}
+	m := make(map[PageID]int)
+	s.homes.Store(&m)
+	return s
+}
+
+// mutateHomesLocked clones the homes snapshot, applies fn, and publishes
+// the result. The caller must hold s.mu (for write).
+func (s *Space) mutateHomesLocked(fn func(map[PageID]int)) {
+	old := *s.homes.Load()
+	m := make(map[PageID]int, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	fn(m)
+	s.homes.Store(&m)
 }
 
 // Nodes returns the cluster size the space was built for.
@@ -180,23 +224,25 @@ func (s *Space) takeFreeLocked(size uint64) (Addr, bool) {
 
 func (s *Space) assignHomesLocked(r Region) {
 	pages := PagesSpanned(r.Base, r.Size)
-	switch r.Policy {
-	case Block:
-		per := (len(pages) + s.nodes - 1) / s.nodes
-		for i, p := range pages {
-			s.homes[p] = i / per
+	s.mutateHomesLocked(func(homes map[PageID]int) {
+		switch r.Policy {
+		case Block:
+			per := (len(pages) + s.nodes - 1) / s.nodes
+			for i, p := range pages {
+				homes[p] = i / per
+			}
+		case Cyclic:
+			for i, p := range pages {
+				homes[p] = i % s.nodes
+			}
+		case Fixed:
+			for _, p := range pages {
+				homes[p] = r.FixedNode
+			}
+		case FirstTouch:
+			// Homes assigned lazily by TouchHome.
 		}
-	case Cyclic:
-		for i, p := range pages {
-			s.homes[p] = i % s.nodes
-		}
-	case Fixed:
-		for _, p := range pages {
-			s.homes[p] = r.FixedNode
-		}
-	case FirstTouch:
-		// Homes assigned lazily by TouchHome.
-	}
+	})
 }
 
 // Free returns a region's pages to the allocator and clears their homes.
@@ -214,9 +260,11 @@ func (s *Space) Free(r Region) error {
 		return fmt.Errorf("memsim: Free of unknown region base=%d size=%d", r.Base, r.Size)
 	}
 	s.regions = append(s.regions[:idx], s.regions[idx+1:]...)
-	for _, p := range PagesSpanned(r.Base, r.Size) {
-		delete(s.homes, p)
-	}
+	s.mutateHomesLocked(func(homes map[PageID]int) {
+		for _, p := range PagesSpanned(r.Base, r.Size) {
+			delete(homes, p)
+		}
+	})
 	s.free = append(s.free, Region{Base: r.Base, Size: r.Size})
 	sort.Slice(s.free, func(i, j int) bool { return s.free[i].Base < s.free[j].Base })
 	s.coalesceLocked()
@@ -238,9 +286,7 @@ func (s *Space) coalesceLocked() {
 // Home returns the home node of a page, or NoHome for untouched
 // first-touch pages and unallocated addresses.
 func (s *Space) Home(p PageID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if h, ok := s.homes[p]; ok {
+	if h, ok := (*s.homes.Load())[p]; ok {
 		return h
 	}
 	return NoHome
@@ -252,17 +298,17 @@ func (s *Space) Home(p PageID) int {
 func (s *Space) TouchHome(p PageID, node int) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if h, ok := s.homes[p]; ok {
+	if h, ok := (*s.homes.Load())[p]; ok {
 		return h
 	}
-	s.homes[p] = node
+	s.mutateHomesLocked(func(homes map[PageID]int) { homes[p] = node })
 	return node
 }
 
 // SetHome reassigns a page's home (home migration support).
 func (s *Space) SetHome(p PageID, node int) {
 	s.mu.Lock()
-	s.homes[p] = node
+	s.mutateHomesLocked(func(homes map[PageID]int) { homes[p] = node })
 	s.mu.Unlock()
 }
 
@@ -376,3 +422,35 @@ func GetI64(frame []byte, off int) int64 { return int64(GetU64(frame, off)) }
 
 // PutI64 writes an int64 at byte offset off.
 func PutI64(frame []byte, off int, v int64) { PutU64(frame, off, uint64(v)) }
+
+// GetF64Slice decodes len(dst) consecutive float64 words starting at byte
+// offset off.
+func GetF64Slice(frame []byte, off int, dst []float64) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(frame[off+8*i:]))
+	}
+}
+
+// PutF64Slice encodes src as consecutive float64 words starting at byte
+// offset off.
+func PutF64Slice(frame []byte, off int, src []float64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(frame[off+8*i:], math.Float64bits(v))
+	}
+}
+
+// GetI64Slice decodes len(dst) consecutive int64 words starting at byte
+// offset off.
+func GetI64Slice(frame []byte, off int, dst []int64) {
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(frame[off+8*i:]))
+	}
+}
+
+// PutI64Slice encodes src as consecutive int64 words starting at byte
+// offset off.
+func PutI64Slice(frame []byte, off int, src []int64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(frame[off+8*i:], uint64(v))
+	}
+}

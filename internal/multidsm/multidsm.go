@@ -242,6 +242,70 @@ func (d *DSM) WriteBytes(node int, a memsim.Addr, data []byte) {
 	d.engine(a).WriteBytes(node, a, data)
 }
 
+// sameEngineRun returns the engine serving address a and how many of the
+// next `words` words stay on pages routed to that same engine, so block
+// spans dispatch in maximal per-engine chunks (normally the whole span:
+// allocations never straddle engines).
+func (d *DSM) sameEngineRun(a memsim.Addr, words int) (platform.Substrate, int) {
+	eng := d.engine(a)
+	n := (memsim.PageSize - memsim.Offset(a)) / memsim.WordSize
+	if n > words {
+		n = words
+	}
+	a += memsim.Addr(n * memsim.WordSize)
+	for n < words && d.engine(a) == eng {
+		c := memsim.PageSize / memsim.WordSize
+		if c > words-n {
+			c = words - n
+		}
+		n += c
+		a += memsim.Addr(c * memsim.WordSize)
+	}
+	return eng, n
+}
+
+// ReadF64Block implements platform.Substrate: each maximal same-engine
+// chunk is one block call on the owning engine (so BlockReads counts one
+// per dispatched chunk).
+func (d *DSM) ReadF64Block(node int, a memsim.Addr, dst []float64) {
+	for len(dst) > 0 {
+		eng, n := d.sameEngineRun(a, len(dst))
+		eng.ReadF64Block(node, a, dst[:n])
+		dst = dst[n:]
+		a += memsim.Addr(n * memsim.WordSize)
+	}
+}
+
+// WriteF64Block implements platform.Substrate.
+func (d *DSM) WriteF64Block(node int, a memsim.Addr, src []float64) {
+	for len(src) > 0 {
+		eng, n := d.sameEngineRun(a, len(src))
+		eng.WriteF64Block(node, a, src[:n])
+		src = src[n:]
+		a += memsim.Addr(n * memsim.WordSize)
+	}
+}
+
+// ReadI64Block implements platform.Substrate.
+func (d *DSM) ReadI64Block(node int, a memsim.Addr, dst []int64) {
+	for len(dst) > 0 {
+		eng, n := d.sameEngineRun(a, len(dst))
+		eng.ReadI64Block(node, a, dst[:n])
+		dst = dst[n:]
+		a += memsim.Addr(n * memsim.WordSize)
+	}
+}
+
+// WriteI64Block implements platform.Substrate.
+func (d *DSM) WriteI64Block(node int, a memsim.Addr, src []int64) {
+	for len(src) > 0 {
+		eng, n := d.sameEngineRun(a, len(src))
+		eng.WriteI64Block(node, a, src[:n])
+		src = src[n:]
+		a += memsim.Addr(n * memsim.WordSize)
+	}
+}
+
 // Compute implements platform.Substrate.
 func (d *DSM) Compute(node int, flops uint64) {
 	d.clocks[node].Advance(vclock.Duration(flops) * d.params.CPU.FlopNs)
@@ -337,6 +401,8 @@ func (d *DSM) NodeStats(node int) platform.Stats {
 	return platform.Stats{
 		Reads:            a.Reads + b.Reads,
 		Writes:           a.Writes + b.Writes,
+		BlockReads:       a.BlockReads + b.BlockReads,
+		BlockWrites:      a.BlockWrites + b.BlockWrites,
 		PageFaults:       a.PageFaults + b.PageFaults,
 		RemoteReads:      a.RemoteReads + b.RemoteReads,
 		RemoteWrites:     a.RemoteWrites + b.RemoteWrites,
@@ -348,6 +414,7 @@ func (d *DSM) NodeStats(node int) platform.Stats {
 		BarrierCrossings: a.BarrierCrossings + b.BarrierCrossings,
 		Evictions:        a.Evictions + b.Evictions,
 		CacheMisses:      a.CacheMisses + b.CacheMisses,
+		HomeMigrations:   a.HomeMigrations + b.HomeMigrations,
 	}
 }
 

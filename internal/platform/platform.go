@@ -73,7 +73,9 @@ func (c Caps) SupportsPolicy(p memsim.Policy) bool {
 // Stats is a snapshot of substrate activity for one node, feeding the
 // Performance Monitoring services (§4.3).
 type Stats struct {
-	Reads, Writes    uint64 // accessor operations
+	Reads, Writes    uint64 // accessor operations, counted per word
+	BlockReads       uint64 // bulk read operations (one per block call)
+	BlockWrites      uint64 // bulk write operations (one per block call)
 	PageFaults       uint64 // remote page fetches
 	RemoteReads      uint64 // word-granularity remote reads (hybrid)
 	RemoteWrites     uint64 // word-granularity remote writes (hybrid)
@@ -124,6 +126,20 @@ type Substrate interface {
 	WriteI64(node int, a memsim.Addr, v int64)
 	ReadBytes(node int, a memsim.Addr, buf []byte)
 	WriteBytes(node int, a memsim.Addr, data []byte)
+
+	// Block accessors move contiguous word runs through the bulk fast
+	// path: per maximal within-page run they perform ONE access check,
+	// ONE frame lookup, and ONE batched virtual-time charge, but the
+	// charged cost, the counters, and every consistency action are
+	// word-for-word identical to the equivalent per-word loop — the fast
+	// path amortizes how costs are PAID (real time), never what is
+	// MODELED (virtual time). Addresses must be word-aligned; spans may
+	// cross pages but must not span a synchronization point (the caller's
+	// obligation, as with any unsynchronized access sequence).
+	ReadF64Block(node int, a memsim.Addr, dst []float64)
+	WriteF64Block(node int, a memsim.Addr, src []float64)
+	ReadI64Block(node int, a memsim.Addr, dst []int64)
+	WriteI64Block(node int, a memsim.Addr, src []int64)
 
 	// NewLock creates a global lock and returns its id.
 	NewLock() int

@@ -1,0 +1,88 @@
+package swdsm
+
+import (
+	"hamster/internal/memsim"
+	"hamster/internal/vclock"
+)
+
+// Block accessors: the bulk fast path of platform.Substrate. A run of
+// words within one page pays ONE access check, ONE frame resolution, and
+// ONE batched clock charge, but the modeled cost is word-for-word what
+// the per-word loop charges: AccessNs per word, one fault (if any) for
+// the whole run exactly as the first word of the loop would fault, and
+// one CPU-cache touch (repeated touches of one page are idempotent in
+// the direct-mapped model). Twin creation, diffing, and write notices
+// are untouched — a block write dirties the page exactly once per
+// interval, the same as N word writes.
+
+// ReadF64Block implements platform.Substrate.
+func (d *DSM) ReadF64Block(nodeID int, a memsim.Addr, dst []float64) {
+	n := d.access(nodeID)
+	n.stats.BlockReads++
+	clk := d.clocks[nodeID]
+	memsim.WordRuns(a, len(dst), func(p memsim.PageID, off, count int) {
+		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		n.stats.Reads += uint64(count)
+		n.touchLocal(p)
+		fr, hp := n.frameForRead(p)
+		memsim.GetF64Slice(fr, off, dst[:count])
+		if hp != nil {
+			hp.Mu.Unlock()
+		}
+		dst = dst[count:]
+	})
+}
+
+// WriteF64Block implements platform.Substrate.
+func (d *DSM) WriteF64Block(nodeID int, a memsim.Addr, src []float64) {
+	n := d.access(nodeID)
+	n.stats.BlockWrites++
+	clk := d.clocks[nodeID]
+	memsim.WordRuns(a, len(src), func(p memsim.PageID, off, count int) {
+		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		n.stats.Writes += uint64(count)
+		n.touchLocal(p)
+		fr, hp := n.prepareWrite(p)
+		memsim.PutF64Slice(fr, off, src[:count])
+		if hp != nil {
+			hp.Mu.Unlock()
+		}
+		src = src[count:]
+	})
+}
+
+// ReadI64Block implements platform.Substrate.
+func (d *DSM) ReadI64Block(nodeID int, a memsim.Addr, dst []int64) {
+	n := d.access(nodeID)
+	n.stats.BlockReads++
+	clk := d.clocks[nodeID]
+	memsim.WordRuns(a, len(dst), func(p memsim.PageID, off, count int) {
+		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		n.stats.Reads += uint64(count)
+		n.touchLocal(p)
+		fr, hp := n.frameForRead(p)
+		memsim.GetI64Slice(fr, off, dst[:count])
+		if hp != nil {
+			hp.Mu.Unlock()
+		}
+		dst = dst[count:]
+	})
+}
+
+// WriteI64Block implements platform.Substrate.
+func (d *DSM) WriteI64Block(nodeID int, a memsim.Addr, src []int64) {
+	n := d.access(nodeID)
+	n.stats.BlockWrites++
+	clk := d.clocks[nodeID]
+	memsim.WordRuns(a, len(src), func(p memsim.PageID, off, count int) {
+		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		n.stats.Writes += uint64(count)
+		n.touchLocal(p)
+		fr, hp := n.prepareWrite(p)
+		memsim.PutI64Slice(fr, off, src[:count])
+		if hp != nil {
+			hp.Mu.Unlock()
+		}
+		src = src[count:]
+	})
+}

@@ -3,6 +3,7 @@ package swdsm
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"hamster/internal/memsim"
 )
@@ -16,13 +17,43 @@ import (
 
 const diffRunHeader = 4 // uint16 offset + uint16 length
 
+// maxDiffBytes is the worst-case encoded diff size: a single run covering
+// the whole page (one header plus PageSize bytes). Any other run layout is
+// smaller — k runs need k-1 unchanged gap words, so header growth is more
+// than offset by payload shrinkage.
+const maxDiffBytes = diffRunHeader + memsim.PageSize
+
+// Twin pages and diff scratch buffers are the protocol's hot allocations:
+// one twin per written page per interval, one diff per flush. Both are
+// strictly node-local and dead by the time they are released (Enc.Blob
+// copies the diff into the message; the twin is discarded after the scan),
+// so they recycle through pools.
+var twinPool = sync.Pool{
+	New: func() any { return make([]byte, memsim.PageSize) },
+}
+
+var diffPool = sync.Pool{
+	New: func() any { return make([]byte, 0, maxDiffBytes) },
+}
+
+func getTwin() []byte  { return twinPool.Get().([]byte) }
+func putTwin(b []byte) { twinPool.Put(b[:memsim.PageSize]) }
+
+// putDiff recycles a buildDiff result. Safe on the nil empty-diff return.
+func putDiff(b []byte) {
+	if cap(b) >= maxDiffBytes {
+		diffPool.Put(b[:0])
+	}
+}
+
 // buildDiff scans data against twin and returns the encoded diff. A nil
-// return means the page is unchanged.
+// return means the page is unchanged. Non-nil results come from diffPool;
+// callers on the protocol path hand them back via putDiff once encoded.
 func buildDiff(data, twin []byte) []byte {
 	if len(data) != memsim.PageSize || len(twin) != memsim.PageSize {
 		panic(fmt.Sprintf("swdsm: buildDiff on short buffers %d/%d", len(data), len(twin)))
 	}
-	var out []byte
+	out := diffPool.Get().([]byte)
 	const w = memsim.WordSize
 	runStart := -1
 	for off := 0; off <= memsim.PageSize; off += w {
@@ -40,6 +71,10 @@ func buildDiff(data, twin []byte) []byte {
 			out = append(out, data[runStart:runStart+runLen]...)
 			runStart = -1
 		}
+	}
+	if len(out) == 0 {
+		diffPool.Put(out[:0])
+		return nil
 	}
 	return out
 }
@@ -72,12 +107,21 @@ func encodeNotices(pages []memsim.PageID) []byte {
 	return out
 }
 
-// decodeNotices parses a write-notice page list.
-func decodeNotices(b []byte) []memsim.PageID {
+// decodeNotices parses a write-notice page list, validating the payload
+// length against the declared count so a truncated or corrupt message
+// surfaces as an error instead of an index panic.
+func decodeNotices(b []byte) ([]memsim.PageID, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("swdsm: notice list too short: %d bytes", len(b))
+	}
 	n := int(binary.LittleEndian.Uint32(b))
+	if want := 4 + 8*n; len(b) < want {
+		return nil, fmt.Errorf("swdsm: truncated notice list: %d pages need %d bytes, have %d",
+			n, want, len(b))
+	}
 	out := make([]memsim.PageID, n)
 	for i := 0; i < n; i++ {
 		out[i] = memsim.PageID(binary.LittleEndian.Uint64(b[4+8*i:]))
 	}
-	return out
+	return out, nil
 }

@@ -124,6 +124,7 @@ func (n *node) migrationWishes() []memsim.PageID {
 // retarget the global home map.
 func (n *node) performMigrations(pages []memsim.PageID) {
 	d := n.dsm
+	n.bumpGen()
 	for _, p := range pages {
 		oldHome := d.space.Home(p)
 		if oldHome == n.id || oldHome == memsim.NoHome {

@@ -463,8 +463,8 @@ func TestNoticesCodecRoundTrip(t *testing.T) {
 		for i, v := range raw {
 			pages[i] = memsim.PageID(v)
 		}
-		got := decodeNotices(encodeNotices(pages))
-		if len(got) != len(pages) {
+		got, err := decodeNotices(encodeNotices(pages))
+		if err != nil || len(got) != len(pages) {
 			return false
 		}
 		for i := range got {
@@ -476,6 +476,28 @@ func TestNoticesCodecRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDecodeNoticesMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte{1, 0}},
+		{"truncated payload", func() []byte {
+			enc := encodeNotices([]memsim.PageID{1, 2, 3})
+			return enc[:len(enc)-5]
+		}()},
+		{"huge declared count", []byte{0xff, 0xff, 0xff, 0xff}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got, err := decodeNotices(c.b); err == nil {
+				t.Fatalf("decodeNotices(%v) = %v, want error", c.b, got)
+			}
+		})
 	}
 }
 

@@ -120,6 +120,7 @@ func (d *DSM) Release(nodeID, lock int) {
 // locally dirty (false sharing across scopes) is flushed home first so no
 // modification is lost — the multiple-writer guarantee.
 func (n *node) invalidate(pages []memsim.PageID) {
+	n.bumpGen()
 	for _, p := range pages {
 		cp, ok := n.cache[p]
 		if !ok {
@@ -141,16 +142,21 @@ func (n *node) flushPage(p memsim.PageID, cp *cpage) {
 	d := n.dsm
 	d.clocks[n.id].Advance(d.params.CPU.DiffScanNs)
 	diff := buildDiff(cp.data, cp.twin)
+	putTwin(cp.twin)
 	cp.twin = nil
 	delete(n.dirty, p)
 	if len(diff) == 0 {
+		putDiff(diff)
 		return
 	}
 	home := d.space.Home(p)
+	// Enc.Blob copies the diff into the request, so the scratch buffer can
+	// be recycled as soon as the call returns.
 	req := amsg.NewEnc(12 + len(diff)).U64(uint64(p)).Blob(diff).Bytes()
 	d.layer.Call(simnet.NodeID(n.id), simnet.NodeID(home), kindApplyDiff, req)
 	n.stats.DiffsCreated++
 	n.stats.DiffBytes += uint64(len(diff))
+	putDiff(diff)
 	cp.diffStreak++
 }
 
@@ -158,6 +164,7 @@ func (n *node) flushPage(p memsim.PageID, cp *cpage) {
 // notices for this interval: all pages this node modified, cached or
 // home-resident.
 func (n *node) flushAll() []memsim.PageID {
+	n.bumpGen()
 	out := make([]memsim.PageID, 0, len(n.dirty)+len(n.homeDirty))
 	for p := range n.dirty {
 		out = append(out, p)
@@ -256,6 +263,7 @@ func (d *DSM) Barrier(nodeID int) {
 // cost — exactly why relaxed models exist).
 func (d *DSM) Fence(nodeID int) {
 	n := d.access(nodeID)
+	n.bumpGen()
 	n.flushAll()
 	for p, cp := range n.cache {
 		if cp.twin != nil {

@@ -1,0 +1,46 @@
+// Wall-clock benchmarks for the benchmark kernels on the software DSM —
+// the substrate whose per-word simulation overhead dominates large runs.
+// These measure REAL time (simulator throughput), not virtual time: the
+// bulk-access fast path must cut wall-clock cost without moving the
+// modeled virtual-time results (see EXPERIMENTS.md).
+//
+//	go test -bench=KernelWall -benchtime=2x
+package hamster_test
+
+import (
+	"testing"
+
+	"hamster/internal/apps"
+	"hamster/internal/swdsm"
+)
+
+// kernelWallCases are sized so one iteration takes on the order of a
+// second at seed speed: big enough that per-access simulator overhead —
+// not setup — dominates.
+var kernelWallCases = []struct {
+	name   string
+	kernel apps.Kernel
+}{
+	{"matmult", func(m apps.Machine) apps.Result { return apps.MatMult(m, 96) }},
+	{"sor-opt", func(m apps.Machine) apps.Result { return apps.SOR(m, 192, 6, true) }},
+	{"lu", func(m apps.Machine) apps.Result { return apps.LU(m, 96) }},
+	{"stream", func(m apps.Machine) apps.Result { return apps.Stream(m, 1<<15, 8, 0) }},
+}
+
+func BenchmarkSWDSMKernelWall(b *testing.B) {
+	for _, c := range kernelWallCases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := swdsm.New(swdsm.Config{Nodes: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := apps.RunOnSubstrate(d, c.kernel)
+				d.Close()
+				if apps.MaxTotal(res) == 0 {
+					b.Fatal("kernel reported zero virtual time")
+				}
+			}
+		})
+	}
+}

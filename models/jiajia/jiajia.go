@@ -146,6 +146,19 @@ func (j *Jia) ReadI64(a hamster.Addr) int64 { return j.e.ReadI64(a) }
 // WriteI64 stores an int64 to shared memory.
 func (j *Jia) WriteI64(a hamster.Addr, v int64) { j.e.WriteI64(a, v) }
 
+// ReadF64Block loads a contiguous float64 run (the bulk fast path; JiaJia
+// C code would memcpy out of the jia_alloc'd region).
+func (j *Jia) ReadF64Block(a hamster.Addr, dst []float64) { j.e.ReadF64Block(a, dst) }
+
+// WriteF64Block stores a contiguous float64 run.
+func (j *Jia) WriteF64Block(a hamster.Addr, src []float64) { j.e.WriteF64Block(a, src) }
+
+// ReadI64Block loads a contiguous int64 run.
+func (j *Jia) ReadI64Block(a hamster.Addr, dst []int64) { j.e.ReadI64Block(a, dst) }
+
+// WriteI64Block stores a contiguous int64 run.
+func (j *Jia) WriteI64Block(a hamster.Addr, src []int64) { j.e.WriteI64Block(a, src) }
+
 // Compute charges local CPU work.
 func (j *Jia) Compute(flops uint64) { j.e.Compute(flops) }
 
