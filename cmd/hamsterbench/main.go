@@ -44,10 +44,14 @@ func main() {
 			os.Exit(1)
 		}
 		blob, err := json.MarshalIndent(struct {
+			Schema      string                   `json:"schema"`
 			Description string                   `json:"description"`
+			Seed        int64                    `json:"seed"`
 			Results     []bench.KernelWallResult `json:"results"`
 		}{
-			Description: "simulator throughput: real wall-clock per kernel next to its modeled virtual time (swdsm, 4 nodes)",
+			Schema:      "hamster/kernelwall/v2",
+			Description: "simulator throughput: real wall-clock per kernel next to its modeled virtual time (swdsm, 4 nodes), with per-category virtual-time attribution",
+			Seed:        0, // runs are unperturbed: no fault plan, no jitter
 			Results:     rows,
 		}, "", "  ")
 		if err != nil {

@@ -6,6 +6,7 @@
 //
 //	hamsterrun [-config FILE] [-platform smp|hybrid-dsm|software-dsm]
 //	           [-nodes N] [-bench NAME] [-n SIZE] [-iters I] [-monitor]
+//	           [-trace FILE] [-timebreakdown]
 //
 // A -config file (see internal/cluster for the format) overrides the
 // -platform/-nodes flags, mirroring how the original framework switched
@@ -21,6 +22,7 @@ import (
 	"hamster/internal/apps"
 	"hamster/internal/cluster"
 	"hamster/internal/core"
+	"hamster/internal/perfmon"
 	"hamster/models/jiajia"
 )
 
@@ -34,6 +36,8 @@ func main() {
 	monitor := flag.Bool("monitor", false, "print per-node monitoring reports")
 	verify := flag.Bool("verify", false, "trace the run and print the formal consistency report (§6)")
 	timeline := flag.Bool("timeline", false, "attach the external sampler and print per-epoch activity (§4.3)")
+	traceOut := flag.String("trace", "", "record protocol events and write a Chrome/Perfetto trace to this file")
+	timeBreak := flag.Bool("timebreakdown", false, "print the per-node virtual-time attribution (compute/memory/protocol/network/stolen)")
 	flag.Parse()
 
 	cfg := hamster.Config{Nodes: *nodes}
@@ -85,6 +89,9 @@ func main() {
 	if *timeline {
 		sampler = sys.Runtime().AttachSampler()
 	}
+	if *traceOut != "" {
+		sys.Runtime().Perf().Enable()
+	}
 	results := apps.RunOnJia(sys, kernel)
 
 	fmt.Printf("\ncheck      %v\n", results[0].Check)
@@ -104,6 +111,34 @@ func main() {
 		sys.Runtime().DetachSampler()
 		fmt.Println()
 		fmt.Print(sampler.Timeline(0))
+	}
+	if *timeBreak {
+		fmt.Println()
+		fmt.Print(perfmon.Summary(sys.Runtime().TimeBreakdowns()))
+	}
+	if *traceOut != "" {
+		rec := sys.Runtime().Perf()
+		rec.Disable()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		events := 0
+		for n := 0; n < rec.Nodes(); n++ {
+			events += rec.Len(n)
+		}
+		fmt.Printf("\nwrote %d protocol events to %s (open in ui.perfetto.dev or chrome://tracing)\n",
+			events, *traceOut)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"hamster/internal/machine"
+	"hamster/internal/perfmon"
 	"hamster/internal/simnet"
 	"hamster/internal/vclock"
 )
@@ -46,6 +47,8 @@ type Layer struct {
 	handlers map[Kind][]Handler // indexed by target node
 
 	stats []CallStats
+
+	rec *perfmon.Recorder // protocol event recorder; nil until attached
 }
 
 // CallStats counts active-message activity per node.
@@ -77,6 +80,14 @@ func New(net *simnet.Network, link machine.Link) *Layer {
 
 // Network returns the underlying simulated network.
 func (l *Layer) Network() *simnet.Network { return l.net }
+
+// SetRecorder attaches a protocol event recorder to the layer and to the
+// network underneath it (nil detaches both). The layer records EvService
+// for every handler execution stolen from a target node.
+func (l *Layer) SetRecorder(rec *perfmon.Recorder) {
+	l.rec = rec
+	l.net.SetRecorder(rec)
+}
 
 // Register installs a handler for kind on the given target node.
 // Registration happens at startup, before traffic; re-registration
@@ -112,25 +123,29 @@ func (l *Layer) Call(from, to NodeID, kind Kind, req []byte) []byte {
 
 	if from == to {
 		resp, extra := h(from, req)
-		caller.Advance(LocalCallNs + extra)
+		caller.AdvanceCat(vclock.CatProtocol, LocalCallNs+extra)
 		l.count(from, to, len(req), len(resp))
 		return resp
 	}
 
 	// Request travel: sender software + wire.
-	caller.Advance(l.link.SendSWNs + l.link.LatencyNs +
+	caller.AdvanceCat(vclock.CatNetwork, l.link.SendSWNs+l.link.LatencyNs+
 		vclock.Duration(len(req))*l.link.NsPerByte)
 
 	// Handler executes "at" the target: the target absorbs the interrupt
 	// cost, the caller's timeline includes the service time.
 	resp, extra := h(from, req)
 	service := l.link.HandlerNs + extra
-	l.net.Clock(to).Steal(service)
-	caller.Advance(service)
+	target := l.net.Clock(to)
+	target.Steal(service)
+	caller.AdvanceCat(vclock.CatProtocol, service)
+	if rec := l.rec; rec != nil && rec.Enabled() {
+		rec.Record(int(to), perfmon.EvService, target.Now(), service, uint64(from), uint64(kind))
+	}
 
 	// Response travel back.
-	caller.Advance(l.link.LatencyNs +
-		vclock.Duration(len(resp))*l.link.NsPerByte + l.link.RecvSWNs)
+	caller.AdvanceCat(vclock.CatNetwork, l.link.LatencyNs+
+		vclock.Duration(len(resp))*l.link.NsPerByte+l.link.RecvSWNs)
 
 	l.count(from, to, len(req), len(resp))
 	return resp
@@ -151,14 +166,19 @@ func (l *Layer) Notify(from, to NodeID, kind Kind, req []byte) {
 	caller := l.net.Clock(from)
 	if from == to {
 		_, extra := h(from, req)
-		caller.Advance(LocalCallNs + extra)
+		caller.AdvanceCat(vclock.CatProtocol, LocalCallNs+extra)
 		l.count(from, to, len(req), 0)
 		return
 	}
-	caller.Advance(l.link.SendSWNs +
+	caller.AdvanceCat(vclock.CatNetwork, l.link.SendSWNs+
 		vclock.Duration(len(req))*l.link.NsPerByte)
 	_, extra := h(from, req)
-	l.net.Clock(to).Steal(l.link.HandlerNs + extra)
+	service := l.link.HandlerNs + extra
+	target := l.net.Clock(to)
+	target.Steal(service)
+	if rec := l.rec; rec != nil && rec.Enabled() {
+		rec.Record(int(to), perfmon.EvService, target.Now(), service, uint64(from), uint64(kind))
+	}
 	l.count(from, to, len(req), 0)
 }
 

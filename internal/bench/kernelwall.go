@@ -20,6 +20,9 @@ type KernelWallResult struct {
 	WallNs    int64   `json:"wall_ns"`
 	VirtualNs uint64  `json:"virtual_ns"`
 	Check     float64 `json:"check"`
+	// BreakdownNs attributes virtual time by category, summed over all
+	// nodes. Per node the categories sum exactly to the node's clock.
+	BreakdownNs map[string]uint64 `json:"breakdown_ns"`
 }
 
 // KernelWall runs the standard kernel set on a 4-node software DSM — the
@@ -46,6 +49,10 @@ func KernelWall() ([]KernelWallResult, error) {
 		start := time.Now()
 		res := apps.RunOnSubstrate(d, c.kernel)
 		wall := time.Since(start)
+		var agg vclock.Breakdown
+		for i := 0; i < nodes; i++ {
+			agg = agg.Add(d.Clock(i).Breakdown())
+		}
 		d.Close()
 		out = append(out, KernelWallResult{
 			Kernel:    c.name,
@@ -54,6 +61,13 @@ func KernelWall() ([]KernelWallResult, error) {
 			WallNs:    wall.Nanoseconds(),
 			VirtualNs: uint64(apps.MaxTotal(res)),
 			Check:     res[0].Check,
+			BreakdownNs: map[string]uint64{
+				"compute":  uint64(agg.Compute),
+				"memory":   uint64(agg.Memory),
+				"protocol": uint64(agg.Protocol),
+				"network":  uint64(agg.Network),
+				"stolen":   uint64(agg.Stolen),
+			},
 		})
 	}
 	return out, nil

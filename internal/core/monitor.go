@@ -38,16 +38,33 @@ func (m *Monitor) TotalCalls() uint64 {
 	return total
 }
 
-// Reset clears one module's call counter.
+// Reset clears one module's call counter. Substrate counters and recorded
+// protocol events are left alone; use ResetAll for the full story.
 func (m *Monitor) Reset(mod Module) {
 	m.e.calls[mod].Store(0)
 }
 
-// ResetAll clears every module counter.
+// ResetAll clears this node's complete monitoring state: every module call
+// counter, the substrate's activity counters, and the node's recorded
+// protocol events. Virtual clocks (and their category attribution) are
+// never reset — they are the simulation's timeline, not monitoring state.
+// Call while the node is quiescent (between phases or outside the run).
 func (m *Monitor) ResetAll() {
 	for i := Module(0); i < moduleCount; i++ {
 		m.e.calls[i].Store(0)
 	}
+	m.e.rt.sub.ResetStats(m.e.id)
+	if rec := m.e.rt.perf; rec != nil {
+		rec.ResetNode(m.e.id)
+	}
+}
+
+// TimeBreakdown snapshots this node's virtual-time attribution. The
+// category totals sum exactly to the node's clock: every nanosecond the
+// simulation charged is tagged compute, memory, protocol, network, or
+// stolen.
+func (m *Monitor) TimeBreakdown() vclock.Breakdown {
+	return m.e.rt.sub.Clock(m.e.id).Breakdown()
 }
 
 // Substrate snapshots the base architecture's per-node counters (page
@@ -81,6 +98,18 @@ func (m *Monitor) Report() string {
 	for _, r := range rows {
 		if r.v != 0 {
 			fmt.Fprintf(&b, "  %-16s %8d\n", r.k, r.v)
+		}
+	}
+	bd := m.TimeBreakdown()
+	if total := bd.Total(); total > 0 {
+		fmt.Fprintf(&b, "  time breakdown (total %d ns):\n", uint64(total))
+		for c := vclock.Category(0); int(c) < vclock.NumCategories; c++ {
+			v := bd.Get(c)
+			if v == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "    %-10s %14d ns %5.1f%%\n",
+				c, uint64(v), 100*float64(v)/float64(total))
 		}
 	}
 	return b.String()

@@ -18,6 +18,7 @@ import (
 	"hamster/internal/hybriddsm"
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
+	"hamster/internal/perfmon"
 	"hamster/internal/platform"
 	"hamster/internal/simnet"
 	"hamster/internal/smp"
@@ -55,6 +56,11 @@ type Config struct {
 	HybridCacheThreshold int
 	// HybridDisablePostedWrites makes hybrid remote writes synchronous.
 	HybridDisablePostedWrites bool
+
+	// PerfEventCap overrides the per-node capacity of the protocol event
+	// recorder (0 = perfmon.DefaultCapacity). The recorder is always
+	// attached but starts disabled; enable it with Runtime.Perf().Enable().
+	PerfEventCap int
 }
 
 // Runtime is one HAMSTER instance: a configured base architecture plus the
@@ -76,6 +82,8 @@ type Runtime struct {
 
 	tracer  tracerSlot
 	sampler samplerSlot
+
+	perf *perfmon.Recorder // protocol event recorder, attached but disabled
 }
 
 type collResult struct {
@@ -147,6 +155,7 @@ func New(cfg Config) (*Runtime, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown platform %v", cfg.Platform)
 	}
+	rt.attachRecorder(cfg.PerfEventCap)
 	rt.buildEnvs()
 	return rt, nil
 }
@@ -159,8 +168,35 @@ func NewWithSubstrate(sub platform.Substrate, msgLink machine.Link, threaded boo
 		sub: sub,
 	}
 	rt.msgs = simnet.New(msgLink, substrateClocks(sub))
+	rt.attachRecorder(0)
 	rt.buildEnvs()
 	return rt
+}
+
+// attachRecorder creates the (initially disabled) protocol event recorder
+// and distributes it to the substrate and the user-messaging network.
+// Attachment happens before any node goroutine starts, so the recorder
+// pointers are published by goroutine creation and the hot-path check is a
+// single atomic load of the enable flag.
+func (rt *Runtime) attachRecorder(capacity int) {
+	rt.perf = perfmon.New(rt.sub.Nodes(), capacity)
+	rt.sub.SetRecorder(rt.perf)
+	rt.msgs.SetRecorder(rt.perf)
+}
+
+// Perf returns the runtime's protocol event recorder. It is attached to
+// every layer at construction but disabled; call Enable before the run to
+// start collecting events, and read them out once the run is quiescent.
+func (rt *Runtime) Perf() *perfmon.Recorder { return rt.perf }
+
+// TimeBreakdowns snapshots every node's virtual-time attribution, indexed
+// by node. Each breakdown's Total() equals the node's clock exactly.
+func (rt *Runtime) TimeBreakdowns() []vclock.Breakdown {
+	out := make([]vclock.Breakdown, rt.sub.Nodes())
+	for i := range out {
+		out[i] = rt.sub.Clock(i).Breakdown()
+	}
+	return out
 }
 
 func substrateClocks(sub platform.Substrate) []*vclock.Clock {

@@ -125,7 +125,7 @@ func (s *SyncMgr) NewEvent() *Event {
 func (s *SyncMgr) Signal(ev *Event) {
 	s.e.charge(ModSync)
 	clk := s.e.rt.sub.Clock(s.e.id)
-	clk.Advance(s.syncCost())
+	clk.AdvanceCat(vclock.CatProtocol, s.syncCost())
 	now := clk.Now()
 	ev.mu.Lock()
 	ev.fired = true
@@ -146,8 +146,8 @@ func (s *SyncMgr) Wait(ev *Event) {
 	t := ev.at
 	ev.mu.Unlock()
 	clk := s.e.rt.sub.Clock(s.e.id)
-	clk.AdvanceTo(t)
-	clk.Advance(s.syncCost())
+	clk.AdvanceToCat(vclock.CatProtocol, t)
+	clk.AdvanceCat(vclock.CatProtocol, s.syncCost())
 }
 
 // Fired reports whether the event has been signaled (non-blocking probe).

@@ -71,12 +71,12 @@ func (t *TaskMgr) SpawnOn(node int, fn func(e *Env) int64) (*Task, error) {
 		startAt = caller.Now()
 	} else {
 		link := rt.msgs.Link()
-		caller.Advance(link.SendSWNs)
+		caller.AdvanceCat(vclock.CatNetwork, link.SendSWNs)
 		startAt = caller.Now() + vclock.Time(link.LatencyNs) + vclock.Time(link.RecvSWNs)
 	}
 
 	go func() {
-		rt.sub.Clock(node).AdvanceTo(startAt)
+		rt.sub.Clock(node).AdvanceToCat(vclock.CatNetwork, startAt)
 		res := fn(target)
 		task.mu.Lock()
 		task.result = res

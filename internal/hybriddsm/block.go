@@ -2,6 +2,7 @@ package hybriddsm
 
 import (
 	"hamster/internal/memsim"
+	"hamster/internal/perfmon"
 	"hamster/internal/vclock"
 )
 
@@ -22,7 +23,7 @@ func (n *node) readRun(p memsim.PageID, off, count int, get func(fr []byte)) {
 	home := n.homeOf(p)
 
 	if home == n.id {
-		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
 		n.stats.Reads += uint64(count)
 		n.touchLocal(p)
 		hp := n.home.Frame(p)
@@ -32,7 +33,7 @@ func (n *node) readRun(p memsim.PageID, off, count int, get func(fr []byte)) {
 		return
 	}
 	if cp, ok := n.cache[p]; ok {
-		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
 		n.stats.Reads += uint64(count)
 		n.touchLocal(p)
 		n.lru.MoveToFront(cp.lru)
@@ -52,9 +53,13 @@ func (n *node) readRun(p memsim.PageID, off, count int, get func(fr []byte)) {
 			caches = true
 		}
 	}
-	clk.Advance((d.params.CPU.AccessNs + d.params.SAN.RemoteReadNs) * vclock.Duration(pio))
+	clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(pio))
+	clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.RemoteReadNs*vclock.Duration(pio))
 	n.stats.Reads += uint64(pio)
 	n.stats.RemoteReads += uint64(pio)
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvRemoteRead, clk.Now(), 0, uint64(p), uint64(pio))
+	}
 
 	hf := d.nodes[home].home.Frame(p)
 	hf.Mu.Lock()
@@ -68,7 +73,9 @@ func (n *node) readRun(p memsim.PageID, off, count int, get func(fr []byte)) {
 	}
 	// Threshold reached: install the page (the readCount bookkeeping and
 	// eviction mirror maybeCache) and serve the rest from the cache.
-	clk.Advance(d.params.SAN.PageFetchNs + d.params.CPU.PageCopyNs)
+	t0 := clk.Now()
+	clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.PageFetchNs)
+	clk.AdvanceCat(vclock.CatMemory, d.params.CPU.PageCopyNs)
 	data := make([]byte, memsim.PageSize)
 	copy(data, hf.Data)
 	hf.Mu.Unlock()
@@ -76,6 +83,9 @@ func (n *node) readRun(p memsim.PageID, off, count int, get func(fr []byte)) {
 	cp.lru = n.lru.PushFront(p)
 	n.cache[p] = cp
 	n.stats.PageFaults++
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvPageFault, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(home))
+	}
 	delete(n.readCount, p)
 	for len(n.cache) > d.cacheCap {
 		el := n.lru.Back()
@@ -85,7 +95,7 @@ func (n *node) readRun(p memsim.PageID, off, count int, get func(fr []byte)) {
 		n.stats.Evictions++
 	}
 	if rest := count - pio; rest > 0 {
-		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(rest))
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(rest))
 		n.stats.Reads += uint64(rest)
 		n.touchLocal(p)
 	}
@@ -96,7 +106,7 @@ func (n *node) readRun(p memsim.PageID, off, count int, get func(fr []byte)) {
 func (n *node) writeRun(p memsim.PageID, off, count int, put func(fr []byte)) {
 	d := n.dsm
 	clk := d.clocks[n.id]
-	clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+	clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
 	n.stats.Writes += uint64(count)
 	n.written[p] = struct{}{}
 	home := n.homeOf(p)
@@ -110,12 +120,15 @@ func (n *node) writeRun(p memsim.PageID, off, count int, put func(fr []byte)) {
 		return
 	}
 	if d.posted {
-		clk.Advance(d.params.SAN.RemoteWriteNs * vclock.Duration(count))
+		clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.RemoteWriteNs*vclock.Duration(count))
 		n.postedOut += count
 	} else {
-		clk.Advance(d.params.SAN.RemoteReadNs * vclock.Duration(count))
+		clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.RemoteReadNs*vclock.Duration(count))
 	}
 	n.stats.RemoteWrites += uint64(count)
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvRemoteWrite, clk.Now(), 0, uint64(p), uint64(count))
+	}
 	hf := d.nodes[home].home.Frame(p)
 	hf.Mu.Lock()
 	put(hf.Data)

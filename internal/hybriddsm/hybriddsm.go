@@ -34,6 +34,7 @@ import (
 	"hamster/internal/memsim"
 	"hamster/internal/notices"
 	"hamster/internal/pagestore"
+	"hamster/internal/perfmon"
 	"hamster/internal/platform"
 	"hamster/internal/vclock"
 )
@@ -82,6 +83,8 @@ type DSM struct {
 
 	vb       *vclock.VBarrier
 	exchange *notices.EpochExchange
+
+	rec *perfmon.Recorder // protocol event recorder; nil until attached
 }
 
 type lockState struct {
@@ -214,6 +217,12 @@ func (d *DSM) Compute(node int, flops uint64) {
 // quiescent.
 func (d *DSM) NodeStats(node int) platform.Stats { return d.nodes[node].stats }
 
+// ResetStats implements platform.Substrate. Quiescent use only.
+func (d *DSM) ResetStats(node int) { d.nodes[node].stats = platform.Stats{} }
+
+// SetRecorder implements platform.Substrate.
+func (d *DSM) SetRecorder(rec *perfmon.Recorder) { d.rec = rec }
+
 // Close implements platform.Substrate.
 func (d *DSM) Close() {}
 
@@ -227,7 +236,7 @@ func (d *DSM) access(nodeID int) *node {
 // touchLocal charges the CPU-cache model for one local page reference.
 func (n *node) touchLocal(p memsim.PageID) {
 	if !n.pcache.Touch(uint64(p)) {
-		n.dsm.clocks[n.id].Advance(n.dsm.params.Bus.MissCost())
+		n.dsm.clocks[n.id].AdvanceCat(vclock.CatMemory, n.dsm.params.Bus.MissCost())
 		n.stats.CacheMisses++
 	}
 }
@@ -244,7 +253,7 @@ func (n *node) homeOf(p memsim.PageID) int {
 func (n *node) readWord(a memsim.Addr, get func(fr []byte, off int) uint64) uint64 {
 	d := n.dsm
 	clk := d.clocks[n.id]
-	clk.Advance(d.params.CPU.AccessNs)
+	clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs)
 	n.stats.Reads++
 	p := memsim.PageOf(a)
 	off := memsim.Offset(a)
@@ -264,8 +273,11 @@ func (n *node) readWord(a memsim.Addr, get func(fr []byte, off int) uint64) uint
 		return get(cp.data, off)
 	}
 	// Uncached remote read: PIO load over the SAN.
-	clk.Advance(d.params.SAN.RemoteReadNs)
+	clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.RemoteReadNs)
 	n.stats.RemoteReads++
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvRemoteRead, clk.Now(), 0, uint64(p), 1)
+	}
 	hf := d.nodes[home].home.Frame(p)
 	hf.Mu.Lock()
 	v := get(hf.Data, off)
@@ -285,13 +297,19 @@ func (n *node) maybeCache(p memsim.PageID, homeData []byte) {
 		return
 	}
 	d := n.dsm
-	d.clocks[n.id].Advance(d.params.SAN.PageFetchNs + d.params.CPU.PageCopyNs)
+	clk := d.clocks[n.id]
+	t0 := clk.Now()
+	clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.PageFetchNs)
+	clk.AdvanceCat(vclock.CatMemory, d.params.CPU.PageCopyNs)
 	data := make([]byte, memsim.PageSize)
 	copy(data, homeData)
 	cp := &cpage{data: data}
 	cp.lru = n.lru.PushFront(p)
 	n.cache[p] = cp
 	n.stats.PageFaults++ // block transfers counted as "faults" for parity
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvPageFault, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(d.space.Home(p)))
+	}
 	delete(n.readCount, p)
 	for len(n.cache) > d.cacheCap {
 		el := n.lru.Back()
@@ -307,7 +325,7 @@ func (n *node) maybeCache(p memsim.PageID, homeData []byte) {
 func (n *node) writeWord(a memsim.Addr, put func(fr []byte, off int)) {
 	d := n.dsm
 	clk := d.clocks[n.id]
-	clk.Advance(d.params.CPU.AccessNs)
+	clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs)
 	n.stats.Writes++
 	p := memsim.PageOf(a)
 	off := memsim.Offset(a)
@@ -323,12 +341,15 @@ func (n *node) writeWord(a memsim.Addr, put func(fr []byte, off int)) {
 		return
 	}
 	if d.posted {
-		clk.Advance(d.params.SAN.RemoteWriteNs)
+		clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.RemoteWriteNs)
 		n.postedOut++
 	} else {
-		clk.Advance(d.params.SAN.RemoteReadNs) // synchronous PIO store
+		clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.RemoteReadNs) // synchronous PIO store
 	}
 	n.stats.RemoteWrites++
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvRemoteWrite, clk.Now(), 0, uint64(p), 1)
+	}
 	hf := d.nodes[home].home.Frame(p)
 	hf.Mu.Lock()
 	put(hf.Data, off)
@@ -383,7 +404,7 @@ func (n *node) readSpan(p memsim.PageID, off int, buf []byte) {
 	d := n.dsm
 	clk := d.clocks[n.id]
 	words := vclock.Duration(1 + len(buf)/memsim.WordSize)
-	clk.Advance(d.params.CPU.AccessNs * words)
+	clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*words)
 	n.stats.Reads++
 	home := n.homeOf(p)
 	if home == n.id {
@@ -400,8 +421,11 @@ func (n *node) readSpan(p memsim.PageID, off int, buf []byte) {
 		copy(buf, cp.data[off:off+len(buf)])
 		return
 	}
-	clk.Advance(d.params.SAN.RemoteReadNs * words)
+	clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.RemoteReadNs*words)
 	n.stats.RemoteReads += uint64(words)
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvRemoteRead, clk.Now(), 0, uint64(p), uint64(words))
+	}
 	hf := d.nodes[home].home.Frame(p)
 	hf.Mu.Lock()
 	copy(buf, hf.Data[off:off+len(buf)])
@@ -429,7 +453,7 @@ func (n *node) writeSpan(p memsim.PageID, off int, data []byte) {
 	d := n.dsm
 	clk := d.clocks[n.id]
 	words := vclock.Duration(1 + len(data)/memsim.WordSize)
-	clk.Advance(d.params.CPU.AccessNs * words)
+	clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*words)
 	n.stats.Writes++
 	n.written[p] = struct{}{}
 	home := n.homeOf(p)
@@ -442,12 +466,15 @@ func (n *node) writeSpan(p memsim.PageID, off int, data []byte) {
 		return
 	}
 	if d.posted {
-		clk.Advance(d.params.SAN.RemoteWriteNs * words)
+		clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.RemoteWriteNs*words)
 		n.postedOut += int(words)
 	} else {
-		clk.Advance(d.params.SAN.RemoteReadNs * words)
+		clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.RemoteReadNs*words)
 	}
 	n.stats.RemoteWrites += uint64(words)
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvRemoteWrite, clk.Now(), 0, uint64(p), uint64(words))
+	}
 	hf := d.nodes[home].home.Frame(p)
 	hf.Mu.Lock()
 	copy(hf.Data[off:off+len(data)], data)
@@ -460,7 +487,7 @@ func (n *node) writeSpan(p memsim.PageID, off int, data []byte) {
 // storeBarrier drains the posted-write FIFO.
 func (n *node) storeBarrier() {
 	if n.postedOut > 0 {
-		n.dsm.clocks[n.id].Advance(n.dsm.params.SAN.StoreBarrierNs)
+		n.dsm.clocks[n.id].AdvanceCat(vclock.CatNetwork, n.dsm.params.SAN.StoreBarrierNs)
 		n.postedOut = 0
 	}
 }
@@ -512,28 +539,48 @@ func (d *DSM) lock(id int) *lockState {
 func (d *DSM) Acquire(nodeID, lock int) {
 	n := d.access(nodeID)
 	st := d.lock(lock)
-	st.vl.Acquire(d.clocks[nodeID], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
+	clk := d.clocks[nodeID]
+	t0 := clk.Now()
+	st.vl.Acquire(clk, d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
 	n.invalidate(st.pending.Take(nodeID))
 	n.stats.LockAcquires++
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvLockAcquire, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
 }
 
 // Release implements platform.Substrate.
 func (d *DSM) Release(nodeID, lock int) {
 	n := d.access(nodeID)
 	st := d.lock(lock)
+	clk := d.clocks[nodeID]
+	t0 := clk.Now()
 	n.storeBarrier()
-	st.pending.AddForOthers(nodeID, len(d.nodes), n.collectNotices())
-	st.vl.Release(d.clocks[nodeID], d.params.SAN.SyncMsgNs)
+	notes := n.collectNotices()
+	st.pending.AddForOthers(nodeID, len(d.nodes), notes)
+	if rec := d.rec; rec != nil && rec.Enabled() && len(notes) > 0 {
+		rec.Record(nodeID, perfmon.EvWriteNotice, clk.Now(), 0, uint64(len(notes)), uint64(lock))
+	}
+	st.vl.Release(clk, d.params.SAN.SyncMsgNs)
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvLockRelease, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
 }
 
 // Barrier implements platform.Substrate.
 func (d *DSM) Barrier(nodeID int) {
 	n := d.access(nodeID)
+	clk := d.clocks[nodeID]
+	t0 := clk.Now()
 	n.storeBarrier()
 	epoch := n.epoch
 	n.epoch++
-	d.exchange.Deposit(epoch, nodeID, n.collectNotices())
-	d.vb.Arrive(d.clocks[nodeID], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
+	notes := n.collectNotices()
+	d.exchange.Deposit(epoch, nodeID, notes)
+	if rec := d.rec; rec != nil && rec.Enabled() && len(notes) > 0 {
+		rec.Record(nodeID, perfmon.EvWriteNotice, clk.Now(), 0, uint64(len(notes)), ^uint64(0))
+	}
+	d.vb.Arrive(clk, d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
 	n.invalidate(d.exchange.CollectOthers(epoch, nodeID))
 
 	d.lockMu.Lock()
@@ -543,6 +590,9 @@ func (d *DSM) Barrier(nodeID int) {
 		n.invalidate(st.pending.Take(nodeID))
 	}
 	n.stats.BarrierCrossings++
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvBarrier, t0, vclock.Since(t0, clk.Now()), epoch, 0)
+	}
 }
 
 // Fence implements platform.Substrate: drain posted writes and drop the
@@ -564,11 +614,16 @@ func (d *DSM) Fence(nodeID int) {
 func (d *DSM) TryAcquire(nodeID, lock int) bool {
 	n := d.access(nodeID)
 	st := d.lock(lock)
-	if !st.vl.TryAcquire(d.clocks[nodeID], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs) {
+	clk := d.clocks[nodeID]
+	t0 := clk.Now()
+	if !st.vl.TryAcquire(clk, d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs) {
 		return false
 	}
 	n.invalidate(st.pending.Take(nodeID))
 	n.stats.LockAcquires++
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvLockAcquire, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
 	return true
 }
 

@@ -35,6 +35,7 @@ import (
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
 	"hamster/internal/notices"
+	"hamster/internal/perfmon"
 	"hamster/internal/platform"
 	"hamster/internal/swdsm"
 	"hamster/internal/vclock"
@@ -93,6 +94,8 @@ type DSM struct {
 	vb       *vclock.VBarrier
 	exchange *notices.EpochExchange
 	epochs   []uint64 // per-node barrier epoch
+
+	rec *perfmon.Recorder // protocol event recorder; nil until attached
 }
 
 type mixLock struct {
@@ -349,34 +352,59 @@ func (d *DSM) invalidateBoth(node int, pages []memsim.PageID) {
 // Acquire implements platform.Substrate. Sync tokens ride the SAN.
 func (d *DSM) Acquire(node, lock int) {
 	st := d.lock(lock)
-	st.vl.Acquire(d.clocks[node], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
+	clk := d.clocks[node]
+	t0 := clk.Now()
+	st.vl.Acquire(clk, d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
 	d.invalidateBoth(node, st.pending.Take(node))
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(node, perfmon.EvLockAcquire, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
 }
 
 // TryAcquire implements platform.Substrate.
 func (d *DSM) TryAcquire(node, lock int) bool {
 	st := d.lock(lock)
-	if !st.vl.TryAcquire(d.clocks[node], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs) {
+	clk := d.clocks[node]
+	t0 := clk.Now()
+	if !st.vl.TryAcquire(clk, d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs) {
 		return false
 	}
 	d.invalidateBoth(node, st.pending.Take(node))
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(node, perfmon.EvLockAcquire, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
 	return true
 }
 
 // Release implements platform.Substrate.
 func (d *DSM) Release(node, lock int) {
 	st := d.lock(lock)
-	st.pending.AddForOthers(node, len(d.clocks), d.flushBoth(node))
-	st.vl.Release(d.clocks[node], d.params.SAN.SyncMsgNs)
+	clk := d.clocks[node]
+	t0 := clk.Now()
+	notes := d.flushBoth(node)
+	st.pending.AddForOthers(node, len(d.clocks), notes)
+	if rec := d.rec; rec != nil && rec.Enabled() && len(notes) > 0 {
+		rec.Record(node, perfmon.EvWriteNotice, clk.Now(), 0, uint64(len(notes)), uint64(lock))
+	}
+	st.vl.Release(clk, d.params.SAN.SyncMsgNs)
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(node, perfmon.EvLockRelease, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
 }
 
 // Barrier implements platform.Substrate: one rendezvous performing both
 // engines' global consistency actions.
 func (d *DSM) Barrier(node int) {
+	clk := d.clocks[node]
+	t0 := clk.Now()
 	epoch := d.epochs[node]
 	d.epochs[node]++
-	d.exchange.Deposit(epoch, node, d.flushBoth(node))
-	d.vb.Arrive(d.clocks[node], d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
+	notes := d.flushBoth(node)
+	d.exchange.Deposit(epoch, node, notes)
+	if rec := d.rec; rec != nil && rec.Enabled() && len(notes) > 0 {
+		rec.Record(node, perfmon.EvWriteNotice, clk.Now(), 0, uint64(len(notes)), ^uint64(0))
+	}
+	d.vb.Arrive(clk, d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
 	d.invalidateBoth(node, d.exchange.CollectOthers(epoch, node))
 
 	d.lockMu.Lock()
@@ -384,6 +412,9 @@ func (d *DSM) Barrier(node int) {
 	d.lockMu.Unlock()
 	for _, st := range locks {
 		d.invalidateBoth(node, st.pending.Take(node))
+	}
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(node, perfmon.EvBarrier, t0, vclock.Since(t0, clk.Now()), epoch, 0)
 	}
 }
 
@@ -416,6 +447,20 @@ func (d *DSM) NodeStats(node int) platform.Stats {
 		CacheMisses:      a.CacheMisses + b.CacheMisses,
 		HomeMigrations:   a.HomeMigrations + b.HomeMigrations,
 	}
+}
+
+// ResetStats implements platform.Substrate: resets both engines' counters.
+func (d *DSM) ResetStats(node int) {
+	d.sw.ResetStats(node)
+	d.hy.ResetStats(node)
+}
+
+// SetRecorder implements platform.Substrate: attaches the recorder to the
+// composition's own synchronization layer and to both engines.
+func (d *DSM) SetRecorder(rec *perfmon.Recorder) {
+	d.rec = rec
+	d.sw.SetRecorder(rec)
+	d.hy.SetRecorder(rec)
 }
 
 // Close implements platform.Substrate.

@@ -1,0 +1,123 @@
+package perfmon_test
+
+import (
+	"testing"
+	"time"
+
+	"hamster/internal/memsim"
+	"hamster/internal/perfmon"
+	"hamster/internal/platform"
+	"hamster/internal/smp"
+	"hamster/internal/swdsm"
+)
+
+// The disabled-recorder contract: the word-access hot path performs ZERO
+// allocations with a recorder attached. The guard is one nil check plus
+// one atomic load; no event arguments may be evaluated.
+func TestAccessHotPathZeroAllocs(t *testing.T) {
+	subs := []struct {
+		name  string
+		build func() (platform.Substrate, error)
+	}{
+		{"swdsm", func() (platform.Substrate, error) { return swdsm.New(swdsm.Config{Nodes: 1}) }},
+		{"smp", func() (platform.Substrate, error) { return smp.New(smp.Config{CPUs: 1}) }},
+	}
+	for _, tc := range subs {
+		t.Run(tc.name, func(t *testing.T) {
+			sub, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sub.Close()
+			rec := perfmon.New(1, 0)
+			sub.SetRecorder(rec)
+			region, err := sub.Alloc(memsim.PageSize, "hot", memsim.Block, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := region.Base
+			// Warm any lazily grown internal state before measuring.
+			for i := 0; i < 1024; i++ {
+				sub.WriteF64(0, a, float64(i))
+				_ = sub.ReadF64(0, a)
+			}
+			allocs := testing.AllocsPerRun(1000, func() {
+				sub.WriteF64(0, a, 1.0)
+				_ = sub.ReadF64(0, a)
+			})
+			if allocs != 0 {
+				t.Fatalf("disabled recorder: %v allocs per access pair, want 0", allocs)
+			}
+			// Enabled recording stays allocation-free too: slots are
+			// claimed in the preallocated ring.
+			rec.Enable()
+			allocs = testing.AllocsPerRun(1000, func() {
+				sub.WriteF64(0, a, 1.0)
+				_ = sub.ReadF64(0, a)
+			})
+			if allocs != 0 {
+				t.Fatalf("enabled recorder: %v allocs per access pair, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkTracingDisabledOverhead measures the local word-access loop
+// with an attached-but-disabled recorder and enforces the <2% slowdown
+// budget against the identical loop on a bare substrate. Only run under
+// -bench, so the wall-clock comparison never flakes the regular suite.
+func BenchmarkTracingDisabledOverhead(b *testing.B) {
+	build := func(attach bool) (*swdsm.DSM, memsim.Addr) {
+		d, err := swdsm.New(swdsm.Config{Nodes: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if attach {
+			d.SetRecorder(perfmon.New(1, 0))
+		}
+		region, err := d.Alloc(memsim.PageSize, "hot", memsim.Block, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d, region.Base
+	}
+
+	const loops = 1 << 16
+	measure := func(d *swdsm.DSM, a memsim.Addr) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for trial := 0; trial < 7; trial++ {
+			start := time.Now()
+			for i := 0; i < loops; i++ {
+				d.WriteF64(0, a, float64(i))
+				_ = d.ReadF64(0, a)
+			}
+			if el := time.Since(start); el < best {
+				best = el
+			}
+		}
+		return best
+	}
+
+	bare, bareAddr := build(false)
+	defer bare.Close()
+	traced, tracedAddr := build(true)
+	defer traced.Close()
+	measure(bare, bareAddr) // warm both before comparing
+	measure(traced, tracedAddr)
+	bareBest := measure(bare, bareAddr)
+	tracedBest := measure(traced, tracedAddr)
+
+	slowdown := float64(tracedBest-bareBest) / float64(bareBest)
+	b.ReportMetric(slowdown*100, "%slowdown")
+	if slowdown > 0.02 {
+		b.Errorf("attached-but-disabled recorder costs %.2f%% on the access hot path, budget is 2%% (bare %v, traced %v)",
+			slowdown*100, bareBest, tracedBest)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		traced.WriteF64(0, tracedAddr, float64(i))
+		_ = traced.ReadF64(0, tracedAddr)
+	}
+}

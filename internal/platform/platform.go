@@ -11,6 +11,7 @@ package platform
 import (
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
+	"hamster/internal/perfmon"
 	"hamster/internal/vclock"
 )
 
@@ -162,6 +163,14 @@ type Substrate interface {
 
 	// NodeStats snapshots a node's activity counters.
 	NodeStats(node int) Stats
+	// ResetStats zeroes a node's activity counters (the Stats snapshot
+	// baseline). Virtual clocks are NOT touched: a clock's attribution
+	// must always sum to its Now(), so time is never resettable piecemeal.
+	ResetStats(node int)
+	// SetRecorder attaches a protocol event recorder (nil detaches). The
+	// substrate — and any messaging layers it owns — emits typed events
+	// into it while it is enabled. Call before the run starts.
+	SetRecorder(rec *perfmon.Recorder)
 	// Close releases resources and unblocks any waiting nodes.
 	Close()
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"hamster/internal/machine"
+	"hamster/internal/perfmon"
 	"hamster/internal/vclock"
 )
 
@@ -56,6 +57,11 @@ type FaultPlan struct {
 	ReorderProb float64
 	// DuplicateProb is the probability that a message is delivered twice.
 	DuplicateProb float64
+	// JitterNs adds a per-message uniform random latency in [0, JitterNs)
+	// virtual nanoseconds to the arrival time, modeling switch queueing
+	// variance. Drawn from the seeded source, so a given (plan, traffic)
+	// pair always produces the same delays.
+	JitterNs vclock.Duration
 	// Seed makes the perturbation deterministic.
 	Seed int64
 }
@@ -69,6 +75,8 @@ type Network struct {
 	faultMu sync.Mutex
 	rng     *rand.Rand
 	faults  FaultPlan
+
+	rec *perfmon.Recorder // protocol event recorder; nil until attached
 }
 
 // Stats aggregates network activity. All fields are protected by the
@@ -114,13 +122,22 @@ func New(link machine.Link, clocks []*vclock.Clock) *Network {
 	return n
 }
 
-// SetFaults installs a fault plan. Call before traffic starts.
+// SetFaults installs a fault plan, replacing any previous one and
+// restarting the seeded random source. Safe to call at any time,
+// including while traffic is in flight: every read of the plan happens
+// under the same mutex this write takes, so in-flight messages simply
+// see either the old or the new plan. Messages already queued keep the
+// arrival times they were stamped with.
 func (n *Network) SetFaults(p FaultPlan) {
 	n.faultMu.Lock()
 	n.faults = p
 	n.rng = rand.New(rand.NewSource(p.Seed))
 	n.faultMu.Unlock()
 }
+
+// SetRecorder attaches a protocol event recorder (nil detaches). The
+// network records EvMsgSend/EvMsgRecv for queued-message traffic.
+func (n *Network) SetRecorder(rec *perfmon.Recorder) { n.rec = rec }
 
 // Size returns the number of nodes.
 func (n *Network) Size() int { return len(n.nodes) }
@@ -145,12 +162,21 @@ func (n *Network) Send(from, to NodeID, kind Kind, tag uint32, payload []byte) {
 	n.checkID(from)
 	n.checkID(to)
 	src := n.nodes[from]
-	src.clock.Advance(n.link.SendSWNs)
+	t0 := src.clock.Now()
+	src.clock.AdvanceCat(vclock.CatNetwork, n.link.SendSWNs)
 	arrive := src.clock.Now() +
 		vclock.Time(n.link.LatencyNs) +
 		vclock.Time(uint64(len(payload))*uint64(n.link.NsPerByte))
+	n.faultMu.Lock()
+	if n.rng != nil && n.faults.JitterNs > 0 {
+		arrive += vclock.Time(n.rng.Int63n(int64(n.faults.JitterNs)))
+	}
+	n.faultMu.Unlock()
 	m := &Message{From: from, To: to, Kind: kind, Tag: tag, Payload: payload, ArriveAt: arrive}
 	n.stats.add(len(payload))
+	if rec := n.rec; rec != nil && rec.Enabled() {
+		rec.Record(int(from), perfmon.EvMsgSend, t0, vclock.Since(t0, src.clock.Now()), uint64(to), uint64(len(payload)))
+	}
 	n.deliver(m)
 }
 
@@ -210,8 +236,12 @@ func (n *Network) Recv(self NodeID, match func(*Message) bool) *Message {
 			m := ep.queue[best]
 			ep.queue = append(ep.queue[:best], ep.queue[best+1:]...)
 			ep.mu.Unlock()
-			ep.clock.AdvanceTo(m.ArriveAt)
-			ep.clock.Advance(n.link.RecvSWNs)
+			t0 := ep.clock.Now()
+			ep.clock.AdvanceToCat(vclock.CatNetwork, m.ArriveAt)
+			ep.clock.AdvanceCat(vclock.CatNetwork, n.link.RecvSWNs)
+			if rec := n.rec; rec != nil && rec.Enabled() {
+				rec.Record(int(self), perfmon.EvMsgRecv, t0, vclock.Since(t0, ep.clock.Now()), uint64(m.From), uint64(len(m.Payload)))
+			}
 			return m
 		}
 		if ep.closed {
@@ -244,8 +274,12 @@ func (n *Network) TryRecv(self NodeID, match func(*Message) bool) *Message {
 	m := ep.queue[best]
 	ep.queue = append(ep.queue[:best], ep.queue[best+1:]...)
 	ep.mu.Unlock()
-	ep.clock.AdvanceTo(m.ArriveAt)
-	ep.clock.Advance(n.link.RecvSWNs)
+	t0 := ep.clock.Now()
+	ep.clock.AdvanceToCat(vclock.CatNetwork, m.ArriveAt)
+	ep.clock.AdvanceCat(vclock.CatNetwork, n.link.RecvSWNs)
+	if rec := n.rec; rec != nil && rec.Enabled() {
+		rec.Record(int(self), perfmon.EvMsgRecv, t0, vclock.Since(t0, ep.clock.Now()), uint64(m.From), uint64(len(m.Payload)))
+	}
 	return m
 }
 

@@ -16,11 +16,11 @@ import (
 // page: the batched equivalent of words touch() calls.
 func (s *SMP) touchRun(c *cpu, id int, p memsim.PageID, words int) {
 	clk := s.clocks[id]
-	clk.Advance(s.params.CPU.AccessNs * vclock.Duration(words))
+	clk.AdvanceCat(vclock.CatMemory, s.params.CPU.AccessNs*vclock.Duration(words))
 	if c.pcache.Touch(uint64(p)) {
 		return
 	}
-	clk.Advance(s.dram)
+	clk.AdvanceCat(vclock.CatMemory, s.dram)
 	c.stats.CacheMisses++
 }
 

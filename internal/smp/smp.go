@@ -20,6 +20,7 @@ import (
 
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
+	"hamster/internal/perfmon"
 	"hamster/internal/platform"
 	"hamster/internal/vclock"
 )
@@ -44,6 +45,8 @@ type SMP struct {
 	lockMu sync.Mutex
 	locks  []*vclock.VLock
 	vb     *vclock.VBarrier
+
+	rec *perfmon.Recorder // protocol event recorder; nil until attached
 }
 
 // cpu holds the per-processor cache model. Owner-goroutine state only.
@@ -120,6 +123,12 @@ func (s *SMP) Compute(node int, flops uint64) {
 // NodeStats implements platform.Substrate.
 func (s *SMP) NodeStats(node int) platform.Stats { return s.cpus[node].stats }
 
+// ResetStats implements platform.Substrate.
+func (s *SMP) ResetStats(node int) { s.cpus[node].stats = platform.Stats{} }
+
+// SetRecorder implements platform.Substrate.
+func (s *SMP) SetRecorder(rec *perfmon.Recorder) { s.rec = rec }
+
 // Close implements platform.Substrate.
 func (s *SMP) Close() {}
 
@@ -136,11 +145,11 @@ func (s *SMP) cpuOf(id int) *cpu {
 // private while the SMP's CPUs share one.
 func (s *SMP) touch(c *cpu, id int, p memsim.PageID) {
 	clk := s.clocks[id]
-	clk.Advance(s.params.CPU.AccessNs)
+	clk.AdvanceCat(vclock.CatMemory, s.params.CPU.AccessNs)
 	if c.pcache.Touch(uint64(p)) {
 		return
 	}
-	clk.Advance(s.dram)
+	clk.AdvanceCat(vclock.CatMemory, s.dram)
 	c.stats.CacheMisses++
 }
 
@@ -188,7 +197,7 @@ func (s *SMP) ReadBytes(id int, a memsim.Addr, buf []byte) {
 		}
 		c.stats.Reads++
 		s.touch(c, id, p)
-		s.clocks[id].Advance(s.params.CPU.AccessNs * vclock.Duration(chunk/memsim.WordSize))
+		s.clocks[id].AdvanceCat(vclock.CatMemory, s.params.CPU.AccessNs*vclock.Duration(chunk/memsim.WordSize))
 		copy(buf[:chunk], s.mem.Frame(p)[off:off+chunk])
 		buf = buf[chunk:]
 		a += memsim.Addr(chunk)
@@ -207,7 +216,7 @@ func (s *SMP) WriteBytes(id int, a memsim.Addr, data []byte) {
 		}
 		c.stats.Writes++
 		s.touch(c, id, p)
-		s.clocks[id].Advance(s.params.CPU.AccessNs * vclock.Duration(chunk/memsim.WordSize))
+		s.clocks[id].AdvanceCat(vclock.CatMemory, s.params.CPU.AccessNs*vclock.Duration(chunk/memsim.WordSize))
 		copy(s.mem.Frame(p)[off:off+chunk], data[:chunk])
 		data = data[chunk:]
 		a += memsim.Addr(chunk)
@@ -234,31 +243,52 @@ func (s *SMP) lock(id int) *vclock.VLock {
 
 // Acquire implements platform.Substrate: a locked bus transaction.
 func (s *SMP) Acquire(node, lock int) {
-	s.lock(lock).Acquire(s.clocks[node], s.params.Bus.SyncNs, 0)
+	clk := s.clocks[node]
+	t0 := clk.Now()
+	s.lock(lock).Acquire(clk, s.params.Bus.SyncNs, 0)
 	s.cpus[node].stats.LockAcquires++
+	if rec := s.rec; rec != nil && rec.Enabled() {
+		rec.Record(node, perfmon.EvLockAcquire, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
 }
 
 // Release implements platform.Substrate.
 func (s *SMP) Release(node, lock int) {
-	s.lock(lock).Release(s.clocks[node], s.params.Bus.SyncNs)
+	clk := s.clocks[node]
+	t0 := clk.Now()
+	s.lock(lock).Release(clk, s.params.Bus.SyncNs)
+	if rec := s.rec; rec != nil && rec.Enabled() {
+		rec.Record(node, perfmon.EvLockRelease, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
 }
 
 // Barrier implements platform.Substrate: a counter barrier on atomics.
 func (s *SMP) Barrier(node int) {
-	s.vb.Arrive(s.clocks[node], s.params.Bus.SyncNs, s.params.Bus.SyncNs)
+	clk := s.clocks[node]
+	t0 := clk.Now()
+	epoch := s.cpus[node].stats.BarrierCrossings
+	s.vb.Arrive(clk, s.params.Bus.SyncNs, s.params.Bus.SyncNs)
 	s.cpus[node].stats.BarrierCrossings++
+	if rec := s.rec; rec != nil && rec.Enabled() {
+		rec.Record(node, perfmon.EvBarrier, t0, vclock.Since(t0, clk.Now()), epoch, 0)
+	}
 }
 
 // Fence implements platform.Substrate: a memory fence instruction.
 func (s *SMP) Fence(node int) {
-	s.clocks[node].Advance(s.params.Bus.SyncNs)
+	s.clocks[node].AdvanceCat(vclock.CatProtocol, s.params.Bus.SyncNs)
 }
 
 // TryAcquire implements platform.Substrate: a compare-and-swap attempt.
 func (s *SMP) TryAcquire(node, lock int) bool {
-	if !s.lock(lock).TryAcquire(s.clocks[node], s.params.Bus.SyncNs, 0) {
+	clk := s.clocks[node]
+	t0 := clk.Now()
+	if !s.lock(lock).TryAcquire(clk, s.params.Bus.SyncNs, 0) {
 		return false
 	}
 	s.cpus[node].stats.LockAcquires++
+	if rec := s.rec; rec != nil && rec.Enabled() {
+		rec.Record(node, perfmon.EvLockAcquire, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
 	return true
 }

@@ -21,7 +21,7 @@ func (d *DSM) ReadF64Block(nodeID int, a memsim.Addr, dst []float64) {
 	n.stats.BlockReads++
 	clk := d.clocks[nodeID]
 	memsim.WordRuns(a, len(dst), func(p memsim.PageID, off, count int) {
-		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
 		n.stats.Reads += uint64(count)
 		n.touchLocal(p)
 		fr, hp := n.frameForRead(p)
@@ -39,7 +39,7 @@ func (d *DSM) WriteF64Block(nodeID int, a memsim.Addr, src []float64) {
 	n.stats.BlockWrites++
 	clk := d.clocks[nodeID]
 	memsim.WordRuns(a, len(src), func(p memsim.PageID, off, count int) {
-		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
 		n.stats.Writes += uint64(count)
 		n.touchLocal(p)
 		fr, hp := n.prepareWrite(p)
@@ -57,7 +57,7 @@ func (d *DSM) ReadI64Block(nodeID int, a memsim.Addr, dst []int64) {
 	n.stats.BlockReads++
 	clk := d.clocks[nodeID]
 	memsim.WordRuns(a, len(dst), func(p memsim.PageID, off, count int) {
-		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
 		n.stats.Reads += uint64(count)
 		n.touchLocal(p)
 		fr, hp := n.frameForRead(p)
@@ -75,7 +75,7 @@ func (d *DSM) WriteI64Block(nodeID int, a memsim.Addr, src []int64) {
 	n.stats.BlockWrites++
 	clk := d.clocks[nodeID]
 	memsim.WordRuns(a, len(src), func(p memsim.PageID, off, count int) {
-		clk.Advance(d.params.CPU.AccessNs * vclock.Duration(count))
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
 		n.stats.Writes += uint64(count)
 		n.touchLocal(p)
 		fr, hp := n.prepareWrite(p)

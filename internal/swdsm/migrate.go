@@ -5,6 +5,7 @@ import (
 
 	"hamster/internal/amsg"
 	"hamster/internal/memsim"
+	"hamster/internal/perfmon"
 	"hamster/internal/simnet"
 	"hamster/internal/vclock"
 )
@@ -130,14 +131,19 @@ func (n *node) performMigrations(pages []memsim.PageID) {
 		if oldHome == n.id || oldHome == memsim.NoHome {
 			continue
 		}
+		clk := d.clocks[n.id]
+		t0 := clk.Now()
 		req := amsg.NewEnc(8).U64(uint64(p)).Bytes()
 		data := d.layer.Call(simnet.NodeID(n.id), simnet.NodeID(oldHome), kindMigrate, req)
 		hp := n.home.Frame(p)
 		hp.Mu.Lock()
 		copy(hp.Data, data)
 		hp.Mu.Unlock()
-		d.clocks[n.id].Advance(d.params.CPU.PageCopyNs)
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.PageCopyNs)
 		d.space.SetHome(p, n.id)
+		if rec := d.rec; rec != nil && rec.Enabled() {
+			rec.Record(n.id, perfmon.EvHomeMigrate, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(oldHome))
+		}
 		// The page is now home-resident: retire the cached copy.
 		if cp, ok := n.cache[p]; ok {
 			n.lru.Remove(cp.lru)

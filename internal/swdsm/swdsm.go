@@ -30,6 +30,7 @@ import (
 	"hamster/internal/memsim"
 	"hamster/internal/notices"
 	"hamster/internal/pagestore"
+	"hamster/internal/perfmon"
 	"hamster/internal/platform"
 	"hamster/internal/simnet"
 	"hamster/internal/vclock"
@@ -118,6 +119,8 @@ type DSM struct {
 	locks  []*lockState
 
 	barrier *barrierState
+
+	rec *perfmon.Recorder // protocol event recorder; nil until attached
 }
 
 // cpage is one cached remote page. Owned exclusively by the node's
@@ -287,7 +290,7 @@ func (d *DSM) registerHandlers(n *node) {
 		hp.Mu.Unlock()
 		return out, d.params.CPU.PageCopyNs
 	})
-	d.layer.Register(id, kindApplyDiff, func(_ amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
+	d.layer.Register(id, kindApplyDiff, func(from amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
 		dec := amsg.NewDec(req)
 		p := memsim.PageID(dec.U64())
 		diff := dec.Blob()
@@ -300,6 +303,9 @@ func (d *DSM) registerHandlers(n *node) {
 		}
 		// Applying a diff costs roughly a proportional share of a page copy.
 		cost := d.params.CPU.PageCopyNs * vclock.Duration(len(diff)+1) / memsim.PageSize
+		if rec := d.rec; rec != nil && rec.Enabled() {
+			rec.Record(n.id, perfmon.EvDiffApply, d.clocks[n.id].Now(), cost, uint64(p), uint64(len(diff)))
+		}
 		return nil, cost
 	})
 }
@@ -350,6 +356,18 @@ func (d *DSM) Compute(node int, flops uint64) {
 // NodeStats implements platform.Substrate. Call only while the node's
 // program is quiescent (e.g., after the SPMD run joined).
 func (d *DSM) NodeStats(node int) platform.Stats { return d.nodes[node].stats }
+
+// ResetStats implements platform.Substrate. Quiescent use only.
+func (d *DSM) ResetStats(node int) { d.nodes[node].stats = platform.Stats{} }
+
+// SetRecorder implements platform.Substrate: attaches the recorder to the
+// protocol and to the messaging stack underneath it (the active-message
+// layer and its network), so one call instruments the whole path whether
+// the layer is private or HAMSTER's shared coalesced layer.
+func (d *DSM) SetRecorder(rec *perfmon.Recorder) {
+	d.rec = rec
+	d.layer.SetRecorder(rec)
+}
 
 // Close implements platform.Substrate.
 func (d *DSM) Close() { d.layer.Network().Close() }
@@ -402,9 +420,14 @@ func (n *node) frameForRead(p memsim.PageID) ([]byte, *pagestore.Frame) {
 
 // fault fetches a remote page into the cache.
 func (n *node) fault(p memsim.PageID, home int) *cpage {
+	clk := n.dsm.clocks[n.id]
+	t0 := clk.Now()
 	req := amsg.NewEnc(8).U64(uint64(p)).Bytes()
 	data := n.dsm.layer.Call(simnet.NodeID(n.id), simnet.NodeID(home), kindFetchPage, req)
-	n.dsm.clocks[n.id].Advance(n.dsm.params.CPU.PageCopyNs) // install copy
+	clk.AdvanceCat(vclock.CatMemory, n.dsm.params.CPU.PageCopyNs) // install copy
+	if rec := n.dsm.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvPageFault, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(home))
+	}
 	cp := &cpage{data: data}
 	cp.lru = n.lru.PushFront(p)
 	n.cache[p] = cp
@@ -462,11 +485,16 @@ func (n *node) prepareWrite(p memsim.PageID) ([]byte, *pagestore.Frame) {
 		n.lru.MoveToFront(cp.lru)
 	}
 	if cp.twin == nil {
+		clk := n.dsm.clocks[n.id]
+		t0 := clk.Now()
 		cp.twin = getTwin()
 		copy(cp.twin, cp.data)
-		n.dsm.clocks[n.id].Advance(n.dsm.params.CPU.PageCopyNs)
+		clk.AdvanceCat(vclock.CatMemory, n.dsm.params.CPU.PageCopyNs)
 		n.stats.TwinsCreated++
 		n.dirty[p] = struct{}{}
+		if rec := n.dsm.rec; rec != nil && rec.Enabled() {
+			rec.Record(n.id, perfmon.EvTwinCreate, t0, vclock.Since(t0, clk.Now()), uint64(p), 0)
+		}
 	}
 	n.fastRecord(fastFrame{ok: true, page: p, gen: n.gen, data: cp.data, lru: cp.lru, dirty: true})
 	return cp.data, nil
@@ -475,7 +503,7 @@ func (n *node) prepareWrite(p memsim.PageID) ([]byte, *pagestore.Frame) {
 // touchLocal charges the CPU-cache model for one local page reference.
 func (n *node) touchLocal(p memsim.PageID) {
 	if !n.pcache.Touch(uint64(p)) {
-		n.dsm.clocks[n.id].Advance(n.dsm.params.Bus.MissCost())
+		n.dsm.clocks[n.id].AdvanceCat(vclock.CatMemory, n.dsm.params.Bus.MissCost())
 		n.stats.CacheMisses++
 	}
 }
@@ -490,7 +518,7 @@ func (d *DSM) access(nodeID int) *node {
 // ReadF64 implements platform.Substrate.
 func (d *DSM) ReadF64(nodeID int, a memsim.Addr) float64 {
 	n := d.access(nodeID)
-	d.clocks[nodeID].Advance(d.params.CPU.AccessNs)
+	d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs)
 	n.stats.Reads++
 	n.touchLocal(memsim.PageOf(a))
 	fr, hp := n.frameForRead(memsim.PageOf(a))
@@ -504,7 +532,7 @@ func (d *DSM) ReadF64(nodeID int, a memsim.Addr) float64 {
 // WriteF64 implements platform.Substrate.
 func (d *DSM) WriteF64(nodeID int, a memsim.Addr, v float64) {
 	n := d.access(nodeID)
-	d.clocks[nodeID].Advance(d.params.CPU.AccessNs)
+	d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs)
 	n.stats.Writes++
 	n.touchLocal(memsim.PageOf(a))
 	fr, hp := n.prepareWrite(memsim.PageOf(a))
@@ -517,7 +545,7 @@ func (d *DSM) WriteF64(nodeID int, a memsim.Addr, v float64) {
 // ReadI64 implements platform.Substrate.
 func (d *DSM) ReadI64(nodeID int, a memsim.Addr) int64 {
 	n := d.access(nodeID)
-	d.clocks[nodeID].Advance(d.params.CPU.AccessNs)
+	d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs)
 	n.stats.Reads++
 	n.touchLocal(memsim.PageOf(a))
 	fr, hp := n.frameForRead(memsim.PageOf(a))
@@ -531,7 +559,7 @@ func (d *DSM) ReadI64(nodeID int, a memsim.Addr) int64 {
 // WriteI64 implements platform.Substrate.
 func (d *DSM) WriteI64(nodeID int, a memsim.Addr, v int64) {
 	n := d.access(nodeID)
-	d.clocks[nodeID].Advance(d.params.CPU.AccessNs)
+	d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs)
 	n.stats.Writes++
 	n.touchLocal(memsim.PageOf(a))
 	fr, hp := n.prepareWrite(memsim.PageOf(a))
@@ -551,7 +579,7 @@ func (d *DSM) ReadBytes(nodeID int, a memsim.Addr, buf []byte) {
 		if chunk > len(buf) {
 			chunk = len(buf)
 		}
-		d.clocks[nodeID].Advance(d.params.CPU.AccessNs *
+		d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*
 			vclock.Duration(1+chunk/memsim.WordSize))
 		n.stats.Reads++
 		n.touchLocal(p)
@@ -575,7 +603,7 @@ func (d *DSM) WriteBytes(nodeID int, a memsim.Addr, data []byte) {
 		if chunk > len(data) {
 			chunk = len(data)
 		}
-		d.clocks[nodeID].Advance(d.params.CPU.AccessNs *
+		d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*
 			vclock.Duration(1+chunk/memsim.WordSize))
 		n.stats.Writes++
 		n.touchLocal(p)

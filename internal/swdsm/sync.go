@@ -6,6 +6,7 @@ import (
 	"hamster/internal/amsg"
 	"hamster/internal/memsim"
 	"hamster/internal/notices"
+	"hamster/internal/perfmon"
 	"hamster/internal/simnet"
 	"hamster/internal/vclock"
 )
@@ -57,6 +58,7 @@ func (d *DSM) Acquire(nodeID, lock int) {
 	n := d.access(nodeID)
 	st := d.lock(lock)
 	clk := d.clocks[nodeID]
+	t0 := clk.Now()
 
 	var reqCost vclock.Duration
 	if st.home != nodeID {
@@ -74,10 +76,16 @@ func (d *DSM) Acquire(nodeID, lock int) {
 		pages = append(pages, d.rcPending.Take(nodeID)...)
 	}
 	if st.home != nodeID {
-		clk.Advance(d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+		clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
 	}
 	n.invalidate(pages)
 	n.stats.LockAcquires++
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvLockAcquire, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+		if len(pages) > 0 {
+			rec.Record(nodeID, perfmon.EvInvalidate, clk.Now(), 0, uint64(len(pages)), 0)
+		}
+	}
 }
 
 // Release implements platform.Substrate: flush this node's modifications
@@ -86,6 +94,7 @@ func (d *DSM) Release(nodeID, lock int) {
 	n := d.access(nodeID)
 	st := d.lock(lock)
 	clk := d.clocks[nodeID]
+	t0 := clk.Now()
 
 	pages := n.flushAll()
 	if d.protocol == EagerRC {
@@ -94,7 +103,7 @@ func (d *DSM) Release(nodeID, lock int) {
 		// were invented to avoid).
 		d.rcPending.AddForOthers(nodeID, len(d.nodes), pages)
 		if len(pages) > 0 {
-			clk.Advance(vclock.Duration(len(d.nodes)-1) *
+			clk.AdvanceCat(vclock.CatNetwork, vclock.Duration(len(d.nodes)-1)*
 				d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
 			for m := range d.nodes {
 				if m != nodeID {
@@ -105,6 +114,9 @@ func (d *DSM) Release(nodeID, lock int) {
 	} else {
 		st.pending.AddForOthers(nodeID, len(d.nodes), pages)
 	}
+	if rec := d.rec; rec != nil && rec.Enabled() && len(pages) > 0 {
+		rec.Record(nodeID, perfmon.EvWriteNotice, clk.Now(), 0, uint64(len(pages)), uint64(lock))
+	}
 
 	var relCost vclock.Duration
 	if st.home != nodeID {
@@ -114,6 +126,9 @@ func (d *DSM) Release(nodeID, lock int) {
 		relCost = amsg.LocalCallNs
 	}
 	st.vl.Release(clk, relCost)
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvLockRelease, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
 }
 
 // invalidate drops cached copies of the noticed pages. A page that is
@@ -140,7 +155,9 @@ func (n *node) invalidate(pages []memsim.PageID) {
 // the home. The page stays cached and clean.
 func (n *node) flushPage(p memsim.PageID, cp *cpage) {
 	d := n.dsm
-	d.clocks[n.id].Advance(d.params.CPU.DiffScanNs)
+	clk := d.clocks[n.id]
+	t0 := clk.Now()
+	clk.AdvanceCat(vclock.CatProtocol, d.params.CPU.DiffScanNs)
 	diff := buildDiff(cp.data, cp.twin)
 	putTwin(cp.twin)
 	cp.twin = nil
@@ -156,6 +173,9 @@ func (n *node) flushPage(p memsim.PageID, cp *cpage) {
 	d.layer.Call(simnet.NodeID(n.id), simnet.NodeID(home), kindApplyDiff, req)
 	n.stats.DiffsCreated++
 	n.stats.DiffBytes += uint64(len(diff))
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvDiffCreate, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(len(diff)))
+	}
 	putDiff(diff)
 	cp.diffStreak++
 }
@@ -205,11 +225,15 @@ func (d *DSM) Barrier(nodeID int) {
 	b := d.barrier
 	const manager = 0
 
+	t0 := clk.Now()
 	mine := n.flushAll()
 	epoch := n.epoch
 	n.epoch++
 
 	b.exchange.Deposit(epoch, nodeID, mine)
+	if rec := d.rec; rec != nil && rec.Enabled() && len(mine) > 0 {
+		rec.Record(nodeID, perfmon.EvWriteNotice, clk.Now(), 0, uint64(len(mine)), ^uint64(0))
+	}
 
 	var arriveCost vclock.Duration
 	if nodeID != manager {
@@ -224,9 +248,12 @@ func (d *DSM) Barrier(nodeID int) {
 	others := b.exchange.CollectOthers(epoch, nodeID)
 
 	if nodeID != manager {
-		clk.Advance(d.params.Ethernet.MsgCost(noticeMsgBytes(len(others))))
+		clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(others))))
 	}
 	n.invalidate(others)
+	if rec := d.rec; rec != nil && rec.Enabled() && len(others) > 0 {
+		rec.Record(nodeID, perfmon.EvInvalidate, clk.Now(), 0, uint64(len(others)), 0)
+	}
 
 	// Drain pending per-lock notices too: a barrier is a global
 	// synchronization point, so modifications published under any lock
@@ -255,6 +282,9 @@ func (d *DSM) Barrier(nodeID int) {
 		d.migration.finish(epoch, len(d.nodes))
 	}
 	n.stats.BarrierCrossings++
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvBarrier, t0, vclock.Since(t0, clk.Now()), epoch, 0)
+	}
 }
 
 // Fence implements platform.Substrate: flush all local modifications home
@@ -285,6 +315,7 @@ func (d *DSM) TryAcquire(nodeID, lock int) bool {
 	n := d.access(nodeID)
 	st := d.lock(lock)
 	clk := d.clocks[nodeID]
+	t0 := clk.Now()
 
 	var reqCost vclock.Duration
 	if st.home != nodeID {
@@ -301,10 +332,13 @@ func (d *DSM) TryAcquire(nodeID, lock int) bool {
 		pages = append(pages, d.rcPending.Take(nodeID)...)
 	}
 	if st.home != nodeID {
-		clk.Advance(d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+		clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
 	}
 	n.invalidate(pages)
 	n.stats.LockAcquires++
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvLockAcquire, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
 	return true
 }
 

@@ -1,0 +1,106 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+)
+
+// Attribution is pure side bookkeeping: the category buckets must always
+// sum to the local charge total, and tagging must never change Now().
+
+func TestAdvanceCatSumsToLocal(t *testing.T) {
+	var c Clock
+	c.AdvanceCat(CatCompute, 100)
+	c.AdvanceCat(CatMemory, 30)
+	c.AdvanceCat(CatProtocol, 7)
+	c.AdvanceCat(CatNetwork, 12)
+	c.Advance(5) // untagged defaults to compute
+	c.Steal(40)
+
+	bd := c.Breakdown()
+	if bd.Compute != 105 || bd.Memory != 30 || bd.Protocol != 7 || bd.Network != 12 || bd.Stolen != 40 {
+		t.Fatalf("unexpected breakdown: %+v", bd)
+	}
+	if got, want := bd.Total(), Duration(c.Now()); got != want {
+		t.Fatalf("Total() = %d, Now() = %d", got, want)
+	}
+}
+
+func TestAdvanceToCatAttributesDelta(t *testing.T) {
+	var c Clock
+	c.AdvanceCat(CatCompute, 50)
+	c.AdvanceToCat(CatNetwork, 80) // applies a 30ns jump
+	if got := c.Breakdown().Network; got != 30 {
+		t.Fatalf("network bucket = %d, want 30", got)
+	}
+	c.AdvanceToCat(CatNetwork, 10) // no-op: clock never moves backwards
+	if got := c.Breakdown().Network; got != 30 {
+		t.Fatalf("network bucket after no-op = %d, want 30", got)
+	}
+	if got, want := c.Breakdown().Total(), Duration(c.Now()); got != want {
+		t.Fatalf("Total() = %d, Now() = %d", got, want)
+	}
+}
+
+// AdvanceToCat must also account for stolen time: the applied local delta
+// is Now-relative, so the bucket gets exactly what local gained.
+func TestAdvanceToCatWithStolenTime(t *testing.T) {
+	var c Clock
+	c.Steal(100)
+	c.AdvanceToCat(CatProtocol, 60) // already past: no-op
+	if got := c.Breakdown().Protocol; got != 0 {
+		t.Fatalf("protocol bucket = %d, want 0", got)
+	}
+	c.AdvanceToCat(CatProtocol, 150) // local must reach 50
+	bd := c.Breakdown()
+	if bd.Protocol != 50 {
+		t.Fatalf("protocol bucket = %d, want 50", bd.Protocol)
+	}
+	if got, want := bd.Total(), Duration(c.Now()); got != want {
+		t.Fatalf("Total() = %d, Now() = %d", got, want)
+	}
+}
+
+func TestAttributionConcurrentSum(t *testing.T) {
+	var c Clock
+	const (
+		workers = 8
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				switch i % 4 {
+				case 0:
+					c.AdvanceCat(CatCompute, 3)
+				case 1:
+					c.AdvanceCat(CatMemory, 2)
+				case 2:
+					c.AdvanceCat(CatNetwork, 1)
+				default:
+					c.Steal(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := c.Breakdown().Total(), Duration(c.Now()); got != want {
+		t.Fatalf("Total() = %d, Now() = %d", got, want)
+	}
+}
+
+func TestResetClearsAttribution(t *testing.T) {
+	var c Clock
+	c.AdvanceCat(CatMemory, 10)
+	c.Steal(5)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %d after Reset", c.Now())
+	}
+	if bd := c.Breakdown(); bd.Total() != 0 {
+		t.Fatalf("breakdown after Reset: %+v", bd)
+	}
+}

@@ -34,6 +34,106 @@ type Time uint64
 // Duration is a span of virtual time in nanoseconds.
 type Duration uint64
 
+// Category classifies where a clock charge came from, for the
+// performance-monitoring service (§4.3, internal/perfmon). Attribution is
+// pure bookkeeping on the side of the clock: tagging a charge never
+// changes its amount, so virtual times are bit-identical whether or not
+// anyone ever reads a breakdown.
+//
+// The attribution convention used throughout the substrates:
+//
+//   - Compute: modeled CPU work (flops), middleware dispatch, and any
+//     untagged legacy charge.
+//   - Memory: local memory-system costs — per-word access charges, CPU
+//     cache-miss DRAM penalties, and page/twin copies performed by the
+//     local CPU.
+//   - Protocol: consistency and synchronization work — lock/barrier
+//     costs and waits, diff scans, write-notice bookkeeping, and the
+//     service time of protocol handlers absorbed into a caller's
+//     timeline.
+//   - Network: wire costs — send/receive software, latency, payload
+//     serialization, SAN remote accesses, page fetch transfers, and
+//     waits for message arrival.
+//   - Stolen: asynchronous handler cycles charged by other nodes
+//     (Clock.Steal); always its own bucket.
+type Category uint8
+
+// The attribution categories. CatStolen is not a local category: stolen
+// charges arrive via Steal and are accounted separately.
+const (
+	CatCompute Category = iota
+	CatMemory
+	CatProtocol
+	CatNetwork
+	localCategories // number of owner-charge buckets
+	CatStolen       = localCategories
+	// NumCategories counts all categories including CatStolen.
+	NumCategories = int(localCategories) + 1
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case CatCompute:
+		return "compute"
+	case CatMemory:
+		return "memory"
+	case CatProtocol:
+		return "protocol"
+	case CatNetwork:
+		return "network"
+	case CatStolen:
+		return "stolen"
+	default:
+		return "unknown"
+	}
+}
+
+// Breakdown is a per-category snapshot of one clock's accumulated time.
+// At quiescence Total() equals the clock's Now() exactly — the invariant
+// internal/perfmon's attribution test enforces on every substrate.
+type Breakdown struct {
+	Compute  Duration
+	Memory   Duration
+	Protocol Duration
+	Network  Duration
+	Stolen   Duration
+}
+
+// Total sums all categories.
+func (b Breakdown) Total() Duration {
+	return b.Compute + b.Memory + b.Protocol + b.Network + b.Stolen
+}
+
+// Get returns one category's value.
+func (b Breakdown) Get(c Category) Duration {
+	switch c {
+	case CatCompute:
+		return b.Compute
+	case CatMemory:
+		return b.Memory
+	case CatProtocol:
+		return b.Protocol
+	case CatNetwork:
+		return b.Network
+	case CatStolen:
+		return b.Stolen
+	default:
+		return 0
+	}
+}
+
+// Add returns the field-wise sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Compute:  b.Compute + o.Compute,
+		Memory:   b.Memory + o.Memory,
+		Protocol: b.Protocol + o.Protocol,
+		Network:  b.Network + o.Network,
+		Stolen:   b.Stolen + o.Stolen,
+	}
+}
+
 // String formats a virtual time using the most natural unit.
 func (t Time) String() string { return Duration(t).String() }
 
@@ -66,6 +166,12 @@ func (d Duration) Micros() float64 { return float64(d) / 1e3 }
 type Clock struct {
 	local  atomic.Uint64 // accumulated execution charges
 	stolen atomic.Uint64 // asynchronous protocol-handler charges
+
+	// cats splits local into attribution buckets. Every mutation of
+	// local pairs with exactly one cats add of the same amount, so at
+	// quiescence sum(cats) == local exactly. The buckets never feed back
+	// into Now(): attribution cannot perturb the cost model.
+	cats [localCategories]atomic.Uint64
 }
 
 // Now returns the node's current virtual time, including stolen cycles.
@@ -73,14 +179,31 @@ func (c *Clock) Now() Time {
 	return Time(c.local.Load() + c.stolen.Load())
 }
 
-// Advance moves the clock forward by d.
+// Advance moves the clock forward by d, attributed to CatCompute (the
+// default for modeled CPU work and untagged charges).
 func (c *Clock) Advance(d Duration) {
-	c.local.Add(uint64(d))
+	c.AdvanceCat(CatCompute, d)
 }
 
-// AdvanceTo moves the clock forward so that Now() >= t. The clock never
-// moves backwards; if Now() already exceeds t this is a no-op.
+// AdvanceCat moves the clock forward by d, attributing the charge to the
+// given category. cat must be a local category (not CatStolen — stolen
+// charges arrive via Steal).
+func (c *Clock) AdvanceCat(cat Category, d Duration) {
+	c.local.Add(uint64(d))
+	c.cats[cat].Add(uint64(d))
+}
+
+// AdvanceTo moves the clock forward so that Now() >= t, attributing any
+// applied jump to CatProtocol (the default: untagged AdvanceTo calls are
+// synchronization waits). The clock never moves backwards; if Now()
+// already exceeds t this is a no-op.
 func (c *Clock) AdvanceTo(t Time) {
+	c.AdvanceToCat(CatProtocol, t)
+}
+
+// AdvanceToCat moves the clock forward so that Now() >= t, attributing
+// the applied delta (if any) to the given category.
+func (c *Clock) AdvanceToCat(cat Category, t Time) {
 	for {
 		st := c.stolen.Load()
 		if uint64(t) <= st {
@@ -92,13 +215,15 @@ func (c *Clock) AdvanceTo(t Time) {
 			return
 		}
 		if c.local.CompareAndSwap(cur, want) {
+			c.cats[cat].Add(want - cur)
 			return
 		}
 	}
 }
 
 // Steal charges d nanoseconds of asynchronous handler work to the node.
-// Safe to call from any goroutine.
+// Safe to call from any goroutine. Stolen time is its own attribution
+// category (CatStolen).
 func (c *Clock) Steal(d Duration) {
 	c.stolen.Add(uint64(d))
 }
@@ -109,10 +234,28 @@ func (c *Clock) Stolen() Duration {
 	return Duration(c.stolen.Load())
 }
 
-// Reset returns the clock to time zero. Must not race with other use.
+// Breakdown snapshots the per-category attribution. Read it at
+// quiescence (after an SPMD join): then Breakdown().Total() == Now()
+// exactly. Mid-run snapshots are monotone per bucket but may be torn
+// across buckets.
+func (c *Clock) Breakdown() Breakdown {
+	return Breakdown{
+		Compute:  Duration(c.cats[CatCompute].Load()),
+		Memory:   Duration(c.cats[CatMemory].Load()),
+		Protocol: Duration(c.cats[CatProtocol].Load()),
+		Network:  Duration(c.cats[CatNetwork].Load()),
+		Stolen:   Duration(c.stolen.Load()),
+	}
+}
+
+// Reset returns the clock (and its attribution) to time zero. Must not
+// race with other use.
 func (c *Clock) Reset() {
 	c.local.Store(0)
 	c.stolen.Store(0)
+	for i := range c.cats {
+		c.cats[i].Store(0)
+	}
 }
 
 // Max returns the larger of two times.

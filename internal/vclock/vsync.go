@@ -2,6 +2,10 @@ package vclock
 
 import "sync"
 
+// All charges made by the virtual-time synchronization primitives —
+// request/grant/release costs and reconciliation waits — are attributed
+// to CatProtocol: they are the cost of coordinating, not of computing.
+
 // VBarrier is a virtual-time barrier for a fixed set of participants.
 //
 // Arrive blocks the calling goroutine until all parties have arrived, then
@@ -47,7 +51,7 @@ func (b *VBarrier) Parties() int { return b.parties }
 // generation's waiters.
 // It returns the reconciled release time.
 func (b *VBarrier) Arrive(c *Clock, arriveCost, releaseCost Duration) Time {
-	c.Advance(arriveCost)
+	c.AdvanceCat(CatProtocol, arriveCost)
 	t := c.Now()
 
 	b.mu.Lock()
@@ -79,8 +83,8 @@ func (b *VBarrier) Arrive(c *Clock, arriveCost, releaseCost Duration) Time {
 	}
 	b.mu.Unlock()
 
-	c.AdvanceTo(releaseAt)
-	c.Advance(releaseCost)
+	c.AdvanceToCat(CatProtocol, releaseAt)
+	c.AdvanceCat(CatProtocol, releaseCost)
 	return c.Now()
 }
 
@@ -110,7 +114,7 @@ func NewVLock() *VLock {
 // free, then by grantCost (the cost of the grant reaching the caller).
 // It returns the virtual time at which the caller holds the lock.
 func (l *VLock) Acquire(c *Clock, reqCost, grantCost Duration) Time {
-	c.Advance(reqCost)
+	c.AdvanceCat(CatProtocol, reqCost)
 	l.mu.Lock()
 	for l.held {
 		l.cond.Wait()
@@ -120,15 +124,15 @@ func (l *VLock) Acquire(c *Clock, reqCost, grantCost Duration) Time {
 	free := l.freeAt
 	l.mu.Unlock()
 
-	c.AdvanceTo(free)
-	c.Advance(grantCost)
+	c.AdvanceToCat(CatProtocol, free)
+	c.AdvanceCat(CatProtocol, grantCost)
 	return c.Now()
 }
 
 // TryAcquire attempts to obtain the lock without blocking. On success it
 // behaves like Acquire and returns true.
 func (l *VLock) TryAcquire(c *Clock, reqCost, grantCost Duration) bool {
-	c.Advance(reqCost)
+	c.AdvanceCat(CatProtocol, reqCost)
 	l.mu.Lock()
 	if l.held {
 		l.mu.Unlock()
@@ -138,15 +142,15 @@ func (l *VLock) TryAcquire(c *Clock, reqCost, grantCost Duration) bool {
 	l.acqs++
 	free := l.freeAt
 	l.mu.Unlock()
-	c.AdvanceTo(free)
-	c.Advance(grantCost)
+	c.AdvanceToCat(CatProtocol, free)
+	c.AdvanceCat(CatProtocol, grantCost)
 	return true
 }
 
 // Release frees the lock, charging relCost to the caller first. The lock's
 // free time becomes the caller's clock after the charge.
 func (l *VLock) Release(c *Clock, relCost Duration) {
-	c.Advance(relCost)
+	c.AdvanceCat(CatProtocol, relCost)
 	now := c.Now()
 	l.mu.Lock()
 	if !l.held {
@@ -196,13 +200,13 @@ func (v *VCond) Wait(clk *Clock, deliverCost Duration) {
 	}
 	t := v.signalT
 	v.mu.Unlock()
-	clk.AdvanceTo(t)
-	clk.Advance(deliverCost)
+	clk.AdvanceToCat(CatProtocol, t)
+	clk.AdvanceCat(CatProtocol, deliverCost)
 }
 
 // Broadcast wakes all current waiters with the signaler's time.
 func (v *VCond) Broadcast(clk *Clock, sendCost Duration) {
-	clk.Advance(sendCost)
+	clk.AdvanceCat(CatProtocol, sendCost)
 	now := clk.Now()
 	v.mu.Lock()
 	if now > v.signalT {
@@ -237,7 +241,7 @@ func NewVSemaphore(initial, max int) *VSemaphore {
 
 // Acquire takes one unit, charging reqCost before the wait.
 func (s *VSemaphore) Acquire(c *Clock, reqCost Duration) {
-	c.Advance(reqCost)
+	c.AdvanceCat(CatProtocol, reqCost)
 	s.mu.Lock()
 	for s.count == 0 {
 		s.cond.Wait()
@@ -245,26 +249,26 @@ func (s *VSemaphore) Acquire(c *Clock, reqCost Duration) {
 	s.count--
 	t := s.availAt
 	s.mu.Unlock()
-	c.AdvanceTo(t)
+	c.AdvanceToCat(CatProtocol, t)
 }
 
 // TryAcquire takes a unit if one is available without blocking.
 func (s *VSemaphore) TryAcquire(c *Clock, reqCost Duration) bool {
-	c.Advance(reqCost)
+	c.AdvanceCat(CatProtocol, reqCost)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.count == 0 {
 		return false
 	}
 	s.count--
-	c.AdvanceTo(s.availAt)
+	c.AdvanceToCat(CatProtocol, s.availAt)
 	return true
 }
 
 // Release returns n units. It reports false (releasing nothing) when the
 // maximum would be exceeded, matching Win32 ReleaseSemaphore semantics.
 func (s *VSemaphore) Release(c *Clock, n int, relCost Duration) bool {
-	c.Advance(relCost)
+	c.AdvanceCat(CatProtocol, relCost)
 	now := c.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -304,6 +308,6 @@ func (v *VCond) WaitWith(clk *Clock, deliverCost Duration, beforeWait func()) {
 	}
 	t := v.signalT
 	v.mu.Unlock()
-	clk.AdvanceTo(t)
-	clk.Advance(deliverCost)
+	clk.AdvanceToCat(CatProtocol, t)
+	clk.AdvanceCat(CatProtocol, deliverCost)
 }

@@ -1,18 +1,29 @@
 #!/bin/sh
-# Full local verification: build, vet, and the test suite under the race
-# detector. This is the gate the bulk-access fast path must keep green —
-# the block API and the per-word loops must stay observably identical
-# (TestBlockWordEquivalence) and the paper's figure shapes must hold.
-#
-# Known flake: TestFigure2OverheadIsSingleDigit's WATER 64 row compares
-# two lock-heavy runs whose virtual times depend on goroutine scheduling;
-# the race detector perturbs scheduling enough to push the overhead out
-# of bounds in either direction (it does so on the seed tree as well).
-# Rerun on failure there; all other tests are deterministic.
+# Full local verification: formatting, build, vet, and the test suite
+# under the race detector. This is the gate the bulk-access fast path and
+# the perfmon instrumentation must keep green — the block API and the
+# per-word loops must stay observably identical (TestBlockWordEquivalence),
+# the paper's figure shapes must hold, and every node's virtual-time
+# attribution must sum exactly to its clock on all four substrates
+# (TestAttributionInvariantAllSubstrates).
 set -eux
 
 cd "$(dirname "$0")/.."
 
+# gofmt gate: fail loudly if any file is unformatted.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
+
+# The attribution invariant is the load-bearing contract of the perfmon
+# subsystem; run it by name under the race detector so a failure is
+# unmistakable before the full suite starts.
+go test -race -run 'TestAttributionInvariantAllSubstrates' ./internal/perfmon/
+
 go test -race ./...
