@@ -6,12 +6,14 @@
 //
 //	hamsterbench [-size small|default|paper] [-models DIR]
 //	             [-table1] [-table2] [-fig2] [-fig3] [-fig4] [-ablations]
-//	hamsterbench -json FILE
+//	hamsterbench -json FILE [-faults PROFILE] [-faultseed SEED]
 //
 // With no selection flags, everything runs. -json instead runs the kernel
 // wall-clock benchmark (simulator throughput on the software DSM) and
 // writes per-kernel wall-clock plus virtual-time measurements to FILE
-// ("-" for stdout).
+// ("-" for stdout). -faults reruns that benchmark under a seeded fault
+// campaign (see internal/simnet), adding retransmission counts per kernel;
+// without it the measurement is unperturbed and bit-reproducible.
 package main
 
 import (
@@ -19,10 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"hamster/internal/apicount"
 	"hamster/internal/bench"
+	"hamster/internal/simnet"
 )
 
 func main() {
@@ -35,10 +39,24 @@ func main() {
 	f4 := flag.Bool("fig4", false, "run Figure 4 (hardware vs hybrid vs software DSM)")
 	abl := flag.Bool("ablations", false, "run the design-choice ablations")
 	jsonOut := flag.String("json", "", "run the kernel wall-clock benchmark and write JSON to this file (\"-\" for stdout)")
+	faults := flag.String("faults", "", "rerun -json under a seeded fault campaign: "+strings.Join(simnet.FaultProfiles(), ", "))
+	faultSeed := flag.Int64("faultseed", 1, "seed of the fault campaign's deterministic draws")
 	flag.Parse()
 
 	if *jsonOut != "" {
-		rows, err := bench.KernelWall()
+		var plan *simnet.FaultPlan
+		var seed int64 // stays 0 when unperturbed: no fault plan, no jitter
+		desc := "simulator throughput: real wall-clock per kernel next to its modeled virtual time (swdsm, 4 nodes), with per-category virtual-time attribution"
+		if *faults != "" {
+			p, err := simnet.FaultProfile(*faults, *faultSeed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			plan, seed = &p, *faultSeed
+			desc += fmt.Sprintf("; fault campaign %q", *faults)
+		}
+		rows, err := bench.KernelWallFaults(plan)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kernelwall: %v\n", err)
 			os.Exit(1)
@@ -50,8 +68,8 @@ func main() {
 			Results     []bench.KernelWallResult `json:"results"`
 		}{
 			Schema:      "hamster/kernelwall/v2",
-			Description: "simulator throughput: real wall-clock per kernel next to its modeled virtual time (swdsm, 4 nodes), with per-category virtual-time attribution",
-			Seed:        0, // runs are unperturbed: no fault plan, no jitter
+			Description: desc,
+			Seed:        seed,
 			Results:     rows,
 		}, "", "  ")
 		if err != nil {

@@ -7,6 +7,7 @@
 //	hamsterrun [-config FILE] [-platform smp|hybrid-dsm|software-dsm]
 //	           [-nodes N] [-bench NAME] [-n SIZE] [-iters I] [-monitor]
 //	           [-trace FILE] [-timebreakdown]
+//	           [-faults PROFILE] [-faultseed SEED]
 //
 // A -config file (see internal/cluster for the format) overrides the
 // -platform/-nodes flags, mirroring how the original framework switched
@@ -17,12 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hamster"
 	"hamster/internal/apps"
 	"hamster/internal/cluster"
 	"hamster/internal/core"
 	"hamster/internal/perfmon"
+	"hamster/internal/simnet"
 	"hamster/models/jiajia"
 )
 
@@ -38,6 +41,8 @@ func main() {
 	timeline := flag.Bool("timeline", false, "attach the external sampler and print per-epoch activity (§4.3)")
 	traceOut := flag.String("trace", "", "record protocol events and write a Chrome/Perfetto trace to this file")
 	timeBreak := flag.Bool("timebreakdown", false, "print the per-node virtual-time attribution (compute/memory/protocol/network/stolen)")
+	faults := flag.String("faults", "", "run a seeded fault campaign: "+strings.Join(simnet.FaultProfiles(), ", "))
+	faultSeed := flag.Int64("faultseed", 1, "seed of the fault campaign's deterministic draws")
 	flag.Parse()
 
 	cfg := hamster.Config{Nodes: *nodes}
@@ -92,13 +97,37 @@ func main() {
 	if *traceOut != "" {
 		sys.Runtime().Perf().Enable()
 	}
-	results := apps.RunOnJia(sys, kernel)
+	if *faults != "" {
+		plan, err := simnet.FaultProfile(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sys.Runtime().SetFaults(plan)
+		// Fault campaigns always record, so retries and timeouts show up
+		// in the report (and the trace, if requested).
+		sys.Runtime().Perf().Enable()
+		fmt.Printf("fault campaign %q, seed %d\n", *faults, *faultSeed)
+	}
+
+	results, runErr := runGuarded(sys, kernel)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "\nrun aborted: %v\n", runErr)
+		if *faults != "" {
+			faultReport(sys, os.Stderr)
+		}
+		os.Exit(1)
+	}
 
 	fmt.Printf("\ncheck      %v\n", results[0].Check)
 	fmt.Printf("total      %v (slowest node)\n", apps.MaxTotal(results))
 	fmt.Printf("init       %v\n", maxP(results, func(t apps.Timings) hamster.Duration { return t.Init }))
 	fmt.Printf("core       %v\n", maxP(results, func(t apps.Timings) hamster.Duration { return t.Core }))
 	fmt.Printf("barriers   %v\n", maxP(results, func(t apps.Timings) hamster.Duration { return t.Bar }))
+	if *faults != "" {
+		fmt.Println()
+		faultReport(sys, os.Stdout)
+	}
 	if *monitor {
 		fmt.Println()
 		fmt.Print(core.ClusterReport(sys.Runtime()))
@@ -144,6 +173,60 @@ func main() {
 
 func maxP(rs []apps.Result, sel func(apps.Timings) hamster.Duration) hamster.Duration {
 	return apps.MaxPhase(rs, sel)
+}
+
+// runGuarded executes the kernel, converting the clean panics of the
+// degradation paths (unreachable pages, aborted barriers) into an error
+// so the campaign can exit with diagnostics instead of a stack trace.
+func runGuarded(sys *jiajia.System, kernel apps.Kernel) (results []apps.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return apps.RunOnJia(sys, kernel), nil
+}
+
+// faultReport prints what the fault campaign did to the run: wire-level
+// drops, protocol retries and timeouts, and the failure detector's view
+// of the cluster.
+func faultReport(sys *jiajia.System, w *os.File) {
+	rt := sys.Runtime()
+	drops := rt.Network().Drops()
+	if layer := rt.AMsg(); layer != nil && layer.Network() != rt.Network() {
+		drops += layer.Network().Drops()
+	}
+	rec := rt.Perf()
+	var retries, timeouts, downs uint64
+	for n := 0; n < rec.Nodes(); n++ {
+		counts := rec.KindCount(n)
+		retries += counts[perfmon.EvRetry]
+		timeouts += counts[perfmon.EvTimeout]
+		downs += counts[perfmon.EvNodeDown]
+	}
+	fmt.Fprintf(w, "dropped msgs  %d\n", drops)
+	fmt.Fprintf(w, "retries       %d\n", retries)
+	fmt.Fprintf(w, "timeouts      %d\n", timeouts)
+	if layer := rt.AMsg(); layer != nil {
+		var suppressed uint64
+		for n := 0; n < rt.Nodes(); n++ {
+			_, s := layer.Stats(simnet.NodeID(n)).Faults()
+			suppressed += s
+		}
+		fmt.Fprintf(w, "dup suppressed %d\n", suppressed)
+		if layer.Network().Closed() {
+			// The run aborted and tore the network down: probing now
+			// would blame everyone. The abort diagnostic above already
+			// names the unreachable node.
+			fmt.Fprintln(w, "cluster health: run aborted before a sweep could complete")
+		} else {
+			mon := cluster.NewMonitor(layer, cluster.DefaultThreshold, rec)
+			mon.Sweep(0)
+			fmt.Fprintln(w, mon.Diagnostic())
+		}
+	} else if downs > 0 {
+		fmt.Fprintf(w, "nodes declared down: %d\n", downs)
+	}
 }
 
 func pickKernel(name string, n, iters int) (apps.Kernel, string, error) {

@@ -19,6 +19,7 @@ package amsg
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hamster/internal/machine"
 	"hamster/internal/perfmon"
@@ -48,16 +49,27 @@ type Layer struct {
 
 	stats []CallStats
 
+	// Reliability state (see retry.go): the retry policy, per-caller
+	// idempotency-key counters, per-target duplicate-suppression tables,
+	// and the set of peers declared down by the health monitor.
+	policy  RetryPolicy
+	callSeq []atomic.Uint64
+	svc     []svcTable
+	down    []atomic.Bool
+	anyDown atomic.Bool
+
 	rec *perfmon.Recorder // protocol event recorder; nil until attached
 }
 
 // CallStats counts active-message activity per node.
 type CallStats struct {
-	mu       sync.Mutex
-	Calls    uint64 // calls issued by this node
-	Serviced uint64 // handler executions on behalf of this node
-	ReqBytes uint64
-	RspBytes uint64
+	mu         sync.Mutex
+	Calls      uint64 // calls issued by this node
+	Serviced   uint64 // handler executions on behalf of this node
+	ReqBytes   uint64
+	RspBytes   uint64
+	Retries    uint64 // retransmissions issued by this node
+	Suppressed uint64 // duplicate requests this node absorbed without re-executing
 }
 
 // Snapshot returns a copy of the counters.
@@ -65,6 +77,14 @@ func (s *CallStats) Snapshot() (calls, serviced, reqBytes, rspBytes uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.Calls, s.Serviced, s.ReqBytes, s.RspBytes
+}
+
+// Faults returns the reliability counters: retransmissions issued by
+// this node and duplicate requests it suppressed.
+func (s *CallStats) Faults() (retries, suppressed uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Retries, s.Suppressed
 }
 
 // New creates an active-message layer over net using the given link costs
@@ -75,6 +95,10 @@ func New(net *simnet.Network, link machine.Link) *Layer {
 		link:     link,
 		handlers: make(map[Kind][]Handler),
 		stats:    make([]CallStats, net.Size()),
+		policy:   RetryPolicy{}.withDefaults(link),
+		callSeq:  make([]atomic.Uint64, net.Size()),
+		svc:      make([]svcTable, net.Size()),
+		down:     make([]atomic.Bool, net.Size()),
 	}
 }
 
@@ -107,27 +131,56 @@ func (l *Layer) Register(target NodeID, kind Kind, h Handler) {
 // (loopback dispatch, no NIC involvement).
 const LocalCallNs vclock.Duration = 500
 
-// Call performs a synchronous request/response against the target node.
-// The caller's clock is charged the full round trip; the target's clock is
-// charged the handler cost as stolen cycles. Calls to the caller's own
-// node cost LocalCallNs plus the handler's extra cost and steal nothing.
-func (l *Layer) Call(from, to NodeID, kind Kind, req []byte) []byte {
+// handlerFor resolves the handler for kind on node to, panicking on an
+// unregistered kind (a programming error, not a runtime fault).
+func (l *Layer) handlerFor(to NodeID, kind Kind) Handler {
 	l.mu.RLock()
 	hs := l.handlers[kind]
 	l.mu.RUnlock()
 	if hs == nil || hs[to] == nil {
 		panic(fmt.Sprintf("amsg: no handler for kind %d on node %d", kind, to))
 	}
-	h := hs[to]
+	return hs[to]
+}
+
+// Call performs a synchronous request/response against the target node.
+// The caller's clock is charged the full round trip; the target's clock is
+// charged the handler cost as stolen cycles. Calls to the caller's own
+// node cost LocalCallNs plus the handler's extra cost and steal nothing.
+// Under an active fault plan the call runs the request/ack protocol of
+// retry.go; an unreachable target or a closed network panics with the
+// diagnostic — callers that can degrade gracefully use CallErr instead.
+func (l *Layer) Call(from, to NodeID, kind Kind, req []byte) []byte {
+	resp, err := l.CallErr(from, to, kind, req)
+	if err != nil {
+		panic(fmt.Sprintf("amsg: kind-%d call from node %d: %v", kind, from, err))
+	}
+	return resp
+}
+
+// CallErr is Call with graceful failure: instead of panicking it returns
+// ErrClosed when the network is torn down mid-call and *UnreachableError
+// when the target's retry budget is exhausted or it was marked down. The
+// handler is guaranteed to have executed exactly once when err is nil and
+// at most once otherwise.
+func (l *Layer) CallErr(from, to NodeID, kind Kind, req []byte) ([]byte, error) {
+	h := l.handlerFor(to, kind)
 	caller := l.net.Clock(from)
 
 	if from == to {
 		resp, extra := h(from, req)
 		caller.AdvanceCat(vclock.CatProtocol, LocalCallNs+extra)
 		l.count(from, to, len(req), len(resp))
-		return resp
+		return resp, nil
+	}
+	if l.NodeDown(to) {
+		return nil, &UnreachableError{Node: to, Kind: kind}
+	}
+	if l.net.CallFaultsActive() {
+		return l.callReliable(from, to, kind, h, req, false)
 	}
 
+	// Fault-free fast path: one indivisible round trip.
 	// Request travel: sender software + wire.
 	caller.AdvanceCat(vclock.CatNetwork, l.link.SendSWNs+l.link.LatencyNs+
 		vclock.Duration(len(req))*l.link.NsPerByte)
@@ -148,27 +201,39 @@ func (l *Layer) Call(from, to NodeID, kind Kind, req []byte) []byte {
 		vclock.Duration(len(resp))*l.link.NsPerByte+l.link.RecvSWNs)
 
 	l.count(from, to, len(req), len(resp))
-	return resp
+	return resp, nil
 }
 
 // Notify is a one-way active message: the handler runs at the target (cost
 // stolen) but the caller does not wait for a response and is charged only
 // the send-side costs. Used for write-notice pushes and similar
-// fire-and-forget protocol traffic.
+// fire-and-forget protocol traffic. Like Call, it panics when the target
+// is unreachable; NotifyErr is the graceful variant.
 func (l *Layer) Notify(from, to NodeID, kind Kind, req []byte) {
-	l.mu.RLock()
-	hs := l.handlers[kind]
-	l.mu.RUnlock()
-	if hs == nil || hs[to] == nil {
-		panic(fmt.Sprintf("amsg: no handler for kind %d on node %d", kind, to))
+	if err := l.NotifyErr(from, to, kind, req); err != nil {
+		panic(fmt.Sprintf("amsg: kind-%d notify from node %d: %v", kind, from, err))
 	}
-	h := hs[to]
+}
+
+// NotifyErr is Notify with graceful failure. Under an active fault plan
+// the message is acknowledged at the NIC level and retransmitted on
+// loss, so err == nil guarantees the handler executed exactly once; the
+// clean-path cost stays that of a posted send.
+func (l *Layer) NotifyErr(from, to NodeID, kind Kind, req []byte) error {
+	h := l.handlerFor(to, kind)
 	caller := l.net.Clock(from)
 	if from == to {
 		_, extra := h(from, req)
 		caller.AdvanceCat(vclock.CatProtocol, LocalCallNs+extra)
 		l.count(from, to, len(req), 0)
-		return
+		return nil
+	}
+	if l.NodeDown(to) {
+		return &UnreachableError{Node: to, Kind: kind}
+	}
+	if l.net.CallFaultsActive() {
+		_, err := l.callReliable(from, to, kind, h, req, true)
+		return err
 	}
 	caller.AdvanceCat(vclock.CatNetwork, l.link.SendSWNs+
 		vclock.Duration(len(req))*l.link.NsPerByte)
@@ -180,6 +245,7 @@ func (l *Layer) Notify(from, to NodeID, kind Kind, req []byte) {
 		rec.Record(int(to), perfmon.EvService, target.Now(), service, uint64(from), uint64(kind))
 	}
 	l.count(from, to, len(req), 0)
+	return nil
 }
 
 // CallAll issues Call to every node (including the caller, which runs the

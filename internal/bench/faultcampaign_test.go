@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"testing"
+
+	"hamster/internal/apps"
+	"hamster/internal/simnet"
+	"hamster/internal/swdsm"
+	"hamster/internal/vclock"
+)
+
+// The fault-campaign acceptance run: SOR and MatMult on a 4-node
+// software DSM under increasing drop rates. Correctness must not move
+// (every lost message is retransmitted), the zero-rate plan must cost
+// exactly what no plan costs, retries must appear once the wire is
+// lossy, and a seeded campaign must replay bit-identically.
+func TestFaultCampaignKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-kernel fault campaign")
+	}
+	kernels := []struct {
+		name   string
+		kernel apps.Kernel
+	}{
+		{"sor", func(m apps.Machine) apps.Result { return apps.SOR(m, 96, 4, true) }},
+		{"matmult", func(m apps.Machine) apps.Result { return apps.MatMult(m, 48) }},
+	}
+	run := func(t *testing.T, kernel apps.Kernel, plan *simnet.FaultPlan) (check float64, virtual vclock.Duration, retries uint64) {
+		d, err := swdsm.New(swdsm.Config{Nodes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		if plan != nil {
+			d.Layer().Network().SetFaults(*plan)
+		}
+		res := apps.RunOnSubstrate(d, kernel)
+		for i := 0; i < 4; i++ {
+			r, _ := d.Layer().Stats(simnet.NodeID(i)).Faults()
+			retries += r
+		}
+		return res[0].Check, apps.MaxTotal(res), retries
+	}
+	for _, k := range kernels {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			baseCheck, baseVirtual, _ := run(t, k.kernel, nil)
+
+			// DropProb 0: installing the plan must be invisible.
+			check0, virtual0, retries0 := run(t, k.kernel, &simnet.FaultPlan{DropProb: 0, Seed: 3})
+			if check0 != baseCheck || virtual0 != baseVirtual || retries0 != 0 {
+				t.Fatalf("zero-drop plan perturbed the run: check %v vs %v, virtual %v vs %v, retries %d",
+					check0, baseCheck, virtual0, baseVirtual, retries0)
+			}
+
+			for _, rate := range []float64{0.01, 0.05} {
+				plan := &simnet.FaultPlan{DropProb: rate, Seed: 3}
+				check, virtual, retries := run(t, k.kernel, plan)
+				if check != baseCheck {
+					t.Fatalf("drop %v changed the result: check %v, want %v", rate, check, baseCheck)
+				}
+				if virtual < baseVirtual {
+					t.Fatalf("drop %v shrank virtual time: %v < %v", rate, virtual, baseVirtual)
+				}
+				// Same seed, same campaign: bit-identical replay.
+				check2, virtual2, retries2 := run(t, k.kernel, plan)
+				if check2 != check || virtual2 != virtual || retries2 != retries {
+					t.Fatalf("drop %v replay diverged: virtual %v vs %v, retries %d vs %d",
+						rate, virtual2, virtual, retries2, retries)
+				}
+				if rate >= 0.05 && retries == 0 {
+					t.Fatalf("drop %v forced no retries", rate)
+				}
+			}
+		})
+	}
+}

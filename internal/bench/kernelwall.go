@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hamster/internal/apps"
+	"hamster/internal/simnet"
 	"hamster/internal/swdsm"
 	"hamster/internal/vclock"
 )
@@ -23,13 +24,22 @@ type KernelWallResult struct {
 	// BreakdownNs attributes virtual time by category, summed over all
 	// nodes. Per node the categories sum exactly to the node's clock.
 	BreakdownNs map[string]uint64 `json:"breakdown_ns"`
+	// Retries counts active-message retransmissions over all nodes.
+	// Only present under a fault plan — unperturbed runs never retry.
+	Retries uint64 `json:"retries,omitempty"`
 }
 
 // KernelWall runs the standard kernel set on a 4-node software DSM — the
 // substrate whose per-word simulation overhead dominates large runs — and
 // reports wall-clock plus virtual time per kernel. The workloads mirror
 // BenchmarkSWDSMKernelWall so numbers are comparable with `go test -bench`.
-func KernelWall() ([]KernelWallResult, error) {
+func KernelWall() ([]KernelWallResult, error) { return KernelWallFaults(nil) }
+
+// KernelWallFaults is KernelWall under a fault plan (nil for the
+// unperturbed benchmark): the same kernels over an interconnect that
+// drops, delays, or degrades, with retransmissions counted per kernel.
+// Virtual times stay deterministic for a fixed plan and seed.
+func KernelWallFaults(plan *simnet.FaultPlan) ([]KernelWallResult, error) {
 	const nodes = 4
 	cases := []struct {
 		name   string
@@ -46,12 +56,18 @@ func KernelWall() ([]KernelWallResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: kernelwall %s: %w", c.name, err)
 		}
+		if plan != nil {
+			d.Layer().Network().SetFaults(*plan)
+		}
 		start := time.Now()
 		res := apps.RunOnSubstrate(d, c.kernel)
 		wall := time.Since(start)
 		var agg vclock.Breakdown
+		var retries uint64
 		for i := 0; i < nodes; i++ {
 			agg = agg.Add(d.Clock(i).Breakdown())
+			r, _ := d.Layer().Stats(simnet.NodeID(i)).Faults()
+			retries += r
 		}
 		d.Close()
 		out = append(out, KernelWallResult{
@@ -68,6 +84,7 @@ func KernelWall() ([]KernelWallResult, error) {
 				"network":  uint64(agg.Network),
 				"stolen":   uint64(agg.Stolen),
 			},
+			Retries: retries,
 		})
 	}
 	return out, nil

@@ -70,6 +70,7 @@ type Runtime struct {
 	sub  platform.Substrate
 	envs []*Env
 	msgs *simnet.Network // user-level messaging (Cluster Control module)
+	am   *amsg.Layer     // the substrate's active-message layer; nil when it has none
 
 	collMu     sync.Mutex
 	collAllocs []collResult
@@ -123,6 +124,7 @@ func New(cfg Config) (*Runtime, error) {
 			}
 			rt.sub = d
 			rt.msgs = net
+			rt.am = layer
 		} else {
 			d, err := swdsm.New(swdsm.Config{
 				Nodes: cfg.Nodes, Params: eff, CachePages: cfg.SWDSMCachePages,
@@ -133,6 +135,7 @@ func New(cfg Config) (*Runtime, error) {
 			}
 			rt.sub = d
 			rt.msgs = simnet.New(eff.Ethernet, substrateClocks(d))
+			rt.am = d.Layer()
 		}
 	case platform.HybridDSM:
 		d, err := hybriddsm.New(hybriddsm.Config{
@@ -168,6 +171,9 @@ func NewWithSubstrate(sub platform.Substrate, msgLink machine.Link, threaded boo
 		sub: sub,
 	}
 	rt.msgs = simnet.New(msgLink, substrateClocks(sub))
+	if ld, ok := sub.(interface{ Layer() *amsg.Layer }); ok {
+		rt.am = ld.Layer()
+	}
 	rt.attachRecorder(0)
 	rt.buildEnvs()
 	return rt
@@ -188,6 +194,26 @@ func (rt *Runtime) attachRecorder(capacity int) {
 // every layer at construction but disabled; call Enable before the run to
 // start collecting events, and read them out once the run is quiescent.
 func (rt *Runtime) Perf() *perfmon.Recorder { return rt.perf }
+
+// Network returns the user-messaging network. With coalesced messaging on
+// software DSM it is the same network the DSM protocol rides.
+func (rt *Runtime) Network() *simnet.Network { return rt.msgs }
+
+// AMsg returns the substrate's active-message layer, or nil for
+// substrates (hybrid DSM, SMP) that communicate through hardware paths
+// instead.
+func (rt *Runtime) AMsg() *amsg.Layer { return rt.am }
+
+// SetFaults installs a fault plan on every interconnect of this runtime:
+// the user-messaging network and, when the substrate has a separate
+// active-message network, that one too. An all-zero plan restores
+// fault-free operation.
+func (rt *Runtime) SetFaults(p simnet.FaultPlan) {
+	rt.msgs.SetFaults(p)
+	if rt.am != nil && rt.am.Network() != rt.msgs {
+		rt.am.Network().SetFaults(p)
+	}
+}
 
 // TimeBreakdowns snapshots every node's virtual-time attribution, indexed
 // by node. Each breakdown's Total() equals the node's clock exactly.
@@ -239,11 +265,21 @@ func (rt *Runtime) Run(fn func(e *Env)) {
 			defer func() {
 				if r := recover(); r != nil {
 					panicMu.Lock()
-					if firstPanic == nil {
+					first := firstPanic == nil
+					if first {
 						firstPanic = r
 					}
 					panicMu.Unlock()
-					// Unblock peers stuck in Recv on this runtime.
+					// Unblock peers: poison barriers/locks so nobody waits
+					// for a node that will never arrive, then close the
+					// network to wake blocked receivers and retry loops.
+					// Peers woken this way panic in turn and land back
+					// here; only the first panic is re-raised.
+					if first {
+						if ab, ok := rt.sub.(interface{ AbortSync(string) }); ok {
+							ab.AbortSync(fmt.Sprintf("node %d failed: %v", e.id, r))
+						}
+					}
 					rt.msgs.Close()
 				}
 			}()

@@ -14,6 +14,11 @@
 // substrates detect remote/invalid accesses by software checks on this
 // page table — the state machine is the same as a fault-driven DSM, only
 // the detection point differs.
+//
+// Concurrency: the allocator and page table are shared by all node
+// goroutines and internally synchronized (the home map uses atomics on
+// the hot lookup path). The package is cost-free by design — it never
+// advances a virtual clock; substrates charge access costs themselves.
 package memsim
 
 import (

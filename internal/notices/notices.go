@@ -5,7 +5,15 @@
 // interval. Relaxed-consistency DSMs attach notices to synchronization
 // objects: a lock carries the notices of the critical sections it guarded
 // (scope consistency), a barrier merges everyone's notices globally. On
-// acquire, a node invalidates its cached copies of noticed pages.
+// acquire, a node invalidates its cached copies of noticed pages. This is
+// the bookkeeping behind the paper's consistency control mechanisms
+// (§3.2/§4.2); the communication that moves the notices lives in the
+// substrates, not here.
+//
+// Concurrency: a Board or EpochExchange is shared by every node goroutine
+// and internally locked; all methods are safe for concurrent use. The
+// package never touches virtual clocks — charging the cost of
+// propagating notices is the caller's job.
 package notices
 
 import (

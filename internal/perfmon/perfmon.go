@@ -80,6 +80,16 @@ const (
 	// EvHomeMigrate is a page home migrating to this node.
 	// Arg1 = page id, Arg2 = old home.
 	EvHomeMigrate
+	// EvRetry is an active-message retransmission after an ack timeout.
+	// Arg1 = target node, Arg2 = retry ordinal (1 = first retransmission).
+	EvRetry
+	// EvTimeout spans one abandoned wait for an active-message ack,
+	// including the attempt's send-side work and backoff. Arg1 = target
+	// node, Arg2 = attempt number.
+	EvTimeout
+	// EvNodeDown is the failure detector declaring a peer dead.
+	// Arg1 = the down node, Arg2 = consecutive missed heartbeats.
+	EvNodeDown
 
 	numEventKinds
 )
@@ -117,6 +127,12 @@ func (k EventKind) String() string {
 		return "service"
 	case EvHomeMigrate:
 		return "home-migrate"
+	case EvRetry:
+		return "retry"
+	case EvTimeout:
+		return "timeout"
+	case EvNodeDown:
+		return "node-down"
 	default:
 		return "unknown"
 	}

@@ -6,6 +6,13 @@
 // internal/swdsm (JiaJia-like software DSM) — and the core deliberately
 // integrates their native shapes rather than forcing a lowest common
 // denominator.
+//
+// Every Substrate obeys the same concurrency and timing contract: node i
+// is driven by one goroutine, all cross-node effects are internally
+// synchronized, and every operation charges its cost to the calling
+// node's virtual clock (internal/vclock) — including cycles stolen from
+// other nodes for protocol processing, so per-node attribution always
+// sums exactly to the clock.
 package platform
 
 import (

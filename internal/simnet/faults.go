@@ -1,0 +1,262 @@
+package simnet
+
+// Fault injection for the simulated interconnect.
+//
+// A FaultPlan describes everything that can go wrong on the wire: random
+// drops and duplicates, reordering, per-message jitter, partition windows
+// between node pairs, and per-node fail-stop / slowdown schedules. All of
+// it is deterministic: every random decision is a pure function of
+// (Seed, directed link, per-link sequence number, purpose salt), so a
+// given plan over the same traffic replays bit-identically no matter how
+// the Go scheduler interleaves node goroutines. The only ordering that
+// matters is each sender's own program order, which IS deterministic —
+// there is no shared RNG stream for concurrent senders to race on.
+//
+// Time in a fault plan is virtual time (see internal/vclock): a crash at
+// CrashAt = 5 ms fires when the simulation reaches that point on the
+// affected links, not after 5 ms of wall clock.
+
+import (
+	"fmt"
+
+	"hamster/internal/vclock"
+)
+
+// Partition severs the link between two nodes for a window of virtual
+// time. Messages sent in either direction while the window is open are
+// lost; traffic before From or at/after Until flows normally.
+type Partition struct {
+	A, B NodeID
+	// From..Until is the half-open window [From, Until) during which the
+	// link is severed. Until == 0 means the partition never heals.
+	From, Until vclock.Time
+}
+
+// openAt reports whether the window is open at time t.
+func (w Partition) openAt(t vclock.Time) bool {
+	return t >= w.From && (w.Until == 0 || t < w.Until)
+}
+
+// NodeFault is one node's failure schedule.
+type NodeFault struct {
+	Node NodeID
+	// CrashAt, when non-zero, fail-stops the node at that virtual time:
+	// every message sent from or to it at or after CrashAt is lost. The
+	// node's goroutine keeps executing (a simulation cannot kill it), but
+	// all its communication times out — which is exactly how a real
+	// cluster observes a dead peer.
+	CrashAt vclock.Time
+	// SlowFactor, when > 1, multiplies the node's per-message software
+	// costs (send/receive protocol stacks and handler service), modeling
+	// a node degraded by thermal throttling or a failing NIC driver.
+	SlowFactor float64
+}
+
+// Draw salts keep the per-purpose decision streams independent even
+// though they share one per-link sequence counter. Must stay < 8 (they
+// are packed into the low bits of the sequence number).
+const (
+	saltDrop uint64 = iota
+	saltDup
+	saltReorder
+	saltJitter
+	saltBackoff
+	saltAckDrop
+)
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// high-quality bit mixer used to turn (seed, link, seq, salt) into an
+// independent uniform draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// roll consumes the next deterministic draw on the directed link from→to
+// and returns a uniform float64 in [0, 1). Concurrent traffic on other
+// links cannot perturb the stream; within one link the draws follow the
+// sender's program order.
+func (n *Network) roll(from, to NodeID, salt uint64) float64 {
+	idx := uint64(from)*uint64(len(n.nodes)) + uint64(to)
+	n.faultMu.Lock()
+	seq := n.linkSeq[idx]
+	n.linkSeq[idx]++
+	seed := uint64(n.faults.Seed)
+	n.faultMu.Unlock()
+	h := splitmix64(seed ^ splitmix64(idx+1) ^ splitmix64(seq<<3|salt))
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// crashedLocked reports whether node id has fail-stopped by time at.
+// Callers hold faultMu.
+func (n *Network) crashedLocked(id NodeID, at vclock.Time) bool {
+	t := n.crashAt[id]
+	return t > 0 && at >= t
+}
+
+// NodeCrashed reports whether the fault plan has fail-stopped a node by
+// the given virtual time.
+func (n *Network) NodeCrashed(id NodeID, at vclock.Time) bool {
+	n.checkID(id)
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	return n.crashedLocked(id, at)
+}
+
+// SlowFactor returns the software-cost multiplier of a node (1 when the
+// plan does not degrade it).
+func (n *Network) SlowFactor(id NodeID) float64 {
+	n.checkID(id)
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	return n.slow[id]
+}
+
+// ScaledSW scales a per-message software cost by a node's slow factor.
+// The wire itself (latency, serialization) is never scaled — only the
+// CPU-side protocol stack of the degraded node.
+func (n *Network) ScaledSW(id NodeID, d vclock.Duration) vclock.Duration {
+	n.faultMu.Lock()
+	f := n.slow[id]
+	n.faultMu.Unlock()
+	if f <= 1 {
+		return d
+	}
+	return vclock.Duration(float64(d) * f)
+}
+
+// LinkLost decides the fate of one transmission from→to entering the
+// wire at virtual time at: lost to the random-drop draw, a partition
+// window, or a crashed endpoint. When DropProb > 0 exactly one drop draw
+// is consumed per call, so callers must invoke it once per transmission
+// attempt to keep replays aligned.
+func (n *Network) LinkLost(from, to NodeID, at vclock.Time) bool {
+	n.faultMu.Lock()
+	lost := n.crashedLocked(from, at) || n.crashedLocked(to, at) ||
+		n.faults.partitionedAt(from, to, at)
+	dp := n.faults.DropProb
+	n.faultMu.Unlock()
+	if dp > 0 && n.roll(from, to, saltDrop) < dp {
+		lost = true
+	}
+	return lost
+}
+
+// AckLost decides the fate of the ack/response travelling to→from at
+// virtual time at. Semantically it is LinkLost for the reverse
+// direction, but the drop draw comes from the CALLER's from→to stream
+// (with its own salt): the reverse link's counter belongs to node to's
+// own outgoing traffic, and two goroutines sharing one counter would
+// make the decision stream depend on scheduler interleaving.
+func (n *Network) AckLost(from, to NodeID, at vclock.Time) bool {
+	n.faultMu.Lock()
+	lost := n.crashedLocked(from, at) || n.crashedLocked(to, at) ||
+		n.faults.partitionedAt(to, from, at)
+	dp := n.faults.DropProb
+	n.faultMu.Unlock()
+	if dp > 0 && n.roll(from, to, saltAckDrop) < dp {
+		lost = true
+	}
+	return lost
+}
+
+// LinkDup reports whether a delivered transmission from→to is duplicated
+// by the network. Consumes one draw when DuplicateProb > 0.
+func (n *Network) LinkDup(from, to NodeID) bool {
+	n.faultMu.Lock()
+	p := n.faults.DuplicateProb
+	n.faultMu.Unlock()
+	return p > 0 && n.roll(from, to, saltDup) < p
+}
+
+// FaultJitter returns a deterministic uniform duration in [0, max) drawn
+// from the link's seeded stream — the jitter source for retry backoff.
+func (n *Network) FaultJitter(from, to NodeID, max vclock.Duration) vclock.Duration {
+	if max == 0 {
+		return 0
+	}
+	return vclock.Duration(n.roll(from, to, saltBackoff) * float64(max))
+}
+
+// partitionedAt reports whether the plan severs the a↔b link at time t.
+func (p *FaultPlan) partitionedAt(a, b NodeID, t vclock.Time) bool {
+	for _, w := range p.Partitions {
+		if ((w.A == a && w.B == b) || (w.A == b && w.B == a)) && w.openAt(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// CallFaultsActive reports whether the installed plan can affect
+// active-message calls (drops, duplicates, partitions, or node
+// schedules). The active-message layer uses it to pick between the
+// fault-free fast path and the request/ack protocol; jitter- or
+// reorder-only plans perturb queued messages but not calls.
+func (n *Network) CallFaultsActive() bool {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	p := &n.faults
+	return p.DropProb > 0 || p.DuplicateProb > 0 ||
+		len(p.Partitions) > 0 || len(p.NodeFaults) > 0
+}
+
+// Closed reports whether Close has been called. The active-message layer
+// polls it between retry attempts so that tearing the network down wakes
+// callers stuck retrying against a dead peer.
+func (n *Network) Closed() bool { return n.closed.Load() }
+
+// Drops reports how many queued messages the fault plan has destroyed
+// (random drops, partitions, and crashed endpoints; active-message
+// attempts are accounted by the layer's own stats and perfmon events).
+func (n *Network) Drops() uint64 { return n.drops.Load() }
+
+// FaultProfiles lists the named fault campaigns understood by
+// FaultProfile, for -faults flag help.
+func FaultProfiles() []string {
+	return []string{
+		"off", "lossy-ethernet", "very-lossy", "flaky-switch",
+		"partition", "crash-node", "slow-node",
+	}
+}
+
+// FaultProfile builds a named, seeded fault campaign. Profiles are
+// cluster-size independent (they reference nodes 0 and 1, present in any
+// cluster of at least two nodes):
+//
+//   - off: no faults — pins the zero-fault identity.
+//   - lossy-ethernet: 1% message loss plus 2 µs switch jitter, the
+//     classic mildly congested switched-Ethernet segment.
+//   - very-lossy: 5% loss plus 5 µs jitter — a failing link.
+//   - flaky-switch: 2% duplicates, 5% reordering, 2 µs jitter.
+//   - partition: the 0↔1 link is severed between 2 ms and 6 ms of
+//     virtual time, then heals.
+//   - crash-node: node 1 fail-stops at 2 ms of virtual time.
+//   - slow-node: node 1's protocol stacks run 8× slower.
+func FaultProfile(name string, seed int64) (FaultPlan, error) {
+	p := FaultPlan{Seed: seed}
+	switch name {
+	case "off":
+	case "lossy-ethernet":
+		p.DropProb = 0.01
+		p.JitterNs = 2000
+	case "very-lossy":
+		p.DropProb = 0.05
+		p.JitterNs = 5000
+	case "flaky-switch":
+		p.DuplicateProb = 0.02
+		p.ReorderProb = 0.05
+		p.JitterNs = 2000
+	case "partition":
+		p.Partitions = []Partition{{A: 0, B: 1, From: 2_000_000, Until: 6_000_000}}
+	case "crash-node":
+		p.NodeFaults = []NodeFault{{Node: 1, CrashAt: 2_000_000}}
+	case "slow-node":
+		p.NodeFaults = []NodeFault{{Node: 1, SlowFactor: 8}}
+	default:
+		return p, fmt.Errorf("simnet: unknown fault profile %q (have %v)", name, FaultProfiles())
+	}
+	return p, nil
+}

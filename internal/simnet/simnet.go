@@ -4,8 +4,10 @@
 // moves byte-payload messages between nodes, charging the sender's and
 // receiver's clocks with the costs of the configured link profile (see
 // internal/machine). Delivery is reliable and, by default, in arrival-time
-// order per receiver; fault injection can reorder or duplicate messages to
-// exercise protocol robustness.
+// order per receiver; fault injection (see faults.go) can drop, reorder,
+// duplicate, jitter, or partition traffic and fail-stop or slow down whole
+// nodes to exercise protocol robustness — deterministically, so seeded
+// fault campaigns replay bit-identically.
 //
 // Two communication styles are supported:
 //
@@ -21,8 +23,8 @@ package simnet
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"hamster/internal/machine"
 	"hamster/internal/perfmon"
@@ -50,8 +52,15 @@ type Message struct {
 	seq      uint64 // per-receiver tiebreaker for deterministic ordering
 }
 
-// FaultPlan perturbs message delivery for robustness tests.
+// FaultPlan perturbs message delivery for robustness tests. Every field
+// with all-zero values leaves the network byte- and virtual-time-identical
+// to running with no plan at all; see faults.go for the deterministic
+// draw machinery behind the probabilistic fields.
 type FaultPlan struct {
+	// DropProb is the probability (0..1) that a transmission is lost on
+	// the wire. Queued messages silently vanish; active-message calls see
+	// a virtual-time ack timeout and retry (see internal/amsg).
+	DropProb float64
 	// ReorderProb is the probability (0..1) that an enqueued message is
 	// swapped with its queue predecessor.
 	ReorderProb float64
@@ -62,6 +71,11 @@ type FaultPlan struct {
 	// variance. Drawn from the seeded source, so a given (plan, traffic)
 	// pair always produces the same delays.
 	JitterNs vclock.Duration
+	// Partitions lists per-link virtual-time windows during which a node
+	// pair cannot communicate.
+	Partitions []Partition
+	// NodeFaults lists per-node fail-stop and slowdown schedules.
+	NodeFaults []NodeFault
 	// Seed makes the perturbation deterministic.
 	Seed int64
 }
@@ -72,9 +86,17 @@ type Network struct {
 	nodes []*endpoint
 	stats Stats
 
+	// Fault state. linkSeq holds one draw counter per directed link
+	// (index from*size+to); crashAt and slow are the per-node schedules
+	// denormalized from faults for O(1) lookup. All guarded by faultMu.
 	faultMu sync.Mutex
-	rng     *rand.Rand
 	faults  FaultPlan
+	linkSeq []uint64
+	crashAt []vclock.Time
+	slow    []float64
+
+	closed atomic.Bool
+	drops  atomic.Uint64
 
 	rec *perfmon.Recorder // protocol event recorder; nil until attached
 }
@@ -113,26 +135,49 @@ type endpoint struct {
 // New creates a network of len(clocks) nodes over the given link profile.
 // Each node's costs are charged to the corresponding clock.
 func New(link machine.Link, clocks []*vclock.Clock) *Network {
-	n := &Network{link: link, nodes: make([]*endpoint, len(clocks))}
+	n := &Network{
+		link:    link,
+		nodes:   make([]*endpoint, len(clocks)),
+		linkSeq: make([]uint64, len(clocks)*len(clocks)),
+		crashAt: make([]vclock.Time, len(clocks)),
+		slow:    make([]float64, len(clocks)),
+	}
 	for i, c := range clocks {
 		ep := &endpoint{clock: c}
 		ep.cond = sync.NewCond(&ep.mu)
 		n.nodes[i] = ep
+		n.slow[i] = 1
 	}
 	return n
 }
 
 // SetFaults installs a fault plan, replacing any previous one and
-// restarting the seeded random source. Safe to call at any time,
-// including while traffic is in flight: every read of the plan happens
-// under the same mutex this write takes, so in-flight messages simply
-// see either the old or the new plan. Messages already queued keep the
-// arrival times they were stamped with.
+// resetting the per-link draw counters of the seeded decision streams.
+// Safe to call at any time, including while traffic is in flight: every
+// read of the plan happens under the same mutex this write takes, so
+// in-flight messages simply see either the old or the new plan. Messages
+// already queued keep the arrival times they were stamped with. Panics
+// if a NodeFault names a node outside the cluster.
 func (n *Network) SetFaults(p FaultPlan) {
 	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
 	n.faults = p
-	n.rng = rand.New(rand.NewSource(p.Seed))
-	n.faultMu.Unlock()
+	for i := range n.linkSeq {
+		n.linkSeq[i] = 0
+	}
+	for i := range n.crashAt {
+		n.crashAt[i] = 0
+		n.slow[i] = 1
+	}
+	for _, f := range p.NodeFaults {
+		if f.Node < 0 || int(f.Node) >= len(n.nodes) {
+			panic(fmt.Sprintf("simnet: fault plan names node %d (cluster size %d)", f.Node, len(n.nodes)))
+		}
+		n.crashAt[f.Node] = f.CrashAt
+		if f.SlowFactor > 1 {
+			n.slow[f.Node] = f.SlowFactor
+		}
+	}
 }
 
 // SetRecorder attaches a protocol event recorder (nil detaches). The
@@ -157,43 +202,47 @@ func (n *Network) checkID(id NodeID) {
 // Send transmits a message from one node to another. The sender's clock is
 // charged the software send cost; the arrival time reflects latency and
 // payload serialization. The payload is not copied — callers must not
-// mutate it after sending.
+// mutate it after sending. Under a fault plan the message may be delayed,
+// duplicated, reordered, or lost; the sender is charged either way (the
+// NIC did its work — the wire ate the packet).
 func (n *Network) Send(from, to NodeID, kind Kind, tag uint32, payload []byte) {
 	n.checkID(from)
 	n.checkID(to)
 	src := n.nodes[from]
 	t0 := src.clock.Now()
-	src.clock.AdvanceCat(vclock.CatNetwork, n.link.SendSWNs)
-	arrive := src.clock.Now() +
+	src.clock.AdvanceCat(vclock.CatNetwork, n.ScaledSW(from, n.link.SendSWNs))
+	sendT := src.clock.Now()
+	arrive := sendT +
 		vclock.Time(n.link.LatencyNs) +
 		vclock.Time(uint64(len(payload))*uint64(n.link.NsPerByte))
 	n.faultMu.Lock()
-	if n.rng != nil && n.faults.JitterNs > 0 {
-		arrive += vclock.Time(n.rng.Int63n(int64(n.faults.JitterNs)))
-	}
+	jit := n.faults.JitterNs
+	canLose := n.faults.DropProb > 0 || len(n.faults.Partitions) > 0 || len(n.faults.NodeFaults) > 0
 	n.faultMu.Unlock()
+	if jit > 0 {
+		arrive += vclock.Time(n.roll(from, to, saltJitter) * float64(jit))
+	}
 	m := &Message{From: from, To: to, Kind: kind, Tag: tag, Payload: payload, ArriveAt: arrive}
 	n.stats.add(len(payload))
 	if rec := n.rec; rec != nil && rec.Enabled() {
 		rec.Record(int(from), perfmon.EvMsgSend, t0, vclock.Since(t0, src.clock.Now()), uint64(to), uint64(len(payload)))
+	}
+	if canLose && n.LinkLost(from, to, sendT) {
+		n.drops.Add(1)
+		return
 	}
 	n.deliver(m)
 }
 
 func (n *Network) deliver(m *Message) {
 	dst := n.nodes[m.To]
-	dup := false
-	n.faultMu.Lock()
-	if n.rng != nil {
-		dup = n.rng.Float64() < n.faults.DuplicateProb
-	}
-	n.faultMu.Unlock()
+	dup := n.LinkDup(m.From, m.To)
 
 	dst.mu.Lock()
 	m.seq = dst.nextSq
 	dst.nextSq++
 	dst.queue = append(dst.queue, m)
-	n.maybeReorderLocked(dst)
+	n.maybeReorderLocked(m, dst)
 	if dup {
 		cp := *m
 		cp.seq = dst.nextSq
@@ -204,11 +253,14 @@ func (n *Network) deliver(m *Message) {
 	dst.mu.Unlock()
 }
 
-func (n *Network) maybeReorderLocked(ep *endpoint) {
+func (n *Network) maybeReorderLocked(m *Message, ep *endpoint) {
 	n.faultMu.Lock()
-	swap := n.rng != nil && len(ep.queue) >= 2 && n.rng.Float64() < n.faults.ReorderProb
+	p := n.faults.ReorderProb
 	n.faultMu.Unlock()
-	if swap {
+	// The draw is consumed whenever the plan can reorder — regardless of
+	// queue depth — so the decision stream does not depend on receiver
+	// timing.
+	if p > 0 && n.roll(m.From, m.To, saltReorder) < p && len(ep.queue) >= 2 {
 		k := len(ep.queue)
 		ep.queue[k-1], ep.queue[k-2] = ep.queue[k-2], ep.queue[k-1]
 	}
@@ -238,7 +290,7 @@ func (n *Network) Recv(self NodeID, match func(*Message) bool) *Message {
 			ep.mu.Unlock()
 			t0 := ep.clock.Now()
 			ep.clock.AdvanceToCat(vclock.CatNetwork, m.ArriveAt)
-			ep.clock.AdvanceCat(vclock.CatNetwork, n.link.RecvSWNs)
+			ep.clock.AdvanceCat(vclock.CatNetwork, n.ScaledSW(self, n.link.RecvSWNs))
 			if rec := n.rec; rec != nil && rec.Enabled() {
 				rec.Record(int(self), perfmon.EvMsgRecv, t0, vclock.Since(t0, ep.clock.Now()), uint64(m.From), uint64(len(m.Payload)))
 			}
@@ -276,7 +328,7 @@ func (n *Network) TryRecv(self NodeID, match func(*Message) bool) *Message {
 	ep.mu.Unlock()
 	t0 := ep.clock.Now()
 	ep.clock.AdvanceToCat(vclock.CatNetwork, m.ArriveAt)
-	ep.clock.AdvanceCat(vclock.CatNetwork, n.link.RecvSWNs)
+	ep.clock.AdvanceCat(vclock.CatNetwork, n.ScaledSW(self, n.link.RecvSWNs))
 	if rec := n.rec; rec != nil && rec.Enabled() {
 		rec.Record(int(self), perfmon.EvMsgRecv, t0, vclock.Since(t0, ep.clock.Now()), uint64(m.From), uint64(len(m.Payload)))
 	}
@@ -300,8 +352,10 @@ func (n *Network) Broadcast(from NodeID, kind Kind, tag uint32, payload []byte) 
 	}
 }
 
-// Close unblocks all pending Recv calls with nil. Used at teardown.
+// Close unblocks all pending Recv calls with nil and makes subsequent
+// active-message retry attempts fail with ErrClosed. Used at teardown.
 func (n *Network) Close() {
+	n.closed.Store(true)
 	for _, ep := range n.nodes {
 		ep.mu.Lock()
 		ep.closed = true

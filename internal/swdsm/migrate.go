@@ -1,6 +1,9 @@
 package swdsm
 
 import (
+	"errors"
+	"fmt"
+	"slices"
 	"sync"
 
 	"hamster/internal/amsg"
@@ -117,6 +120,9 @@ func (n *node) migrationWishes() []memsim.PageID {
 			out = append(out, p)
 		}
 	}
+	// Sorted, not map order: wish lists feed the grant protocol and its
+	// fetch calls, whose fault draws must replay deterministically.
+	slices.Sort(out)
 	return out
 }
 
@@ -134,7 +140,21 @@ func (n *node) performMigrations(pages []memsim.PageID) {
 		clk := d.clocks[n.id]
 		t0 := clk.Now()
 		req := amsg.NewEnc(8).U64(uint64(p)).Bytes()
-		data := d.layer.Call(simnet.NodeID(n.id), simnet.NodeID(oldHome), kindMigrate, req)
+		data, err := d.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(oldHome), kindMigrate, req)
+		if err != nil {
+			// Migration is an optimization, not a correctness requirement:
+			// when the old home never saw the request, the current
+			// assignment stays valid and the cached copy keeps serving.
+			// But if the handler may have run (request delivered, acks
+			// lost), the old home already dropped its frame and nobody
+			// holds the authoritative copy — that is unrecoverable.
+			var ue *amsg.UnreachableError
+			if errors.As(err, &ue) && !ue.Executed {
+				continue
+			}
+			panic(fmt.Sprintf("swdsm: node %d: page %d home handover from node %d failed mid-flight: %v",
+				n.id, p, oldHome, err))
+		}
 		hp := n.home.Frame(p)
 		hp.Mu.Lock()
 		copy(hp.Data, data)

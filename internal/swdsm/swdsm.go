@@ -276,6 +276,12 @@ func New(cfg Config) (*DSM, error) {
 	d.migration = newMigrationState()
 	d.vbMig = vclock.NewVBarrier(cfg.Nodes)
 	d.barrier = newBarrierState(cfg.Nodes)
+	// Under an active call-fault plan, retry timeouts desynchronize
+	// barrier arrivals; switch to the quiescent-instant release so seeded
+	// campaigns replay bit-identically (fault-free runs keep the legacy
+	// snapshot convention and its exact numbers).
+	d.vbMig.SetLiveRelease(d.layer.Network().CallFaultsActive)
+	d.barrier.vb.SetLiveRelease(d.layer.Network().CallFaultsActive)
 	return d, nil
 }
 
@@ -372,6 +378,23 @@ func (d *DSM) SetRecorder(rec *perfmon.Recorder) {
 // Close implements platform.Substrate.
 func (d *DSM) Close() { d.layer.Network().Close() }
 
+// AbortSync poisons every synchronization object of the cluster so that
+// no goroutine stays blocked waiting for a failed peer: parties blocked
+// at (or later reaching) the barrier, the migration rendezvous, or any
+// global lock panic with the reason instead of deadlocking. The core
+// runtime calls it from its per-node panic recovery when a node
+// fail-stops, turning a would-be hang into one clean diagnostic.
+func (d *DSM) AbortSync(reason string) {
+	d.barrier.vb.Abort(reason)
+	d.vbMig.Abort(reason)
+	d.lockMu.Lock()
+	locks := append([]*lockState(nil), d.locks...)
+	d.lockMu.Unlock()
+	for _, st := range locks {
+		st.vl.Abort(reason)
+	}
+}
+
 // homeOf resolves (and first-touch assigns) the home of a page for an
 // accessing node.
 func (n *node) homeOf(p memsim.PageID) int {
@@ -423,7 +446,20 @@ func (n *node) fault(p memsim.PageID, home int) *cpage {
 	clk := n.dsm.clocks[n.id]
 	t0 := clk.Now()
 	req := amsg.NewEnc(8).U64(uint64(p)).Bytes()
-	data := n.dsm.layer.Call(simnet.NodeID(n.id), simnet.NodeID(home), kindFetchPage, req)
+	data, err := n.dsm.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(home), kindFetchPage, req)
+	if err != nil {
+		// The home may have migrated between the lookup and the call;
+		// a re-resolved home gets one more chance. Beyond that the run is
+		// lost — the authoritative copy lives nowhere else — so fail with
+		// a diagnostic instead of computing on stale data.
+		if cur := n.dsm.space.Home(p); cur != home {
+			home = cur
+			data, err = n.dsm.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(home), kindFetchPage, req)
+		}
+		if err != nil {
+			panic(fmt.Sprintf("swdsm: node %d cannot fetch page %d from home node %d: %v", n.id, p, home, err))
+		}
+	}
 	clk.AdvanceCat(vclock.CatMemory, n.dsm.params.CPU.PageCopyNs) // install copy
 	if rec := n.dsm.rec; rec != nil && rec.Enabled() {
 		rec.Record(n.id, perfmon.EvPageFault, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(home))

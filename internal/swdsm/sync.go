@@ -2,6 +2,7 @@ package swdsm
 
 import (
 	"fmt"
+	"slices"
 
 	"hamster/internal/amsg"
 	"hamster/internal/memsim"
@@ -170,7 +171,12 @@ func (n *node) flushPage(p memsim.PageID, cp *cpage) {
 	// Enc.Blob copies the diff into the request, so the scratch buffer can
 	// be recycled as soon as the call returns.
 	req := amsg.NewEnc(12 + len(diff)).U64(uint64(p)).Blob(diff).Bytes()
-	d.layer.Call(simnet.NodeID(n.id), simnet.NodeID(home), kindApplyDiff, req)
+	if _, err := d.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(home), kindApplyDiff, req); err != nil {
+		// A diff that cannot reach the authoritative copy means writes
+		// are lost; no safe degradation exists, so stop with a diagnostic.
+		panic(fmt.Sprintf("swdsm: node %d cannot flush page %d to home node %d (%d modified bytes would be lost): %v",
+			n.id, p, home, len(diff), err))
+	}
 	n.stats.DiffsCreated++
 	n.stats.DiffBytes += uint64(len(diff))
 	if rec := d.rec; rec != nil && rec.Enabled() {
@@ -182,22 +188,29 @@ func (n *node) flushPage(p memsim.PageID, cp *cpage) {
 
 // flushAll flushes every dirty cached page home and returns the write
 // notices for this interval: all pages this node modified, cached or
-// home-resident.
+// home-resident. Pages are flushed in sorted order, never map order: the
+// fault-injection draw streams pair each transmission on a link with a
+// fixed fate position, so the sequence of flush calls (and their diff
+// sizes) must be a pure function of program state for seeded campaigns
+// to replay bit-identically.
 func (n *node) flushAll() []memsim.PageID {
 	n.bumpGen()
 	out := make([]memsim.PageID, 0, len(n.dirty)+len(n.homeDirty))
 	for p := range n.dirty {
 		out = append(out, p)
 	}
+	slices.Sort(out)
 	for _, p := range out {
 		if cp, ok := n.cache[p]; ok && cp.twin != nil {
 			n.flushPage(p, cp)
 		}
 	}
+	homeStart := len(out)
 	for p := range n.homeDirty {
 		out = append(out, p)
 		delete(n.homeDirty, p)
 	}
+	slices.Sort(out[homeStart:])
 	return out
 }
 
@@ -295,7 +308,13 @@ func (d *DSM) Fence(nodeID int) {
 	n := d.access(nodeID)
 	n.bumpGen()
 	n.flushAll()
-	for p, cp := range n.cache {
+	cached := make([]memsim.PageID, 0, len(n.cache))
+	for p := range n.cache {
+		cached = append(cached, p)
+	}
+	slices.Sort(cached) // deterministic flush order (see flushAll)
+	for _, p := range cached {
+		cp := n.cache[p]
 		if cp.twin != nil {
 			n.flushPage(p, cp)
 		}

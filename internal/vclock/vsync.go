@@ -13,15 +13,49 @@ import "sync"
 // parties plus the supplied per-party release cost. This models the
 // semantics of any real barrier — nobody leaves before the last arrival —
 // while letting each platform charge its own communication cost.
+//
+// Reconciliation happens at a quiescent instant. When the last party
+// arrives, every other party is blocked inside Arrive, so no stolen
+// charge (Clock.Steal runs on the issuing party's goroutine, before that
+// party arrives) can still be in flight. The last arriver advances every
+// participant's clock to the release time right there, under the barrier
+// mutex, before anyone is released. Steals from the next phase can then
+// only land after the reconciliation, never race with it, which keeps
+// barrier-structured runs bit-identical across schedules even when fault
+// retries desynchronize the arrivals.
 type VBarrier struct {
-	mu      sync.Mutex
-	parties int
-	arrived int
-	maxT    Time // accumulating max for the current generation
-	gen     uint64
-	relT    map[uint64]Time // release times of completed generations
-	readers map[uint64]int  // parties that still need to read relT[gen]
-	release *sync.Cond
+	mu       sync.Mutex
+	parties  int
+	arrived  int
+	maxT     Time     // accumulating max arrival for the current generation
+	clocks   []*Clock // participants of the current generation
+	gen      uint64
+	relT     map[uint64]relEntry // releases of completed generations
+	readers  map[uint64]int      // parties that still need to read relT[gen]
+	release  *sync.Cond
+	abortMsg string // non-empty once Abort poisons the barrier
+
+	// liveRelease, when set and returning true, switches the barrier to
+	// the deterministic release convention: the release time is the max
+	// of the live clocks at the quiescent rendezvous instant (not of the
+	// arrival snapshots), and all participants are reconciled under the
+	// barrier mutex before anyone is released. The legacy convention
+	// absorbs a handler interrupt that lands on an already-arrived or
+	// not-yet-woken node into its wait — but which side of an arrival or
+	// wakeup a concurrent interrupt lands on is scheduler-dependent, so
+	// once fault retries desynchronize the arrivals it stops being a pure
+	// function of the program. Substrates set this to their network's
+	// CallFaultsActive so that seeded fault campaigns replay
+	// bit-identically while fault-free runs keep the legacy numbers.
+	liveRelease func() bool
+}
+
+// relEntry is one generation's release: the reconciliation target and
+// which convention produced it (live = clocks already reconciled at the
+// rendezvous; legacy = each waiter reconciles after waking).
+type relEntry struct {
+	at   Time
+	live bool
 }
 
 // NewVBarrier creates a barrier for the given number of parties.
@@ -31,7 +65,7 @@ func NewVBarrier(parties int) *VBarrier {
 	}
 	b := &VBarrier{
 		parties: parties,
-		relT:    make(map[uint64]Time),
+		relT:    make(map[uint64]relEntry),
 		readers: make(map[uint64]int),
 	}
 	b.release = sync.NewCond(&b.mu)
@@ -41,9 +75,18 @@ func NewVBarrier(parties int) *VBarrier {
 // Parties returns the number of participants.
 func (b *VBarrier) Parties() int { return b.parties }
 
+// SetLiveRelease installs the predicate that selects the quiescent
+// live-clock release convention (see the liveRelease field). Call it at
+// setup, before any Arrive.
+func (b *VBarrier) SetLiveRelease(f func() bool) {
+	b.mu.Lock()
+	b.liveRelease = f
+	b.mu.Unlock()
+}
+
 // Arrive enters the barrier at the clock's current time plus arriveCost
 // (the cost of announcing arrival), blocks until all parties arrive, and
-// leaves with the clock advanced to max(arrivals within THIS generation)
+// leaves with the clock advanced to max(clocks within THIS generation)
 // + releaseCost. Release times are recorded per generation: real-time
 // scheduling can let a fast party race ahead into the next barrier
 // generation before a slow waiter has woken up, and the fast party's new
@@ -52,16 +95,42 @@ func (b *VBarrier) Parties() int { return b.parties }
 // It returns the reconciled release time.
 func (b *VBarrier) Arrive(c *Clock, arriveCost, releaseCost Duration) Time {
 	c.AdvanceCat(CatProtocol, arriveCost)
-	t := c.Now()
 
 	b.mu.Lock()
+	if b.abortMsg != "" {
+		msg := b.abortMsg
+		b.mu.Unlock()
+		panic(msg)
+	}
 	myGen := b.gen
-	if t > b.maxT {
+	b.clocks = append(b.clocks, c)
+	if t := c.Now(); t > b.maxT {
 		b.maxT = t
 	}
 	b.arrived++
 	if b.arrived == b.parties {
-		b.relT[myGen] = b.maxT
+		rel := relEntry{at: b.maxT}
+		if b.liveRelease != nil && b.liveRelease() {
+			// Deterministic mode (active fault plan). This is a quiescent
+			// instant: every party is inside Arrive, so no stolen charge
+			// can still be in flight. Take the release time from the live
+			// clocks — whose steal totals are schedule-independent here —
+			// rather than the arrival snapshots (which depend on which
+			// side of an arrival each interrupt happened to land), and
+			// reconcile every participant before anyone leaves, so steals
+			// from the next phase can only land after the reconciliation.
+			rel.live = true
+			for _, pc := range b.clocks {
+				if t := pc.Now(); t > rel.at {
+					rel.at = t
+				}
+			}
+			for _, pc := range b.clocks {
+				pc.AdvanceToCat(CatProtocol, rel.at)
+			}
+		}
+		b.clocks = b.clocks[:0]
+		b.relT[myGen] = rel
 		b.readers[myGen] = b.parties
 		b.arrived = 0
 		b.maxT = 0
@@ -69,13 +138,18 @@ func (b *VBarrier) Arrive(c *Clock, arriveCost, releaseCost Duration) Time {
 		b.release.Broadcast()
 	} else {
 		for {
+			if b.abortMsg != "" {
+				msg := b.abortMsg
+				b.mu.Unlock()
+				panic(msg)
+			}
 			if _, done := b.relT[myGen]; done {
 				break
 			}
 			b.release.Wait()
 		}
 	}
-	releaseAt := b.relT[myGen]
+	rel := b.relT[myGen]
 	b.readers[myGen]--
 	if b.readers[myGen] == 0 {
 		delete(b.readers, myGen)
@@ -83,9 +157,28 @@ func (b *VBarrier) Arrive(c *Clock, arriveCost, releaseCost Duration) Time {
 	}
 	b.mu.Unlock()
 
-	c.AdvanceToCat(CatProtocol, releaseAt)
+	if !rel.live {
+		// Legacy convention: reconcile after waking, so an interrupt that
+		// landed on this waiter in the meantime is absorbed by the wait.
+		c.AdvanceToCat(CatProtocol, rel.at)
+	}
 	c.AdvanceCat(CatProtocol, releaseCost)
 	return c.Now()
+}
+
+// Abort poisons the barrier: goroutines blocked in Arrive, and any that
+// arrive later, panic with the given reason instead of waiting for
+// parties that will never come. Graceful-degradation paths use it so a
+// fail-stopped node cannot deadlock its peers at a rendezvous; the
+// per-node panic recovery in the runtime turns the panics into one clean
+// diagnostic.
+func (b *VBarrier) Abort(reason string) {
+	b.mu.Lock()
+	if b.abortMsg == "" {
+		b.abortMsg = "vclock: barrier aborted: " + reason
+	}
+	b.release.Broadcast()
+	b.mu.Unlock()
 }
 
 // VLock is a virtual-time mutual-exclusion lock.
@@ -95,11 +188,12 @@ func (b *VBarrier) Arrive(c *Clock, arriveCost, releaseCost Duration) Time {
 // holder released. VLock tracks the virtual time at which the lock became
 // free and pushes each new holder's clock past it.
 type VLock struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	held   bool
-	freeAt Time // virtual time at which the previous holder released
-	acqs   uint64
+	mu       sync.Mutex
+	cond     *sync.Cond
+	held     bool
+	freeAt   Time // virtual time at which the previous holder released
+	acqs     uint64
+	abortMsg string // non-empty once Abort poisons the lock
 }
 
 // NewVLock returns an unlocked virtual lock.
@@ -117,7 +211,17 @@ func (l *VLock) Acquire(c *Clock, reqCost, grantCost Duration) Time {
 	c.AdvanceCat(CatProtocol, reqCost)
 	l.mu.Lock()
 	for l.held {
+		if l.abortMsg != "" {
+			msg := l.abortMsg
+			l.mu.Unlock()
+			panic(msg)
+		}
 		l.cond.Wait()
+	}
+	if l.abortMsg != "" {
+		msg := l.abortMsg
+		l.mu.Unlock()
+		panic(msg)
 	}
 	l.held = true
 	l.acqs++
@@ -162,6 +266,18 @@ func (l *VLock) Release(c *Clock, relCost Duration) {
 		l.freeAt = now
 	}
 	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// Abort poisons the lock: goroutines blocked in Acquire, and any that
+// try later, panic with the given reason. The holder (if any) may still
+// Release normally. See VBarrier.Abort.
+func (l *VLock) Abort(reason string) {
+	l.mu.Lock()
+	if l.abortMsg == "" {
+		l.abortMsg = "vclock: lock aborted: " + reason
+	}
+	l.cond.Broadcast()
 	l.mu.Unlock()
 }
 

@@ -1,0 +1,85 @@
+package vclock
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Abort must wake a party blocked in Arrive with a panic carrying the
+// reason, and poison later arrivals the same way — a fail-stopped node
+// cannot be allowed to deadlock its peers at a rendezvous.
+func TestVBarrierAbortWakesWaiters(t *testing.T) {
+	b := NewVBarrier(2)
+	got := make(chan string, 1)
+	go func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				got <- "no panic"
+				return
+			}
+			got <- r.(string)
+		}()
+		var c Clock
+		b.Arrive(&c, 10, 10)
+	}()
+	time.Sleep(5 * time.Millisecond) // let the waiter block
+	b.Abort("node 1 failed")
+	select {
+	case msg := <-got:
+		if !strings.Contains(msg, "barrier aborted: node 1 failed") {
+			t.Fatalf("waiter panicked with %q", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort did not wake the blocked party")
+	}
+	// Late arrivals hit the poison immediately.
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "barrier aborted") {
+			t.Fatalf("late Arrive: recover = %v", r)
+		}
+	}()
+	var c Clock
+	b.Arrive(&c, 0, 0)
+}
+
+// Abort on a lock wakes blocked acquirers; the current holder may still
+// release cleanly.
+func TestVLockAbortWakesWaiters(t *testing.T) {
+	l := NewVLock()
+	var holder Clock
+	l.Acquire(&holder, 0, 0)
+	got := make(chan string, 1)
+	go func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				got <- "no panic"
+				return
+			}
+			got <- r.(string)
+		}()
+		var c Clock
+		l.Acquire(&c, 0, 0)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	l.Abort("node 2 failed")
+	select {
+	case msg := <-got:
+		if !strings.Contains(msg, "lock aborted: node 2 failed") {
+			t.Fatalf("waiter panicked with %q", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort did not wake the blocked acquirer")
+	}
+	l.Release(&holder, 0) // the holder is unaffected
+	// New acquirers hit the poison.
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "lock aborted") {
+			t.Fatalf("late Acquire: recover = %v", r)
+		}
+	}()
+	var c Clock
+	l.Acquire(&c, 0, 0)
+}

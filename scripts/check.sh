@@ -21,6 +21,17 @@ fi
 go build ./...
 go vet ./...
 
+# Package-docs gate: every internal package must carry a proper
+# "// Package <name> ..." doc comment (role, paper reference, and its
+# concurrency/virtual-time contract live there).
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -qr "^// Package $pkg " "$dir"*.go; then
+        echo "missing package doc comment for internal/$pkg" >&2
+        exit 1
+    fi
+done
+
 # The attribution invariant is the load-bearing contract of the perfmon
 # subsystem; run it by name under the race detector so a failure is
 # unmistakable before the full suite starts.
