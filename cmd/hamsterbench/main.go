@@ -7,13 +7,22 @@
 //	hamsterbench [-size small|default|paper] [-models DIR]
 //	             [-table1] [-table2] [-fig2] [-fig3] [-fig4] [-ablations]
 //	hamsterbench -json FILE [-faults PROFILE] [-faultseed SEED]
+//	hamsterbench -json FILE -checkpoint N [-incremental]
 //
 // With no selection flags, everything runs. -json instead runs the kernel
 // wall-clock benchmark (simulator throughput on the software DSM) and
 // writes per-kernel wall-clock plus virtual-time measurements to FILE
 // ("-" for stdout). -faults reruns that benchmark under a seeded fault
 // campaign (see internal/simnet), adding retransmission counts per kernel;
-// without it the measurement is unperturbed and bit-reproducible.
+// without it the measurement is unperturbed and bit-reproducible. The
+// emitted JSON is self-describing: the envelope names the active fault
+// profile, its seed, and the checkpoint configuration (all zero/empty for
+// the plain benchmark).
+//
+// -checkpoint N switches -json to the checkpoint-overhead benchmark
+// (BENCH_3.json): each kernel's virtual time with checkpointing off next
+// to the same run capturing a coordinated snapshot every N barriers, at 2
+// and 4 nodes, with capture counts and snapshot bytes.
 package main
 
 import (
@@ -41,49 +50,103 @@ func main() {
 	jsonOut := flag.String("json", "", "run the kernel wall-clock benchmark and write JSON to this file (\"-\" for stdout)")
 	faults := flag.String("faults", "", "rerun -json under a seeded fault campaign: "+strings.Join(simnet.FaultProfiles(), ", "))
 	faultSeed := flag.Int64("faultseed", 1, "seed of the fault campaign's deterministic draws")
+	ckptEvery := flag.Int("checkpoint", 0, "switch -json to the checkpoint-overhead benchmark, capturing every N barriers (0 = off)")
+	ckptInc := flag.Bool("incremental", false, "capture dirty-page diffs after the first full snapshot (requires -checkpoint)")
 	flag.Parse()
 
+	// Flag validation happens before any benchmark runs: unknown -faults
+	// profiles (the error lists the valid names) and checkpoint flag
+	// combinations the harness cannot honor.
+	if *ckptEvery < 0 {
+		fmt.Fprintf(os.Stderr, "-checkpoint must be >= 0, got %d\n", *ckptEvery)
+		os.Exit(2)
+	}
+	if *ckptInc && *ckptEvery == 0 {
+		fmt.Fprintln(os.Stderr, "-incremental requires -checkpoint")
+		os.Exit(2)
+	}
+	if *ckptEvery > 0 && *jsonOut == "" {
+		fmt.Fprintln(os.Stderr, "-checkpoint requires -json: it selects the checkpoint-overhead benchmark")
+		os.Exit(2)
+	}
+	if *ckptEvery > 0 && *faults != "" {
+		fmt.Fprintln(os.Stderr, "-checkpoint and -faults are separate -json benchmarks; pass one of them")
+		os.Exit(2)
+	}
+	var plan *simnet.FaultPlan
+	var seed int64 // stays 0 when unperturbed: no fault plan, no jitter
+	if *faults != "" {
+		p, err := simnet.FaultProfile(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		plan, seed = &p, *faultSeed
+	}
+
 	if *jsonOut != "" {
-		var plan *simnet.FaultPlan
-		var seed int64 // stays 0 when unperturbed: no fault plan, no jitter
-		desc := "simulator throughput: real wall-clock per kernel next to its modeled virtual time (swdsm, 4 nodes), with per-category virtual-time attribution"
-		if *faults != "" {
-			p, err := simnet.FaultProfile(*faults, *faultSeed)
+		// The envelope of every BENCH_*.json names the knobs that shaped
+		// the measurement, so the files are self-describing.
+		type ckptConfig struct {
+			Every       int  `json:"every"`
+			Incremental bool `json:"incremental"`
+		}
+		type envelope struct {
+			Schema       string     `json:"schema"`
+			Description  string     `json:"description"`
+			FaultProfile string     `json:"fault_profile"`
+			Seed         int64      `json:"seed"`
+			Checkpoint   ckptConfig `json:"checkpoint"`
+			Results      any        `json:"results"`
+		}
+		var env envelope
+		var render string
+		if *ckptEvery > 0 {
+			rows, err := bench.CheckpointOverhead(*ckptEvery, *ckptInc)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				fmt.Fprintf(os.Stderr, "ckptoverhead: %v\n", err)
+				os.Exit(1)
 			}
-			plan, seed = &p, *faultSeed
-			desc += fmt.Sprintf("; fault campaign %q", *faults)
+			env = envelope{
+				Schema: "hamster/ckptoverhead/v1",
+				Description: fmt.Sprintf("checkpoint overhead: per-kernel virtual time with checkpointing off vs coordinated snapshots every %d barriers (swdsm, 2 and 4 nodes, core services)",
+					*ckptEvery),
+				Checkpoint: ckptConfig{Every: *ckptEvery, Incremental: *ckptInc},
+				Results:    rows,
+			}
+			render = bench.RenderCheckpointOverhead(rows, *ckptEvery, *ckptInc)
+		} else {
+			desc := "simulator throughput: real wall-clock per kernel next to its modeled virtual time (swdsm, 4 nodes), with per-category virtual-time attribution"
+			if *faults != "" {
+				desc += fmt.Sprintf("; fault campaign %q", *faults)
+			}
+			rows, err := bench.KernelWallFaults(plan)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kernelwall: %v\n", err)
+				os.Exit(1)
+			}
+			env = envelope{
+				Schema:       "hamster/kernelwall/v3",
+				Description:  desc,
+				FaultProfile: *faults,
+				Seed:         seed,
+				Results:      rows,
+			}
+			render = bench.RenderKernelWall(rows)
 		}
-		rows, err := bench.KernelWallFaults(plan)
+		blob, err := json.MarshalIndent(env, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "kernelwall: %v\n", err)
-			os.Exit(1)
-		}
-		blob, err := json.MarshalIndent(struct {
-			Schema      string                   `json:"schema"`
-			Description string                   `json:"description"`
-			Seed        int64                    `json:"seed"`
-			Results     []bench.KernelWallResult `json:"results"`
-		}{
-			Schema:      "hamster/kernelwall/v2",
-			Description: desc,
-			Seed:        seed,
-			Results:     rows,
-		}, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "kernelwall: %v\n", err)
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
 		blob = append(blob, '\n')
 		if *jsonOut == "-" {
 			os.Stdout.Write(blob)
 		} else if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "kernelwall: %v\n", err)
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprint(os.Stderr, bench.RenderKernelWall(rows))
+		fmt.Fprint(os.Stderr, render)
 		return
 	}
 

@@ -8,10 +8,18 @@
 //	           [-nodes N] [-bench NAME] [-n SIZE] [-iters I] [-monitor]
 //	           [-trace FILE] [-timebreakdown]
 //	           [-faults PROFILE] [-faultseed SEED]
+//	           [-checkpoint N] [-incremental] [-recover]
 //
 // A -config file (see internal/cluster for the format) overrides the
 // -platform/-nodes flags, mirroring how the original framework switched
 // platforms with a node configuration file.
+//
+// -checkpoint N captures a coordinated snapshot every N barriers on the
+// software DSM; -incremental switches captures after the first to
+// dirty-page diffs. -recover (requires -checkpoint and a -faults profile)
+// rolls a planned node crash back to the last snapshot and re-admits the
+// node instead of aborting. All flag combinations are validated before
+// anything boots.
 package main
 
 import (
@@ -43,6 +51,9 @@ func main() {
 	timeBreak := flag.Bool("timebreakdown", false, "print the per-node virtual-time attribution (compute/memory/protocol/network/stolen)")
 	faults := flag.String("faults", "", "run a seeded fault campaign: "+strings.Join(simnet.FaultProfiles(), ", "))
 	faultSeed := flag.Int64("faultseed", 1, "seed of the fault campaign's deterministic draws")
+	ckptEvery := flag.Int("checkpoint", 0, "capture a coordinated snapshot every N barriers (0 = off; software DSM only)")
+	ckptInc := flag.Bool("incremental", false, "capture dirty-page diffs after the first full snapshot (requires -checkpoint)")
+	recoverNodes := flag.Bool("recover", false, "recover planned node crashes from the last snapshot (requires -checkpoint and -faults)")
 	flag.Parse()
 
 	cfg := hamster.Config{Nodes: *nodes}
@@ -78,6 +89,50 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Everything the flags can get wrong is rejected here, before any node
+	// boots: an unknown -faults profile (the error lists the valid names),
+	// and checkpoint/recover combinations the runtime cannot honor.
+	var plan simnet.FaultPlan
+	haveFaults := *faults != ""
+	if haveFaults {
+		plan, err = simnet.FaultProfile(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *ckptEvery < 0 {
+		fmt.Fprintf(os.Stderr, "-checkpoint must be >= 0, got %d\n", *ckptEvery)
+		os.Exit(2)
+	}
+	if *ckptEvery > 0 && cfg.Platform != hamster.SWDSM {
+		fmt.Fprintf(os.Stderr, "-checkpoint requires the software DSM (got platform %v): snapshots capture the DSM protocol state\n", cfg.Platform)
+		os.Exit(2)
+	}
+	if *ckptInc && *ckptEvery == 0 {
+		fmt.Fprintln(os.Stderr, "-incremental requires -checkpoint")
+		os.Exit(2)
+	}
+	if *recoverNodes {
+		if *ckptEvery == 0 {
+			fmt.Fprintln(os.Stderr, "-recover requires -checkpoint: recovery rolls back to the last snapshot")
+			os.Exit(2)
+		}
+		if !haveFaults {
+			fmt.Fprintln(os.Stderr, "-recover requires a -faults profile with a planned crash (e.g. crash-node)")
+			os.Exit(2)
+		}
+		if *verify || *timeline || *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "-recover replaces the runtime on rollback; -verify, -timeline, and -trace are not supported with it")
+			os.Exit(2)
+		}
+	}
+
+	if *ckptEvery > 0 {
+		runRecoverable(cfg, plan, kernel, desc, *ckptEvery, *ckptInc, *recoverNodes, *monitor, *timeBreak, *faults, *faultSeed, haveFaults)
+		return
+	}
+
 	sys, err := jiajia.Boot(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -97,12 +152,7 @@ func main() {
 	if *traceOut != "" {
 		sys.Runtime().Perf().Enable()
 	}
-	if *faults != "" {
-		plan, err := simnet.FaultProfile(*faults, *faultSeed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
+	if haveFaults {
 		sys.Runtime().SetFaults(plan)
 		// Fault campaigns always record, so retries and timeouts show up
 		// in the report (and the trace, if requested).
@@ -173,6 +223,56 @@ func main() {
 
 func maxP(rs []apps.Result, sel func(apps.Timings) hamster.Duration) hamster.Duration {
 	return apps.MaxPhase(rs, sel)
+}
+
+// runRecoverable executes the kernel through the core services with
+// coordinated checkpointing and, with recovery enabled, under the cluster
+// supervisor that rolls planned crashes back to the last snapshot and
+// re-admits the victim.
+func runRecoverable(cfg hamster.Config, plan simnet.FaultPlan, kernel apps.Kernel, desc string,
+	every int, incremental, recoverNodes, monitor, timeBreak bool, faults string, faultSeed int64, haveFaults bool) {
+	cfg.CheckpointEvery = every
+	cfg.CheckpointIncremental = incremental
+	plan.Recover = recoverNodes
+	mode := "full"
+	if incremental {
+		mode = "incremental"
+	}
+	fmt.Printf("running %s on %v with %d nodes (core services, %s checkpoint every %d barriers)\n",
+		desc, cfg.Platform, cfg.Nodes, mode, every)
+	if haveFaults {
+		fmt.Printf("fault campaign %q, seed %d", faults, faultSeed)
+		if recoverNodes {
+			fmt.Print(", crash recovery on")
+		}
+		fmt.Println()
+	}
+
+	results, rt, recoveries, err := apps.RunRecoverable(cfg, plan, kernel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\nrun aborted: %v\n", err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+
+	fmt.Printf("\ncheck      %v\n", results[0].Check)
+	fmt.Printf("total      %v (slowest node)\n", apps.MaxTotal(results))
+	fmt.Printf("init       %v\n", maxP(results, func(t apps.Timings) hamster.Duration { return t.Init }))
+	fmt.Printf("core       %v\n", maxP(results, func(t apps.Timings) hamster.Duration { return t.Core }))
+	fmt.Printf("barriers   %v\n", maxP(results, func(t apps.Timings) hamster.Duration { return t.Bar }))
+	captures, bytes := rt.Checkpoints().Stats()
+	fmt.Printf("snapshots  %d captured, %d bytes\n", captures, bytes)
+	if recoverNodes {
+		fmt.Printf("recoveries %d\n", recoveries)
+	}
+	if monitor {
+		fmt.Println()
+		fmt.Print(core.ClusterReport(rt))
+	}
+	if timeBreak {
+		fmt.Println()
+		fmt.Print(perfmon.Summary(rt.TimeBreakdowns()))
+	}
 }
 
 // runGuarded executes the kernel, converting the clean panics of the

@@ -22,19 +22,27 @@ func MatMult(m Machine, n int) Result {
 
 	var barT vclock.Duration
 
+	// prog counts completed phases (1 = init, 2 = core). A resumed run
+	// starts with the captured value and skips completed phases together
+	// with their barriers (see SOR).
+	prog := progress(m, "mat.phase")
+
 	// Init: every process populates its own row block of A and B, one
 	// block transfer per row.
 	rowA := make([]float64, n)
 	rowB := make([]float64, n)
-	for i := lo; i < hi; i++ {
-		for j := 0; j < n; j++ {
-			rowA[j] = float64((i+j)%7) / 8.0
-			rowB[j] = float64((i*j)%5) / 4.0
+	if *prog < 1 {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				rowA[j] = float64((i+j)%7) / 8.0
+				rowB[j] = float64((i*j)%5) / 4.0
+			}
+			m.WriteF64Block(f64(a, i*n), rowA)
+			m.WriteF64Block(f64(b, i*n), rowB)
 		}
-		m.WriteF64Block(f64(a, i*n), rowA)
-		m.WriteF64Block(f64(b, i*n), rowB)
+		*prog = 1
+		timedBarrier(m, &barT)
 	}
-	timedBarrier(m, &barT)
 	initT := vclock.Since(t0, m.Now())
 
 	// Core: C[i][j] = sum_k A[i][k]*B[k][j]. The inner loop stays strictly
@@ -48,18 +56,22 @@ func MatMult(m Machine, n int) Result {
 	// substrates (see the swdsm fast-frame set), not by changing the
 	// kernel's access sequence.
 	coreStart := m.Now()
-	for i := lo; i < hi; i++ {
-		for j := 0; j < n; j++ {
-			sum := 0.0
-			for k := 0; k < n; k++ {
-				sum += m.ReadF64(f64(a, i*n+k)) * m.ReadF64(f64(b, k*n+j))
+	coreT := vclock.Duration(0)
+	if *prog < 2 {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for k := 0; k < n; k++ {
+					sum += m.ReadF64(f64(a, i*n+k)) * m.ReadF64(f64(b, k*n+j))
+				}
+				m.Compute(uint64(2 * n))
+				m.WriteF64(f64(c, i*n+j), sum)
 			}
-			m.Compute(uint64(2 * n))
-			m.WriteF64(f64(c, i*n+j), sum)
 		}
+		coreT = vclock.Since(coreStart, m.Now())
+		*prog = 2
+		timedBarrier(m, &barT)
 	}
-	coreT := vclock.Since(coreStart, m.Now())
-	timedBarrier(m, &barT)
 
 	// Checksum: trace of C (every process computes it; pages are shared).
 	check := 0.0

@@ -30,26 +30,39 @@ func SOR(m Machine, n, iters int, optimized bool) Result {
 		}
 	}
 
+	// prog counts completed phases (1 = init, 1+s = s color sweeps). A
+	// resumed run starts with the captured value and skips completed
+	// phases together with their barriers, so the remaining barriers line
+	// up with the original run's numbering.
+	prog := progress(m, "sor.phase")
+
 	// Init: each process populates its rows, one block transfer per row;
 	// boundary values are fixed.
 	rowBuf := make([]float64, n)
-	for _, i := range myRows {
-		for j := 0; j < n; j++ {
-			v := 0.0
-			if i == 0 || j == 0 || i == n-1 || j == n-1 {
-				v = float64((i+j)%3 + 1)
+	if *prog < 1 {
+		for _, i := range myRows {
+			for j := 0; j < n; j++ {
+				v := 0.0
+				if i == 0 || j == 0 || i == n-1 || j == n-1 {
+					v = float64((i+j)%3 + 1)
+				}
+				rowBuf[j] = v
 			}
-			rowBuf[j] = v
+			m.WriteF64Block(f64(grid, i*n), rowBuf)
 		}
-		m.WriteF64Block(f64(grid, i*n), rowBuf)
+		*prog = 1
+		timedBarrier(m, &barT)
 	}
-	timedBarrier(m, &barT)
 	initT := vclock.Since(t0, m.Now())
 
 	const omega = 0.5
 	coreT := vclock.Duration(0)
 	for it := 0; it < iters; it++ {
 		for color := 0; color < 2; color++ {
+			phase := int64(2 + it*2 + color)
+			if *prog >= phase {
+				continue
+			}
 			cs := m.Now()
 			for _, i := range myRows {
 				if i == 0 || i == n-1 {
@@ -72,6 +85,7 @@ func SOR(m Machine, n, iters int, optimized bool) Result {
 				m.Compute(uint64(7 * (n - 2) / 2))
 			}
 			coreT += vclock.Since(cs, m.Now())
+			*prog = phase
 			timedBarrier(m, &barT)
 		}
 	}

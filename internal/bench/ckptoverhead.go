@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hamster"
+	"hamster/internal/apps"
+)
+
+// CheckpointOverheadResult is one kernel's checkpoint-cost measurement at
+// one cluster size: the modeled virtual time of the run with checkpointing
+// off next to the same run with coordinated snapshots every `every`
+// barriers, plus what the captures cost in snapshot bytes.
+type CheckpointOverheadResult struct {
+	Kernel       string `json:"kernel"`
+	Substrate    string `json:"substrate"`
+	Nodes        int    `json:"nodes"`
+	WallNs       int64  `json:"wall_ns"`
+	VirtualOffNs uint64 `json:"virtual_ns_off"`
+	VirtualOnNs  uint64 `json:"virtual_ns_ckpt"`
+	// OverheadPct is (on-off)/off in percent — the figure the
+	// EXPERIMENTS.md checkpoint table quotes.
+	OverheadPct  float64 `json:"overhead_pct"`
+	Captures     int     `json:"captures"`
+	CaptureBytes uint64  `json:"capture_bytes"`
+	Check        float64 `json:"check"`
+}
+
+// CheckpointOverhead measures checkpoint cost for the standard kernel set
+// on the software DSM at 2 and 4 nodes. Both legs run through the full
+// core services (checkpointing lives there), so the off-leg is the honest
+// baseline for the on-leg; workload sizes mirror KernelWall. The off-leg
+// checksum must match the on-leg's — captures must never move results.
+func CheckpointOverhead(every int, incremental bool) ([]CheckpointOverheadResult, error) {
+	cases := []struct {
+		name   string
+		kernel apps.Kernel
+	}{
+		{"matmult", func(m apps.Machine) apps.Result { return apps.MatMult(m, 96) }},
+		{"sor-opt", func(m apps.Machine) apps.Result { return apps.SOR(m, 192, 6, true) }},
+		{"lu", func(m apps.Machine) apps.Result { return apps.LU(m, 96) }},
+		{"stream", func(m apps.Machine) apps.Result { return apps.Stream(m, 1<<15, 8, 0) }},
+	}
+	var out []CheckpointOverheadResult
+	for _, nodes := range []int{2, 4} {
+		for _, c := range cases {
+			off, err := runCore(hamster.Config{Platform: hamster.SWDSM, Nodes: nodes}, c.kernel)
+			if err != nil {
+				return nil, fmt.Errorf("bench: ckptoverhead %s/%d off: %w", c.name, nodes, err)
+			}
+			onCfg := hamster.Config{
+				Platform:              hamster.SWDSM,
+				Nodes:                 nodes,
+				CheckpointEvery:       every,
+				CheckpointIncremental: incremental,
+			}
+			start := time.Now()
+			rt, err := hamster.New(onCfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: ckptoverhead %s/%d: %w", c.name, nodes, err)
+			}
+			res := apps.RunOnEnv(rt, c.kernel)
+			wall := time.Since(start)
+			captures, bytes := rt.Checkpoints().Stats()
+			rt.Close()
+			if res[0].Check != off.check {
+				return nil, fmt.Errorf("bench: ckptoverhead %s/%d: checkpointing moved the checksum: %v vs %v",
+					c.name, nodes, res[0].Check, off.check)
+			}
+			offNs, onNs := uint64(off.virtual), uint64(apps.MaxTotal(res))
+			out = append(out, CheckpointOverheadResult{
+				Kernel:       c.name,
+				Substrate:    "swdsm",
+				Nodes:        nodes,
+				WallNs:       wall.Nanoseconds(),
+				VirtualOffNs: offNs,
+				VirtualOnNs:  onNs,
+				OverheadPct:  100 * (float64(onNs) - float64(offNs)) / float64(offNs),
+				Captures:     captures,
+				CaptureBytes: bytes,
+				Check:        res[0].Check,
+			})
+		}
+	}
+	return out, nil
+}
+
+type coreRun struct {
+	virtual hamster.Duration
+	check   float64
+}
+
+func runCore(cfg hamster.Config, kernel apps.Kernel) (coreRun, error) {
+	rt, err := hamster.New(cfg)
+	if err != nil {
+		return coreRun{}, err
+	}
+	res := apps.RunOnEnv(rt, kernel)
+	rt.Close()
+	return coreRun{virtual: apps.MaxTotal(res), check: res[0].Check}, nil
+}
+
+// RenderCheckpointOverhead prints the measurements as a text table.
+func RenderCheckpointOverhead(rows []CheckpointOverheadResult, every int, incremental bool) string {
+	mode := "full"
+	if incremental {
+		mode = "incremental"
+	}
+	s := fmt.Sprintf("Checkpoint overhead (swdsm, %s capture every %d barriers)\n\n", mode, every)
+	s += fmt.Sprintf("  %-10s %5s %14s %14s %9s %9s %10s\n",
+		"kernel", "nodes", "virtual off", "virtual ckpt", "overhead", "captures", "bytes")
+	for _, r := range rows {
+		s += fmt.Sprintf("  %-10s %5d %14v %14v %8.2f%% %9d %10d\n",
+			r.Kernel, r.Nodes, hamster.Duration(r.VirtualOffNs), hamster.Duration(r.VirtualOnNs),
+			r.OverheadPct, r.Captures, r.CaptureBytes)
+	}
+	return s
+}

@@ -1,0 +1,219 @@
+// Package checkpoint implements coordinated checkpoint/restart for the
+// HAMSTER runtime: consistent snapshots of global state captured at
+// barrier epochs in virtual time, and the restore sets that crash
+// recovery (internal/cluster) rebuilds a cluster from.
+//
+// A barrier is a consistent cut by construction in a home-based Scope
+// Consistency DSM: when every node has arrived, every twin has been
+// flushed, every diff applied, and every write notice exchanged — the
+// home frames ARE the global memory image and no protocol traffic is in
+// flight. The coordinator therefore captures at every Nth barrier
+// crossing: page table and distribution policy (memsim.SpaceSnapshot),
+// per-node home frames (full pages or sub-page diffs against the last
+// epoch's shadow copies), cached-page sets, protocol epochs, lock count,
+// per-node virtual-clock attribution, and model-level registered state.
+//
+// Concurrency/virtual-time contract: capture runs on each node's own
+// goroutine inside the barrier, synchronized by a private rendezvous in
+// quiescent-instant mode, so captured clock readings and frame bytes are
+// a pure function of program state — seeded runs snapshot bit-identically.
+// Capture charges deterministic virtual costs (page copies to CatMemory,
+// diff scans to CatProtocol, commit traffic through the active-message
+// layer), keeping the perfmon attribution invariant intact; with
+// checkpointing disabled no hook is installed and no cost exists.
+package checkpoint
+
+import (
+	"fmt"
+
+	"hamster/internal/memsim"
+	"hamster/internal/swdsm"
+	"hamster/internal/vclock"
+)
+
+// Provider is the substrate surface the coordinator captures and
+// restores through. It is structural — internal/swdsm implements it
+// without importing this package — and deliberately speaks only
+// memsim/builtin types.
+type Provider interface {
+	// CheckpointPages lists a node's resident home pages, ascending.
+	CheckpointPages(node int) []memsim.PageID
+	// ReadPage copies a home frame into dst (len PageSize) under the
+	// frame lock; false when the page is not resident at this node.
+	ReadPage(node int, p memsim.PageID, dst []byte) bool
+	// WritePage installs page bytes at a node's home store (restore).
+	WritePage(node int, p memsim.PageID, src []byte)
+	// CachedPages lists a node's cached remote pages, ascending.
+	CachedPages(node int) []memsim.PageID
+	// RestoreCached repopulates a node's cache from current home frames.
+	RestoreCached(node int, pages []memsim.PageID)
+	// DirtyPages returns and clears the homes mutated since last call.
+	DirtyPages(node int) []memsim.PageID
+	// SetCheckpointTracking toggles the dirty-page hooks.
+	SetCheckpointTracking(on bool)
+	// ProtocolEpoch reads a node's barrier-interval counter.
+	ProtocolEpoch(node int) uint64
+	// RestoreProtocolState rewinds a node's barrier-interval counter.
+	RestoreProtocolState(node int, epoch uint64)
+	// LockCount reports how many global locks exist.
+	LockCount() int
+	// EnsureLocks recreates locks up to a captured count (restore).
+	EnsureLocks(n int)
+	// Space exposes the global address space for table snapshots.
+	Space() *memsim.Space
+}
+
+// PageCapture is one page's payload in a snapshot: either a full copy or
+// a sub-page diff (the swdsm run-encoded format) against the same page
+// as of the snapshot this one chains to.
+type PageCapture struct {
+	Page memsim.PageID
+	Full []byte
+	Diff []byte
+}
+
+// NodeState is one node's captured state at the epoch.
+type NodeState struct {
+	// Epoch is the node's protocol barrier-interval counter.
+	Epoch uint64
+	// Clock is the node's virtual-clock attribution at the (reconciled)
+	// capture instant; Total() is the capture's virtual time.
+	Clock vclock.Breakdown
+	// Pages holds the node's home-frame payloads, ascending by page id.
+	Pages []PageCapture
+	// Cached lists the node's cached remote pages (clean at a barrier,
+	// so ids alone describe them).
+	Cached []memsim.PageID
+	// App holds model-level registered state blobs, in registration
+	// order (core's RegisterCheckpointable hook).
+	App [][]byte
+}
+
+// Snapshot is one sealed coordinated checkpoint.
+type Snapshot struct {
+	// Seq numbers snapshots from 1; Seq*every == BarrierCount.
+	Seq uint64
+	// BarrierCount is how many framework barriers every node had crossed
+	// at the capture (equal across nodes — the consistent cut).
+	BarrierCount uint64
+	// Incremental marks a delta snapshot; BaseSeq is then Seq-1.
+	Incremental bool
+	BaseSeq     uint64
+	// Space is the page table and allocator state.
+	Space memsim.SpaceSnapshot
+	// Locks is the global lock count (recreated via EnsureLocks).
+	Locks int
+	// Nodes holds per-node state, indexed by node id.
+	Nodes []NodeState
+}
+
+// Bytes sums the captured page payloads — the metric by which an
+// incremental snapshot must beat a full one.
+func (s *Snapshot) Bytes() uint64 {
+	var total uint64
+	for _, ns := range s.Nodes {
+		for _, pc := range ns.Pages {
+			total += uint64(len(pc.Full) + len(pc.Diff))
+		}
+	}
+	return total
+}
+
+// NodeRestore is one node's flattened state ready to install.
+type NodeRestore struct {
+	Epoch  uint64
+	Clock  vclock.Breakdown
+	Pages  map[memsim.PageID][]byte
+	Cached []memsim.PageID
+	App    [][]byte
+}
+
+// RestoreSet is a materialized chain: the latest full snapshot with all
+// subsequent deltas applied, ready for core.NewResumed.
+type RestoreSet struct {
+	Seq          uint64
+	BarrierCount uint64
+	Space        memsim.SpaceSnapshot
+	Locks        int
+	Nodes        []NodeRestore
+}
+
+// Materialize flattens a sink chain into the newest restorable state: it
+// finds the latest full snapshot, validates that the deltas after it
+// chain contiguously, and replays their page payloads (full replacements
+// and run-encoded diffs) onto the full image. An empty chain returns
+// (nil, nil) — nothing to restore, start fresh.
+func Materialize(chain []*Snapshot) (*RestoreSet, error) {
+	if len(chain) == 0 {
+		return nil, nil
+	}
+	base := -1
+	for i, sn := range chain {
+		if !sn.Incremental {
+			base = i
+		}
+	}
+	if base < 0 {
+		return nil, fmt.Errorf("checkpoint: chain of %d snapshots holds no full base", len(chain))
+	}
+	full := chain[base]
+	nodes := len(full.Nodes)
+	images := make([]map[memsim.PageID][]byte, nodes)
+	for n := range images {
+		images[n] = make(map[memsim.PageID][]byte)
+	}
+	apply := func(sn *Snapshot) error {
+		if len(sn.Nodes) != nodes {
+			return fmt.Errorf("checkpoint: snapshot %d has %d nodes, base has %d", sn.Seq, len(sn.Nodes), nodes)
+		}
+		for n, ns := range sn.Nodes {
+			for _, pc := range ns.Pages {
+				switch {
+				case pc.Full != nil:
+					images[n][pc.Page] = append([]byte(nil), pc.Full...)
+				case pc.Diff != nil:
+					img, ok := images[n][pc.Page]
+					if !ok {
+						return fmt.Errorf("checkpoint: snapshot %d diffs page %d with no prior image at node %d", sn.Seq, pc.Page, n)
+					}
+					cp := append([]byte(nil), img...)
+					if err := swdsm.ApplyDiff(cp, pc.Diff); err != nil {
+						return fmt.Errorf("checkpoint: snapshot %d page %d: %v", sn.Seq, pc.Page, err)
+					}
+					images[n][pc.Page] = cp
+				}
+			}
+		}
+		return nil
+	}
+	if err := apply(full); err != nil {
+		return nil, err
+	}
+	last := full
+	for _, sn := range chain[base+1:] {
+		if !sn.Incremental || sn.BaseSeq != last.Seq {
+			return nil, fmt.Errorf("checkpoint: snapshot %d does not chain to %d", sn.Seq, last.Seq)
+		}
+		if err := apply(sn); err != nil {
+			return nil, err
+		}
+		last = sn
+	}
+	rs := &RestoreSet{
+		Seq:          last.Seq,
+		BarrierCount: last.BarrierCount,
+		Space:        last.Space,
+		Locks:        last.Locks,
+		Nodes:        make([]NodeRestore, nodes),
+	}
+	for n := range rs.Nodes {
+		rs.Nodes[n] = NodeRestore{
+			Epoch:  last.Nodes[n].Epoch,
+			Clock:  last.Nodes[n].Clock,
+			Pages:  images[n],
+			Cached: append([]memsim.PageID(nil), last.Nodes[n].Cached...),
+			App:    last.Nodes[n].App,
+		}
+	}
+	return rs, nil
+}

@@ -1,0 +1,118 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Sink stores sealed snapshots. Append is called by the coordinator node
+// at seal time; Chain returns the retained snapshots oldest-first, always
+// including an unbroken delta chain anchored at a full snapshot.
+type Sink interface {
+	Append(*Snapshot) error
+	Chain() []*Snapshot
+}
+
+// DefaultKeep is the in-memory ring depth when a MemorySink is built
+// with keep <= 0.
+const DefaultKeep = 4
+
+// MemorySink retains the last K epochs in memory. Eviction never breaks
+// a chain: only snapshots strictly older than the latest full snapshot
+// are dropped, so Chain always materializes.
+type MemorySink struct {
+	mu    sync.Mutex
+	keep  int
+	snaps []*Snapshot
+}
+
+// NewMemorySink builds a ring keeping at least keep epochs (<= 0 selects
+// DefaultKeep).
+func NewMemorySink(keep int) *MemorySink {
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	return &MemorySink{keep: keep}
+}
+
+// Append implements Sink.
+func (s *MemorySink) Append(sn *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snaps = append(s.snaps, sn)
+	lastFull := -1
+	for i, x := range s.snaps {
+		if !x.Incremental {
+			lastFull = i
+		}
+	}
+	for len(s.snaps) > s.keep && lastFull > 0 {
+		s.snaps = s.snaps[1:]
+		lastFull--
+	}
+	return nil
+}
+
+// Chain implements Sink.
+func (s *MemorySink) Chain() []*Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Snapshot(nil), s.snaps...)
+}
+
+// FileSink persists every snapshot as one versioned binary file
+// (ckpt-%06d.bin) in a directory, loading any existing files at open so
+// a new process can recover a previous run's state.
+type FileSink struct {
+	mu    sync.Mutex
+	dir   string
+	snaps []*Snapshot
+}
+
+// NewFileSink opens (creating if needed) a checkpoint directory and
+// indexes the snapshots already in it, ordered by sequence number.
+func NewFileSink(dir string) (*FileSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %v", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "ckpt-*.bin"))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %v", err)
+	}
+	s := &FileSink{dir: dir}
+	for _, name := range names {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %v", err)
+		}
+		sn, err := Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %s: %v", name, err)
+		}
+		s.snaps = append(s.snaps, sn)
+	}
+	sort.Slice(s.snaps, func(i, j int) bool { return s.snaps[i].Seq < s.snaps[j].Seq })
+	return s, nil
+}
+
+// Append implements Sink.
+func (s *FileSink) Append(sn *Snapshot) error {
+	name := filepath.Join(s.dir, fmt.Sprintf("ckpt-%06d.bin", sn.Seq))
+	if err := os.WriteFile(name, Encode(sn), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %v", err)
+	}
+	s.mu.Lock()
+	s.snaps = append(s.snaps, sn)
+	s.mu.Unlock()
+	return nil
+}
+
+// Chain implements Sink.
+func (s *FileSink) Chain() []*Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Snapshot(nil), s.snaps...)
+}

@@ -56,6 +56,10 @@ type Env struct {
 	calls  [moduleCount]atomic.Uint64
 	epochs uint64 // barrier crossings observed by the sampler
 
+	// ckptSaves holds the node's registered checkpointable-state readers,
+	// in registration order. Touched only from this node's goroutine.
+	ckptSaves []func() []byte
+
 	// The service modules.
 	Mem     *MemMgr
 	Cons    *ConsMgr

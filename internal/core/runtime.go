@@ -13,8 +13,10 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hamster/internal/amsg"
+	"hamster/internal/checkpoint"
 	"hamster/internal/hybriddsm"
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
@@ -61,6 +63,20 @@ type Config struct {
 	// recorder (0 = perfmon.DefaultCapacity). The recorder is always
 	// attached but starts disabled; enable it with Runtime.Perf().Enable().
 	PerfEventCap int
+
+	// CheckpointEvery enables coordinated checkpointing: a consistent
+	// snapshot at every Nth framework barrier (0 = off — no hook is
+	// installed and no cost of any kind exists). Software DSM only.
+	CheckpointEvery int
+	// CheckpointIncremental switches captures after the first to
+	// dirty-page deltas against the previous epoch.
+	CheckpointIncremental bool
+	// CheckpointSink overrides the snapshot store (nil = an in-memory
+	// ring of the last CheckpointKeep epochs).
+	CheckpointSink checkpoint.Sink
+	// CheckpointKeep bounds the default in-memory ring (0 = the
+	// checkpoint package's default).
+	CheckpointKeep int
 }
 
 // Runtime is one HAMSTER instance: a configured base architecture plus the
@@ -85,6 +101,10 @@ type Runtime struct {
 	sampler samplerSlot
 
 	perf *perfmon.Recorder // protocol event recorder, attached but disabled
+
+	ckpt          *checkpoint.Coordinator // nil unless Config enables it
+	resume        *resumeState            // nil unless built by NewResumed
+	resumeLockIdx atomic.Uint64           // NewLock replay cursor on resume
 }
 
 type collResult struct {
@@ -159,6 +179,11 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("core: unknown platform %v", cfg.Platform)
 	}
 	rt.attachRecorder(cfg.PerfEventCap)
+	if cfg.CheckpointEvery > 0 {
+		if err := rt.attachCheckpointer(); err != nil {
+			return nil, err
+		}
+	}
 	rt.buildEnvs()
 	return rt, nil
 }
@@ -276,8 +301,12 @@ func (rt *Runtime) Run(fn func(e *Env)) {
 					// Peers woken this way panic in turn and land back
 					// here; only the first panic is re-raised.
 					if first {
+						reason := fmt.Sprintf("node %d failed: %v", e.id, r)
 						if ab, ok := rt.sub.(interface{ AbortSync(string) }); ok {
-							ab.AbortSync(fmt.Sprintf("node %d failed: %v", e.id, r))
+							ab.AbortSync(reason)
+						}
+						if rt.ckpt != nil {
+							rt.ckpt.Abort(reason)
 						}
 					}
 					rt.msgs.Close()
@@ -306,12 +335,27 @@ func (rt *Runtime) MaxTime() vclock.Time {
 
 // collectiveAlloc implements SPMD-wide allocation: every node calls it with
 // identical arguments in the same program order; node 0 allocates, a
-// barrier publishes, everyone returns the same region.
+// barrier publishes, everyone returns the same region. On a resumed
+// runtime the first allocations replay instead: the restored address space
+// already holds the regions, so the call returns the matching restored
+// region (validated against the program's arguments) rather than
+// allocating anew.
 func (rt *Runtime) collectiveAlloc(e *Env, size uint64, name string, pol memsim.Policy, fixed int) (memsim.Region, error) {
 	if e.id == 0 {
-		r, err := rt.sub.Alloc(size, name, pol, fixed)
+		var res collResult
+		if rs := rt.resume; rs != nil && e.collIdx < len(rs.regions) {
+			r := rs.regions[e.collIdx]
+			if r.Name != name || r.Size < size {
+				res.err = fmt.Errorf("core: resumed allocation %d is %q (%d bytes) but the program asked for %q (%d bytes) — snapshot does not match this binary",
+					e.collIdx, r.Name, r.Size, name, size)
+			} else {
+				res.region = r
+			}
+		} else {
+			res.region, res.err = rt.sub.Alloc(size, name, pol, fixed)
+		}
 		rt.collMu.Lock()
-		rt.collAllocs = append(rt.collAllocs, collResult{r, err})
+		rt.collAllocs = append(rt.collAllocs, res)
 		rt.collMu.Unlock()
 	}
 	rt.sub.Barrier(e.id)

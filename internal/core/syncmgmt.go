@@ -23,10 +23,18 @@ type SyncMgr struct {
 // NewLock creates a global lock with full consistency semantics: acquiring
 // it performs the substrate's consistency entry actions. Create locks
 // before the parallel phase or from a single node; the returned id is
-// valid cluster-wide.
+// valid cluster-wide. On a resumed runtime the first creations replay:
+// the restored substrate already holds the snapshot's locks, so the call
+// hands out their ids in creation order instead of growing the table.
 func (s *SyncMgr) NewLock() int {
 	s.e.charge(ModSync)
-	return s.e.rt.sub.NewLock()
+	rt := s.e.rt
+	if rs := rt.resume; rs != nil {
+		if idx := int(rt.resumeLockIdx.Add(1)) - 1; idx < rs.locks {
+			return idx
+		}
+	}
+	return rt.sub.NewLock()
 }
 
 // Lock acquires a consistency lock.
@@ -49,6 +57,12 @@ func (s *SyncMgr) Barrier() {
 	s.e.traceSync(conscheck.Barrier, 0)
 	s.e.rt.sub.Barrier(s.e.id)
 	s.e.sampleBarrier()
+	// The barrier is the consistent cut; the checkpoint coordinator (when
+	// configured) counts crossings and captures here. Nil check only —
+	// checkpointing off costs nothing on this path.
+	if c := s.e.rt.ckpt; c != nil {
+		c.AtBarrier(s.e.id)
+	}
 }
 
 // syncCost returns the platform's sync-message cost for coordination that

@@ -338,6 +338,57 @@ func (s *Space) Regions() []Region {
 	return out
 }
 
+// SpaceSnapshot is a deep copy of a Space's allocator and page-table
+// state, taken at a quiescent instant (a barrier). The checkpoint
+// subsystem serializes it; Restore installs it into a fresh Space.
+type SpaceSnapshot struct {
+	Nodes   int
+	Next    Addr
+	Regions []Region
+	Free    []Region
+	Homes   map[PageID]int
+}
+
+// Snapshot deep-copies the allocator and page-table state. The caller
+// must guarantee quiescence (no concurrent Alloc/Free/TouchHome) for the
+// copy to be a consistent cut; the method itself only takes the usual
+// locks.
+func (s *Space) Snapshot() SpaceSnapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sn := SpaceSnapshot{
+		Nodes:   s.nodes,
+		Next:    s.next,
+		Regions: append([]Region(nil), s.regions...),
+		Free:    append([]Region(nil), s.free...),
+		Homes:   make(map[PageID]int, len(*s.homes.Load())),
+	}
+	for p, h := range *s.homes.Load() {
+		sn.Homes[p] = h
+	}
+	return sn
+}
+
+// Restore replaces the space's allocator and page-table state with a
+// snapshot. The snapshot's cluster size must match. Must not race with
+// other use (recovery installs it before any node goroutine starts).
+func (s *Space) Restore(sn SpaceSnapshot) error {
+	if sn.Nodes != s.nodes {
+		return fmt.Errorf("memsim: snapshot for %d nodes restored into %d-node space", sn.Nodes, s.nodes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next = sn.Next
+	s.regions = append(s.regions[:0], sn.Regions...)
+	s.free = append(s.free[:0], sn.Free...)
+	m := make(map[PageID]int, len(sn.Homes))
+	for p, h := range sn.Homes {
+		m[p] = h
+	}
+	s.homes.Store(&m)
+	return nil
+}
+
 // Allocated reports the total bytes currently allocated.
 func (s *Space) Allocated() uint64 {
 	s.mu.RLock()

@@ -8,6 +8,7 @@
 package pagestore
 
 import (
+	"sort"
 	"sync"
 
 	"hamster/internal/memsim"
@@ -54,6 +55,38 @@ func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.frames)
+}
+
+// Pages returns the resident page ids in ascending order. Checkpoint
+// capture walks this list so snapshots are position-deterministic.
+func (s *Store) Pages() []memsim.PageID {
+	s.mu.RLock()
+	out := make([]memsim.PageID, 0, len(s.frames))
+	for p := range s.frames {
+		out = append(out, p)
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CopyFrame copies page p's bytes into dst under the frame mutex,
+// returning false if the page is not resident. Because every protocol
+// mutation of a frame (diff application, remote write, migration install)
+// also holds Frame.Mu, the copy observes each frame either entirely
+// before or entirely after any concurrent protocol write — the property
+// the checkpoint capture path depends on.
+func (s *Store) CopyFrame(p memsim.PageID, dst []byte) bool {
+	s.mu.RLock()
+	f, ok := s.frames[p]
+	s.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	f.Mu.Lock()
+	copy(dst, f.Data)
+	f.Mu.Unlock()
+	return true
 }
 
 // Drop removes a page's frame (home migration gives up the authoritative

@@ -66,3 +66,60 @@ func TestDrop(t *testing.T) {
 		t.Fatal("double drop must return nil")
 	}
 }
+
+// TestSnapshotWhileMutating proves the property checkpoint capture relies
+// on: CopyFrame taken concurrently with frame mutations observes each
+// frame either entirely before or entirely after a write, never a torn
+// mix — because both sides hold Frame.Mu. Mutators repeatedly fill whole
+// frames with a single generation byte; a torn copy would contain two
+// different byte values.
+func TestSnapshotWhileMutating(t *testing.T) {
+	const (
+		pages     = 8
+		rounds    = 200
+		snapshots = 50
+	)
+	s := New()
+	for p := 0; p < pages; p++ {
+		s.Frame(memsim.PageID(p))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < pages; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			f := s.Frame(memsim.PageID(p))
+			for gen := 1; gen <= rounds; gen++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Mu.Lock()
+				for i := range f.Data {
+					f.Data[i] = byte(gen)
+				}
+				f.Mu.Unlock()
+			}
+		}(p)
+	}
+	buf := make([]byte, memsim.PageSize)
+	for n := 0; n < snapshots; n++ {
+		for p := 0; p < pages; p++ {
+			if !s.CopyFrame(memsim.PageID(p), buf) {
+				t.Fatalf("page %d not resident", p)
+			}
+			first := buf[0]
+			for i, b := range buf {
+				if b != first {
+					close(stop)
+					t.Fatalf("torn copy of page %d at snapshot %d: byte %d is %d, byte 0 is %d",
+						p, n, i, b, first)
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

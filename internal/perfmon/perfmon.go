@@ -90,6 +90,17 @@ const (
 	// EvNodeDown is the failure detector declaring a peer dead.
 	// Arg1 = the down node, Arg2 = consecutive missed heartbeats.
 	EvNodeDown
+	// EvCkptBegin marks the start of a coordinated checkpoint capture on
+	// this node. Arg1 = checkpoint sequence number, Arg2 = barrier epoch.
+	EvCkptBegin
+	// EvCkptEnd spans one node's checkpoint capture work (page copies,
+	// diff scans, commit). Arg1 = checkpoint sequence number,
+	// Arg2 = captured payload bytes.
+	EvCkptEnd
+	// EvRestore spans a node's state restoration from a checkpoint during
+	// crash recovery. Arg1 = checkpoint sequence number, Arg2 = restored
+	// page count.
+	EvRestore
 
 	numEventKinds
 )
@@ -133,6 +144,12 @@ func (k EventKind) String() string {
 		return "timeout"
 	case EvNodeDown:
 		return "node-down"
+	case EvCkptBegin:
+		return "ckpt-begin"
+	case EvCkptEnd:
+		return "ckpt-end"
+	case EvRestore:
+		return "restore"
 	default:
 		return "unknown"
 	}

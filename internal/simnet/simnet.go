@@ -76,6 +76,12 @@ type FaultPlan struct {
 	Partitions []Partition
 	// NodeFaults lists per-node fail-stop and slowdown schedules.
 	NodeFaults []NodeFault
+	// Recover asks the runtime to survive the plan's crash schedules:
+	// when a node is declared down, surviving state is rolled back to the
+	// last checkpoint and the run resumes (see internal/cluster and
+	// internal/checkpoint). The network itself ignores the flag — it only
+	// transports it from the plan's author to the recovery orchestrator.
+	Recover bool
 	// Seed makes the perturbation deterministic.
 	Seed int64
 }

@@ -97,6 +97,25 @@ func applyDiff(frame, diff []byte) error {
 	return nil
 }
 
+// BuildDiff is the exported form of buildDiff for the checkpoint
+// subsystem's incremental capture: it returns a caller-owned copy (nil
+// when data and shadow are identical) instead of a pooled buffer, so the
+// result can be retained in a snapshot.
+func BuildDiff(data, shadow []byte) []byte {
+	d := buildDiff(data, shadow)
+	if d == nil {
+		return nil
+	}
+	out := append([]byte(nil), d...)
+	putDiff(d)
+	return out
+}
+
+// ApplyDiff is the exported form of applyDiff: it patches frame with an
+// encoded diff (checkpoint materialization replaying incremental epochs
+// onto a full snapshot).
+func ApplyDiff(frame, diff []byte) error { return applyDiff(frame, diff) }
+
 // encodeNotices serializes a write-notice page list.
 func encodeNotices(pages []memsim.PageID) []byte {
 	out := make([]byte, 0, 4+8*len(pages))

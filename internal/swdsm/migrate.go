@@ -161,6 +161,7 @@ func (n *node) performMigrations(pages []memsim.PageID) {
 		hp.Mu.Unlock()
 		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.PageCopyNs)
 		d.space.SetHome(p, n.id)
+		n.markCkptDirty(p)
 		if rec := d.rec; rec != nil && rec.Enabled() {
 			rec.Record(n.id, perfmon.EvHomeMigrate, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(oldHome))
 		}

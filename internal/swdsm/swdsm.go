@@ -24,6 +24,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hamster/internal/amsg"
 	"hamster/internal/machine"
@@ -120,6 +121,12 @@ type DSM struct {
 
 	barrier *barrierState
 
+	// ckptTrack gates the checkpoint dirty-page tracking hooks. Off by
+	// default so runs without incremental checkpointing pay a single
+	// atomic load on the (real-time-only) hook sites — virtual costs are
+	// never charged by tracking either way.
+	ckptTrack atomic.Bool
+
 	rec *perfmon.Recorder // protocol event recorder; nil until attached
 }
 
@@ -179,7 +186,28 @@ type node struct {
 	fast      [fastWays]fastFrame
 	fastNext  int // round-robin victim index
 
+	// ckptDirty records home pages mutated since the last checkpoint
+	// capture (local drains, remote diffs, migration installs). Unlike the
+	// owner-goroutine maps above it is written from protocol handlers on
+	// other goroutines, hence the mutex.
+	ckptMu    sync.Mutex
+	ckptDirty map[memsim.PageID]struct{}
+
 	stats platform.Stats
+}
+
+// markCkptDirty records a home-frame mutation for incremental checkpoint
+// capture. No-op (one atomic load) unless tracking is enabled.
+func (n *node) markCkptDirty(p memsim.PageID) {
+	if !n.dsm.ckptTrack.Load() {
+		return
+	}
+	n.ckptMu.Lock()
+	if n.ckptDirty == nil {
+		n.ckptDirty = make(map[memsim.PageID]struct{})
+	}
+	n.ckptDirty[p] = struct{}{}
+	n.ckptMu.Unlock()
 }
 
 // bumpGen invalidates the cached-frame fast path.
@@ -307,6 +335,7 @@ func (d *DSM) registerHandlers(n *node) {
 		if err != nil {
 			panic(err) // internal protocol corruption
 		}
+		n.markCkptDirty(p)
 		// Applying a diff costs roughly a proportional share of a page copy.
 		cost := d.params.CPU.PageCopyNs * vclock.Duration(len(diff)+1) / memsim.PageSize
 		if rec := d.rec; rec != nil && rec.Enabled() {

@@ -209,6 +209,7 @@ func (n *node) flushAll() []memsim.PageID {
 	for p := range n.homeDirty {
 		out = append(out, p)
 		delete(n.homeDirty, p)
+		n.markCkptDirty(p)
 	}
 	slices.Sort(out[homeStart:])
 	return out

@@ -248,6 +248,20 @@ func (c *Clock) Breakdown() Breakdown {
 	}
 }
 
+// Restore sets the clock to exactly the state described by a breakdown —
+// the checkpoint/restart path rewinding a node to a captured instant.
+// Must not race with other use. After Restore, Now() == b.Total() and
+// Breakdown() == b exactly, so a resumed run accumulates charges on top
+// of the captured attribution as if the crash never happened.
+func (c *Clock) Restore(b Breakdown) {
+	c.cats[CatCompute].Store(uint64(b.Compute))
+	c.cats[CatMemory].Store(uint64(b.Memory))
+	c.cats[CatProtocol].Store(uint64(b.Protocol))
+	c.cats[CatNetwork].Store(uint64(b.Network))
+	c.local.Store(uint64(b.Compute + b.Memory + b.Protocol + b.Network))
+	c.stolen.Store(uint64(b.Stolen))
+}
+
 // Reset returns the clock (and its attribution) to time zero. Must not
 // race with other use.
 func (c *Clock) Reset() {

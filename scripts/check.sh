@@ -37,4 +37,10 @@ done
 # unmistakable before the full suite starts.
 go test -race -run 'TestAttributionInvariantAllSubstrates' ./internal/perfmon/
 
+# The crash-recovery acceptance run is the checkpoint subsystem's
+# load-bearing contract (bit-identical checksums across crash, rollback,
+# and replay); run it by name under the race detector before the full
+# suite for the same unmistakable-failure property.
+go test -race -run 'TestCrashRecoveryKernels' ./internal/bench/
+
 go test -race ./...
