@@ -8,6 +8,7 @@
 //	             [-table1] [-table2] [-fig2] [-fig3] [-fig4] [-ablations]
 //	hamsterbench -json FILE [-faults PROFILE] [-faultseed SEED]
 //	hamsterbench -json FILE -checkpoint N [-incremental]
+//	hamsterbench -json FILE -aggregate [-prefetch]
 //
 // With no selection flags, everything runs. -json instead runs the kernel
 // wall-clock benchmark (simulator throughput on the software DSM) and
@@ -16,13 +17,19 @@
 // campaign (see internal/simnet), adding retransmission counts per kernel;
 // without it the measurement is unperturbed and bit-reproducible. The
 // emitted JSON is self-describing: the envelope names the active fault
-// profile, its seed, and the checkpoint configuration (all zero/empty for
-// the plain benchmark).
+// profile, its seed, and the checkpoint and aggregation configurations
+// (all zero/empty for the plain benchmark).
 //
 // -checkpoint N switches -json to the checkpoint-overhead benchmark
 // (BENCH_3.json): each kernel's virtual time with checkpointing off next
 // to the same run capturing a coordinated snapshot every N barriers, at 2
 // and 4 nodes, with capture counts and snapshot bytes.
+//
+// -aggregate (and -prefetch) switch -json to the protocol-aggregation
+// benchmark (BENCH_4.json): each kernel's virtual time and protocol
+// message count with aggregation off next to the same run with batched
+// diff flush + write-notice piggybacking (-aggregate) and adaptive
+// sequential prefetch (-prefetch) on, at 2 and 4 nodes.
 package main
 
 import (
@@ -52,6 +59,8 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 1, "seed of the fault campaign's deterministic draws")
 	ckptEvery := flag.Int("checkpoint", 0, "switch -json to the checkpoint-overhead benchmark, capturing every N barriers (0 = off)")
 	ckptInc := flag.Bool("incremental", false, "capture dirty-page diffs after the first full snapshot (requires -checkpoint)")
+	aggregate := flag.Bool("aggregate", false, "switch -json to the protocol-aggregation benchmark (batched diff flush + notice piggybacking)")
+	prefetch := flag.Bool("prefetch", false, "also enable adaptive sequential prefetch in the aggregation benchmark (requires -aggregate)")
 	flag.Parse()
 
 	// Flag validation happens before any benchmark runs: unknown -faults
@@ -73,6 +82,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-checkpoint and -faults are separate -json benchmarks; pass one of them")
 		os.Exit(2)
 	}
+	if *prefetch && !*aggregate {
+		fmt.Fprintln(os.Stderr, "-prefetch requires -aggregate")
+		os.Exit(2)
+	}
+	if *aggregate {
+		if *jsonOut == "" {
+			fmt.Fprintln(os.Stderr, "-aggregate requires -json: it selects the protocol-aggregation benchmark")
+			os.Exit(2)
+		}
+		if *ckptEvery > 0 || *faults != "" {
+			fmt.Fprintln(os.Stderr, "-aggregate, -checkpoint, and -faults are separate -json benchmarks; pass one of them")
+			os.Exit(2)
+		}
+	}
 	var plan *simnet.FaultPlan
 	var seed int64 // stays 0 when unperturbed: no fault plan, no jitter
 	if *faults != "" {
@@ -91,17 +114,36 @@ func main() {
 			Every       int  `json:"every"`
 			Incremental bool `json:"incremental"`
 		}
+		type aggConfig struct {
+			Batch    bool `json:"batch"`
+			Prefetch bool `json:"prefetch"`
+		}
 		type envelope struct {
 			Schema       string     `json:"schema"`
 			Description  string     `json:"description"`
 			FaultProfile string     `json:"fault_profile"`
 			Seed         int64      `json:"seed"`
 			Checkpoint   ckptConfig `json:"checkpoint"`
+			Aggregation  *aggConfig `json:"aggregation,omitempty"`
 			Results      any        `json:"results"`
 		}
 		var env envelope
 		var render string
-		if *ckptEvery > 0 {
+		if *aggregate {
+			rows, err := bench.AggregationBench(true, *prefetch)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aggregation: %v\n", err)
+				os.Exit(1)
+			}
+			env = envelope{
+				Schema: "hamster/aggregation/v4",
+				Description: fmt.Sprintf("protocol aggregation: per-kernel virtual time and protocol message count with aggregation off vs batched diff flush + notice piggybacking%s (swdsm, 2 and 4 nodes)",
+					map[bool]string{true: " + adaptive prefetch", false: ""}[*prefetch]),
+				Aggregation: &aggConfig{Batch: true, Prefetch: *prefetch},
+				Results:     rows,
+			}
+			render = bench.RenderAggregation(rows, true, *prefetch)
+		} else if *ckptEvery > 0 {
 			rows, err := bench.CheckpointOverhead(*ckptEvery, *ckptInc)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ckptoverhead: %v\n", err)

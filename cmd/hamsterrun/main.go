@@ -9,6 +9,7 @@
 //	           [-trace FILE] [-timebreakdown]
 //	           [-faults PROFILE] [-faultseed SEED]
 //	           [-checkpoint N] [-incremental] [-recover]
+//	           [-aggregate] [-prefetch]
 //
 // A -config file (see internal/cluster for the format) overrides the
 // -platform/-nodes flags, mirroring how the original framework switched
@@ -18,8 +19,10 @@
 // software DSM; -incremental switches captures after the first to
 // dirty-page diffs. -recover (requires -checkpoint and a -faults profile)
 // rolls a planned node crash back to the last snapshot and re-admits the
-// node instead of aborting. All flag combinations are validated before
-// anything boots.
+// node instead of aborting. -aggregate turns on the software DSM's
+// protocol aggregation layer (batched diff flush + write-notice
+// piggybacking); -prefetch adds adaptive sequential page prefetch. All
+// flag combinations are validated before anything boots.
 package main
 
 import (
@@ -54,6 +57,8 @@ func main() {
 	ckptEvery := flag.Int("checkpoint", 0, "capture a coordinated snapshot every N barriers (0 = off; software DSM only)")
 	ckptInc := flag.Bool("incremental", false, "capture dirty-page diffs after the first full snapshot (requires -checkpoint)")
 	recoverNodes := flag.Bool("recover", false, "recover planned node crashes from the last snapshot (requires -checkpoint and -faults)")
+	aggregate := flag.Bool("aggregate", false, "enable protocol aggregation: batched diff flush + write-notice piggybacking (software DSM only)")
+	prefetch := flag.Bool("prefetch", false, "enable adaptive sequential page prefetch (requires -aggregate)")
 	flag.Parse()
 
 	cfg := hamster.Config{Nodes: *nodes}
@@ -126,6 +131,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-recover replaces the runtime on rollback; -verify, -timeline, and -trace are not supported with it")
 			os.Exit(2)
 		}
+	}
+	if *prefetch && !*aggregate {
+		fmt.Fprintln(os.Stderr, "-prefetch requires -aggregate")
+		os.Exit(2)
+	}
+	if *aggregate {
+		if cfg.Platform != hamster.SWDSM {
+			fmt.Fprintf(os.Stderr, "-aggregate requires the software DSM (got platform %v): aggregation batches the DSM protocol's messages\n", cfg.Platform)
+			os.Exit(2)
+		}
+		if *recoverNodes {
+			fmt.Fprintln(os.Stderr, "-aggregate is not supported with -recover: rollback re-admission has not been qualified against batched message sequences")
+			os.Exit(2)
+		}
+		cfg.SWDSMAggregation = hamster.Aggregation{Batch: true, Prefetch: *prefetch}
 	}
 
 	if *ckptEvery > 0 {

@@ -51,6 +51,7 @@ import (
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
 	"hamster/internal/platform"
+	"hamster/internal/swdsm"
 	"hamster/internal/vclock"
 )
 
@@ -102,6 +103,11 @@ type (
 	MachineParams = machine.Params
 	// MessagingMode selects the §3.3 messaging integration.
 	MessagingMode = machine.MessagingMode
+	// Aggregation configures the software DSM's protocol aggregation
+	// layer (Config.SWDSMAggregation): batched diff flush, write-notice
+	// piggybacking, adaptive prefetch. Zero value = off, bit-identical
+	// to the baseline protocol.
+	Aggregation = swdsm.Aggregation
 
 	// Time is virtual nanoseconds since simulation start.
 	Time = vclock.Time

@@ -54,6 +54,16 @@ func (e *Enc) Blob(b []byte) *Enc {
 	return e
 }
 
+// U64s appends a count-prefixed list of 64-bit values — the batched
+// protocols' page-list payload shape (one header amortized over the run).
+func (e *Enc) U64s(vs []uint64) *Enc {
+	e.U32(uint32(len(vs)))
+	for _, v := range vs {
+		e.U64(v)
+	}
+	return e
+}
+
 // Raw appends bytes without a length prefix.
 func (e *Enc) Raw(b []byte) *Enc {
 	e.buf = append(e.buf, b...)
@@ -113,6 +123,16 @@ func (d *Dec) Blob() []byte {
 	b := d.buf[d.off : d.off+n]
 	d.off += n
 	return b
+}
+
+// U64s reads a count-prefixed list of 64-bit values (see Enc.U64s).
+func (d *Dec) U64s() []uint64 {
+	n := int(d.U32())
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.U64()
+	}
+	return out
 }
 
 // Raw reads n bytes without a length prefix (aliasing the buffer).

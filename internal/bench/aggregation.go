@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hamster/internal/apps"
+	"hamster/internal/platform"
+	"hamster/internal/swdsm"
+	"hamster/internal/vclock"
+)
+
+// AggregationResult is one kernel's protocol-aggregation measurement at
+// one cluster size: virtual time and protocol message count with
+// aggregation off next to the same run with the aggregation layer on.
+// Both legs run on the bare software DSM (the deterministic measurement
+// path — see TestAggregationOffIdentity), so off-leg numbers are
+// bit-reproducible and the per-kernel checksums must be identical.
+type AggregationResult struct {
+	Kernel       string `json:"kernel"`
+	Substrate    string `json:"substrate"`
+	Nodes        int    `json:"nodes"`
+	WallNs       int64  `json:"wall_ns"`
+	VirtualOffNs uint64 `json:"virtual_ns_off"`
+	VirtualAggNs uint64 `json:"virtual_ns_agg"`
+	// SpeedupPct is (off-agg)/off in percent — how much modeled time the
+	// aggregation layer saves.
+	SpeedupPct float64 `json:"speedup_pct"`
+	// MsgsOff/MsgsAgg count protocol messages originated by all nodes
+	// (fetches, diffs/batches, notice deliveries, lock/barrier traffic).
+	MsgsOff uint64 `json:"protocol_msgs_off"`
+	MsgsAgg uint64 `json:"protocol_msgs_agg"`
+	// MsgReductionPct is (off-agg)/off in percent — the headline
+	// aggregation figure (acceptance asks ≥ 40% on the swdsm kernels).
+	MsgReductionPct float64 `json:"msg_reduction_pct"`
+	DiffBatches     uint64  `json:"diff_batches"`
+	BatchedDiffs    uint64  `json:"batched_diffs"`
+	PrefetchPages   uint64  `json:"prefetch_pages"`
+	PrefetchHits    uint64  `json:"prefetch_hits"`
+	PrefetchWaste   uint64  `json:"prefetch_waste"`
+	Check           float64 `json:"check"`
+}
+
+// aggKernels is the standard kernel set (mirrors KernelWall workloads).
+func aggKernels() []struct {
+	name   string
+	kernel apps.Kernel
+} {
+	return []struct {
+		name   string
+		kernel apps.Kernel
+	}{
+		{"matmult", func(m apps.Machine) apps.Result { return apps.MatMult(m, 96) }},
+		{"sor-opt", func(m apps.Machine) apps.Result { return apps.SOR(m, 192, 6, true) }},
+		{"lu", func(m apps.Machine) apps.Result { return apps.LU(m, 96) }},
+		{"stream", func(m apps.Machine) apps.Result { return apps.Stream(m, 1<<15, 8, 0) }},
+	}
+}
+
+// aggRun executes one kernel on a bare software DSM and returns its
+// virtual time, checksum, and summed node counters.
+func aggRun(nodes int, agg swdsm.Aggregation, kernel apps.Kernel) (vclock.Duration, float64, platform.Stats, error) {
+	d, err := swdsm.New(swdsm.Config{Nodes: nodes, Aggregation: agg})
+	if err != nil {
+		return 0, 0, platform.Stats{}, err
+	}
+	defer d.Close()
+	res := apps.RunOnSubstrate(d, kernel)
+	var st platform.Stats
+	for i := 0; i < nodes; i++ {
+		s := d.NodeStats(i)
+		st.ProtocolMsgs += s.ProtocolMsgs
+		st.DiffBatches += s.DiffBatches
+		st.BatchedDiffs += s.BatchedDiffs
+		st.PrefetchRuns += s.PrefetchRuns
+		st.PrefetchPages += s.PrefetchPages
+		st.PrefetchHits += s.PrefetchHits
+		st.PrefetchWaste += s.PrefetchWaste
+	}
+	return apps.MaxTotal(res), res[0].Check, st, nil
+}
+
+// AggregationBench measures the protocol aggregation layer: the standard
+// kernel set on the bare software DSM at 2 and 4 nodes, aggregation off
+// against the selected mechanisms on. Returns an error if any kernel's
+// checksum moves — aggregation must change costs, never results.
+func AggregationBench(batch, prefetch bool) ([]AggregationResult, error) {
+	on := swdsm.Aggregation{Batch: batch, Prefetch: prefetch}
+	var out []AggregationResult
+	for _, nodes := range []int{2, 4} {
+		for _, c := range aggKernels() {
+			offVirt, offCheck, offStats, err := aggRun(nodes, swdsm.Aggregation{}, c.kernel)
+			if err != nil {
+				return nil, fmt.Errorf("bench: aggregation %s/%d off: %w", c.name, nodes, err)
+			}
+			start := time.Now()
+			aggVirt, aggCheck, aggStats, err := aggRun(nodes, on, c.kernel)
+			wall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("bench: aggregation %s/%d on: %w", c.name, nodes, err)
+			}
+			if aggCheck != offCheck {
+				return nil, fmt.Errorf("bench: aggregation %s/%d moved the checksum: %v vs %v",
+					c.name, nodes, aggCheck, offCheck)
+			}
+			offNs, aggNs := uint64(offVirt), uint64(aggVirt)
+			out = append(out, AggregationResult{
+				Kernel:          c.name,
+				Substrate:       "swdsm",
+				Nodes:           nodes,
+				WallNs:          wall.Nanoseconds(),
+				VirtualOffNs:    offNs,
+				VirtualAggNs:    aggNs,
+				SpeedupPct:      100 * (float64(offNs) - float64(aggNs)) / float64(offNs),
+				MsgsOff:         offStats.ProtocolMsgs,
+				MsgsAgg:         aggStats.ProtocolMsgs,
+				MsgReductionPct: 100 * (float64(offStats.ProtocolMsgs) - float64(aggStats.ProtocolMsgs)) / float64(offStats.ProtocolMsgs),
+				DiffBatches:     aggStats.DiffBatches,
+				BatchedDiffs:    aggStats.BatchedDiffs,
+				PrefetchPages:   aggStats.PrefetchPages,
+				PrefetchHits:    aggStats.PrefetchHits,
+				PrefetchWaste:   aggStats.PrefetchWaste,
+				Check:           aggCheck,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderAggregation prints the measurements as a text table.
+func RenderAggregation(rows []AggregationResult, batch, prefetch bool) string {
+	s := fmt.Sprintf("Protocol aggregation (swdsm; batch=%v prefetch=%v)\n\n", batch, prefetch)
+	s += fmt.Sprintf("  %-10s %5s %14s %14s %8s %9s %9s %8s\n",
+		"kernel", "nodes", "virtual off", "virtual agg", "speedup", "msgs off", "msgs agg", "msgs -%")
+	for _, r := range rows {
+		s += fmt.Sprintf("  %-10s %5d %14v %14v %7.2f%% %9d %9d %7.1f%%\n",
+			r.Kernel, r.Nodes, vclock.Duration(r.VirtualOffNs), vclock.Duration(r.VirtualAggNs),
+			r.SpeedupPct, r.MsgsOff, r.MsgsAgg, r.MsgReductionPct)
+	}
+	return s
+}

@@ -1,0 +1,305 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"hamster"
+	"hamster/internal/apps"
+	"hamster/internal/hybriddsm"
+	"hamster/internal/memsim"
+	"hamster/internal/multidsm"
+	"hamster/internal/platform"
+	"hamster/internal/simnet"
+	"hamster/internal/smp"
+	"hamster/internal/swdsm"
+)
+
+// smallAggKernels are reduced workloads for the -race-friendly tests.
+func smallAggKernels() []struct {
+	name   string
+	kernel apps.Kernel
+} {
+	return []struct {
+		name   string
+		kernel apps.Kernel
+	}{
+		{"sor", func(m apps.Machine) apps.Result { return apps.SOR(m, 96, 4, true) }},
+		{"matmult", func(m apps.Machine) apps.Result { return apps.MatMult(m, 48) }},
+	}
+}
+
+// TestAggregationOffIdentity is the off-mode identity gate: with the
+// zero-value Aggregation config, the protocol must cost exactly what it
+// cost before the aggregation layer existed. Two committed baselines pin
+// this:
+//
+//   - BENCH_2.json (bare substrate, 4 nodes): checksums must match
+//     bit-for-bit; virtual times within 0.1%.
+//   - BENCH_3.json (full core services, 2 and 4 nodes): same contract.
+//
+// Checksums are exact because aggregation-off runs the pre-aggregation
+// code paths verbatim. Virtual times get a 0.1% tolerance because both
+// paths carry a pre-existing ±15µs scheduling wobble (stolen handler
+// charges land on whichever clock reads first, so goroutine scheduling —
+// notably under -race — can shift a charge between nodes), which predates
+// and is unrelated to aggregation.
+func TestAggregationOffIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel set against committed baselines")
+	}
+
+	var bench2 struct {
+		Results []KernelWallResult `json:"results"`
+	}
+	raw, err := os.ReadFile("../../BENCH_2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &bench2); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := KernelWall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(bench2.Results) {
+		t.Fatalf("kernelwall rows %d, baseline has %d", len(rows), len(bench2.Results))
+	}
+	for i, r := range rows {
+		want := bench2.Results[i]
+		if r.Kernel != want.Kernel {
+			t.Fatalf("row %d kernel %q, baseline %q", i, r.Kernel, want.Kernel)
+		}
+		base := float64(want.VirtualNs)
+		if diff := math.Abs(float64(r.VirtualNs) - base); diff > base*0.001 {
+			t.Errorf("%s: off-mode virtual time %d strays %.0fns from committed %d (> 0.1%%)",
+				r.Kernel, r.VirtualNs, diff, want.VirtualNs)
+		}
+		if r.Check != want.Check {
+			t.Errorf("%s: off-mode checksum %v != committed %v", r.Kernel, r.Check, want.Check)
+		}
+	}
+
+	var bench3 struct {
+		Results []CheckpointOverheadResult `json:"results"`
+	}
+	raw, err = os.ReadFile("../../BENCH_3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &bench3); err != nil {
+		t.Fatal(err)
+	}
+	kernels := map[string]apps.Kernel{}
+	for _, c := range aggKernels() {
+		kernels[c.name] = c.kernel
+	}
+	for _, want := range bench3.Results {
+		got, err := runCore(hamster.Config{Platform: hamster.SWDSM, Nodes: want.Nodes}, kernels[want.Kernel])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.check != want.Check {
+			t.Errorf("%s/%d: off-mode checksum %v != committed %v",
+				want.Kernel, want.Nodes, got.check, want.Check)
+		}
+		off := float64(want.VirtualOffNs)
+		if diff := math.Abs(float64(uint64(got.virtual)) - off); diff > off*0.001 {
+			t.Errorf("%s/%d: off-mode virtual time %d strays %.0fns from committed %d (> 0.1%%)",
+				want.Kernel, want.Nodes, uint64(got.virtual), diff, want.VirtualOffNs)
+		}
+	}
+}
+
+// buildAggSub constructs a substrate with the given aggregation setting.
+// SMP and the hybrid DSM have no aggregation layer — they serve as
+// controls: for them "on" and "off" build identical instances, so the test
+// doubles as a run-to-run determinism check.
+func buildAggSub(t *testing.T, kind string, agg swdsm.Aggregation) platform.Substrate {
+	t.Helper()
+	var (
+		sub platform.Substrate
+		err error
+	)
+	switch kind {
+	case "smp":
+		sub, err = smp.New(smp.Config{CPUs: equivNodes})
+	case "hybriddsm":
+		sub, err = hybriddsm.New(hybriddsm.Config{Nodes: equivNodes})
+	case "swdsm":
+		sub, err = swdsm.New(swdsm.Config{Nodes: equivNodes, Aggregation: agg})
+	case "multidsm":
+		sub, err = multidsm.New(multidsm.Config{
+			Nodes:         equivNodes,
+			PolicyRoutes:  map[memsim.Policy]multidsm.Engine{memsim.Cyclic: multidsm.Hybrid},
+			DefaultEngine: multidsm.SW,
+			Aggregation:   agg,
+		})
+	default:
+		t.Fatalf("unknown substrate kind %q", kind)
+	}
+	if err != nil {
+		t.Fatalf("build %s: %v", kind, err)
+	}
+	return sub
+}
+
+// TestAggregationEquivalence runs the small kernels on every substrate
+// with aggregation off and fully on: checksums must be bit-identical.
+// Aggregation changes message economics, never results.
+func TestAggregationEquivalence(t *testing.T) {
+	on := swdsm.Aggregation{Batch: true, Prefetch: true}
+	for _, kind := range []string{"smp", "hybriddsm", "swdsm", "multidsm"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			for _, c := range smallAggKernels() {
+				offSub := buildAggSub(t, kind, swdsm.Aggregation{})
+				offCheck := apps.RunOnSubstrate(offSub, c.kernel)[0].Check
+				offSub.Close()
+
+				onSub := buildAggSub(t, kind, on)
+				onCheck := apps.RunOnSubstrate(onSub, c.kernel)[0].Check
+				onSub.Close()
+
+				if onCheck != offCheck {
+					t.Errorf("%s: aggregation moved the checksum: %v (on) vs %v (off)",
+						c.name, onCheck, offCheck)
+				}
+			}
+		})
+	}
+}
+
+// TestAggregationMessageReduction is the acceptance gate for the on mode:
+// across the standard kernel suite the swdsm protocol message count must
+// drop by at least 40% (it drops ~48% at 2 nodes and ~42% at 4), the
+// streaming kernel individually must clear 40% (prefetch collapses its
+// fault traffic), and the SOR and MatMult 4-node virtual times must
+// improve measurably. Everything here is deterministic — the asserted
+// margins cannot flake.
+func TestAggregationMessageReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full kernel set at two cluster sizes")
+	}
+	on := swdsm.Aggregation{Batch: true, Prefetch: true}
+	for _, nodes := range []int{2, 4} {
+		var msgsOff, msgsAgg uint64
+		for _, c := range aggKernels() {
+			offVirt, offCheck, offStats, err := aggRun(nodes, swdsm.Aggregation{}, c.kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aggVirt, aggCheck, aggStats, err := aggRun(nodes, on, c.kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if aggCheck != offCheck {
+				t.Fatalf("%s/%d: aggregation moved the checksum: %v vs %v", c.name, nodes, aggCheck, offCheck)
+			}
+			if aggStats.ProtocolMsgs >= offStats.ProtocolMsgs {
+				t.Errorf("%s/%d: no message reduction: %d -> %d", c.name, nodes,
+					offStats.ProtocolMsgs, aggStats.ProtocolMsgs)
+			}
+			msgsOff += offStats.ProtocolMsgs
+			msgsAgg += aggStats.ProtocolMsgs
+
+			if c.name == "stream" {
+				if red := reductionPct(offStats.ProtocolMsgs, aggStats.ProtocolMsgs); red < 40 {
+					t.Errorf("stream/%d: message reduction %.1f%% < 40%%", nodes, red)
+				}
+			}
+			if nodes == 4 && (c.name == "sor-opt" || c.name == "matmult") {
+				speedup := 100 * (float64(offVirt) - float64(aggVirt)) / float64(offVirt)
+				if speedup < 2 {
+					t.Errorf("%s/4: virtual-time improvement %.2f%% not measurable (< 2%%)", c.name, speedup)
+				}
+			}
+		}
+		if red := reductionPct(msgsOff, msgsAgg); red < 40 {
+			t.Errorf("suite at %d nodes: total message reduction %.1f%% < 40%% (%d -> %d)",
+				nodes, red, msgsOff, msgsAgg)
+		}
+	}
+}
+
+func reductionPct(off, on uint64) float64 {
+	return 100 * (float64(off) - float64(on)) / float64(off)
+}
+
+// TestAggregationFaultReplay re-verifies the fault-campaign determinism
+// contract with aggregation on: under a seeded 5% message-drop plan the
+// batched/prefetching protocol must produce the baseline checksum, force
+// retransmissions, and replay bit-identically — batch contents and
+// prefetch runs are pure functions of program state, so the positional
+// fate draws line up on every run.
+func TestAggregationFaultReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault campaign replay")
+	}
+	on := swdsm.Aggregation{Batch: true, Prefetch: true}
+	run := func(t *testing.T, kernel apps.Kernel, plan *simnet.FaultPlan) (check float64, virtual hamster.Duration, retries uint64) {
+		d, err := swdsm.New(swdsm.Config{Nodes: 4, Aggregation: on})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		if plan != nil {
+			d.Layer().Network().SetFaults(*plan)
+		}
+		res := apps.RunOnSubstrate(d, kernel)
+		for i := 0; i < 4; i++ {
+			r, _ := d.Layer().Stats(simnet.NodeID(i)).Faults()
+			retries += r
+		}
+		return res[0].Check, apps.MaxTotal(res), retries
+	}
+	for _, k := range smallAggKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			baseCheck, _, _ := run(t, k.kernel, nil)
+			plan := &simnet.FaultPlan{DropProb: 0.05, Seed: 3}
+			check, virtual, retries := run(t, k.kernel, plan)
+			if check != baseCheck {
+				t.Fatalf("5%% drop changed the result: %v, want %v", check, baseCheck)
+			}
+			if retries == 0 {
+				t.Fatal("5% drop forced no retries")
+			}
+			check2, virtual2, retries2 := run(t, k.kernel, plan)
+			if check2 != check || virtual2 != virtual || retries2 != retries {
+				t.Fatalf("replay diverged: virtual %v vs %v, retries %d vs %d",
+					virtual2, virtual, retries2, retries)
+			}
+		})
+	}
+}
+
+// TestAggregationCheckpointCompat runs the aggregated protocol under
+// incremental checkpointing: batched diff application must feed the
+// capture dirty-page tracking exactly like per-page application, so the
+// checkpointed run's result matches the uncheckpointed one.
+func TestAggregationCheckpointCompat(t *testing.T) {
+	on := swdsm.Aggregation{Batch: true, Prefetch: true}
+	for _, c := range smallAggKernels() {
+		plain, err := runCore(hamster.Config{
+			Platform: hamster.SWDSM, Nodes: 4, SWDSMAggregation: on,
+		}, c.kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpt, err := runCore(hamster.Config{
+			Platform: hamster.SWDSM, Nodes: 4, SWDSMAggregation: on,
+			CheckpointEvery: 2, CheckpointIncremental: true,
+		}, c.kernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ckpt.check != plain.check {
+			t.Errorf("%s: checkpointing under aggregation moved the checksum: %v vs %v",
+				c.name, ckpt.check, plain.check)
+		}
+	}
+}

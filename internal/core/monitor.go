@@ -94,6 +94,10 @@ func (m *Monitor) Report() string {
 		{"diff bytes", st.DiffBytes}, {"invalidations", st.Invalidations},
 		{"lock acquires", st.LockAcquires}, {"barriers", st.BarrierCrossings},
 		{"evictions", st.Evictions}, {"cache misses", st.CacheMisses},
+		{"protocol msgs", st.ProtocolMsgs},
+		{"diff batches", st.DiffBatches}, {"batched diffs", st.BatchedDiffs},
+		{"prefetch runs", st.PrefetchRuns}, {"prefetch pages", st.PrefetchPages},
+		{"prefetch hits", st.PrefetchHits}, {"prefetch waste", st.PrefetchWaste},
 	}
 	for _, r := range rows {
 		if r.v != 0 {

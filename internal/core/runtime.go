@@ -53,6 +53,10 @@ type Config struct {
 	// SWDSMMigrateAfter enables the software DSM's home migration after
 	// that many consecutive single-writer intervals (0 = off).
 	SWDSMMigrateAfter int
+	// SWDSMAggregation configures the software DSM's protocol aggregation
+	// layer (batched diff flush, notice piggybacking, adaptive prefetch).
+	// The zero value is off and bit-identical to the baseline protocol.
+	SWDSMAggregation swdsm.Aggregation
 	// HybridCacheThreshold tunes the hybrid DSM's read-caching trigger
 	// (negative disables caching).
 	HybridCacheThreshold int
@@ -138,6 +142,7 @@ func New(cfg Config) (*Runtime, error) {
 				Nodes: cfg.Nodes, Params: eff,
 				CachePages: cfg.SWDSMCachePages, Layer: layer,
 				MigrateAfter: cfg.SWDSMMigrateAfter,
+				Aggregation:  cfg.SWDSMAggregation,
 			})
 			if err != nil {
 				return nil, err
@@ -149,6 +154,7 @@ func New(cfg Config) (*Runtime, error) {
 			d, err := swdsm.New(swdsm.Config{
 				Nodes: cfg.Nodes, Params: eff, CachePages: cfg.SWDSMCachePages,
 				MigrateAfter: cfg.SWDSMMigrateAfter,
+				Aggregation:  cfg.SWDSMAggregation,
 			})
 			if err != nil {
 				return nil, err

@@ -74,6 +74,9 @@ type Config struct {
 	// HybridCacheThreshold configures the hybrid engine's read caching
 	// (negative disables it — the raw SCI-VM configuration).
 	HybridCacheThreshold int
+	// Aggregation configures the software engine's protocol aggregation
+	// layer (see swdsm.Aggregation); the zero value is off.
+	Aggregation swdsm.Aggregation
 }
 
 // DSM is one composed cluster.
@@ -120,6 +123,7 @@ func New(cfg Config) (*DSM, error) {
 	}
 	sw, err := swdsm.New(swdsm.Config{
 		Nodes: cfg.Nodes, Params: params, Space: space, Clocks: clocks,
+		Aggregation: cfg.Aggregation,
 	})
 	if err != nil {
 		return nil, err
@@ -446,6 +450,13 @@ func (d *DSM) NodeStats(node int) platform.Stats {
 		Evictions:        a.Evictions + b.Evictions,
 		CacheMisses:      a.CacheMisses + b.CacheMisses,
 		HomeMigrations:   a.HomeMigrations + b.HomeMigrations,
+		ProtocolMsgs:     a.ProtocolMsgs + b.ProtocolMsgs,
+		DiffBatches:      a.DiffBatches + b.DiffBatches,
+		BatchedDiffs:     a.BatchedDiffs + b.BatchedDiffs,
+		PrefetchRuns:     a.PrefetchRuns + b.PrefetchRuns,
+		PrefetchPages:    a.PrefetchPages + b.PrefetchPages,
+		PrefetchHits:     a.PrefetchHits + b.PrefetchHits,
+		PrefetchWaste:    a.PrefetchWaste + b.PrefetchWaste,
 	}
 }
 

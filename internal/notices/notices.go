@@ -108,12 +108,16 @@ func (e *EpochExchange) CollectOthers(epoch uint64, node int) []memsim.PageID {
 	if !ok {
 		return nil
 	}
+	// Walk depositors in node order, never map order: the collected list
+	// feeds invalidations whose flush traffic must be a pure function of
+	// program state for seeded fault campaigns to replay bit-identically
+	// (virtual totals commute, but message sequences are positional).
 	var out []memsim.PageID
-	for id, pages := range ed.notices {
+	for id := 0; id < e.nodes; id++ {
 		if id == node {
 			continue
 		}
-		out = append(out, pages...)
+		out = append(out, ed.notices[id]...)
 	}
 	ed.fetched++
 	if ed.fetched == e.nodes {

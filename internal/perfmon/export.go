@@ -89,7 +89,8 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 func eventCategory(k EventKind) string {
 	switch k {
 	case EvPageFault, EvTwinCreate, EvDiffCreate, EvDiffApply,
-		EvWriteNotice, EvInvalidate, EvHomeMigrate:
+		EvWriteNotice, EvInvalidate, EvHomeMigrate,
+		EvBatchFlush, EvPrefetch, EvPrefetchWaste:
 		return "dsm"
 	case EvRemoteRead, EvRemoteWrite, EvMsgSend, EvMsgRecv:
 		return "network"

@@ -101,6 +101,17 @@ const (
 	// crash recovery. Arg1 = checkpoint sequence number, Arg2 = restored
 	// page count.
 	EvRestore
+	// EvBatchFlush spans one aggregated diff-flush call delivering all of
+	// a release point's diffs for one home in a single message.
+	// Arg1 = home node, Arg2 = page diffs in the batch.
+	EvBatchFlush
+	// EvPrefetch spans one speculative multi-page fetch issued by the
+	// sequential-stride tracker. Arg1 = first prefetched page,
+	// Arg2 = pages in the run.
+	EvPrefetch
+	// EvPrefetchWaste is a misprediction: a prefetched page dropped
+	// (evicted or invalidated) before any access used it. Arg1 = page.
+	EvPrefetchWaste
 
 	numEventKinds
 )
@@ -150,6 +161,12 @@ func (k EventKind) String() string {
 		return "ckpt-end"
 	case EvRestore:
 		return "restore"
+	case EvBatchFlush:
+		return "batch-flush"
+	case EvPrefetch:
+		return "prefetch"
+	case EvPrefetchWaste:
+		return "prefetch-waste"
 	default:
 		return "unknown"
 	}

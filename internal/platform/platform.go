@@ -96,6 +96,13 @@ type Stats struct {
 	Evictions        uint64
 	CacheMisses      uint64 // CPU-cache model misses
 	HomeMigrations   uint64 // pages whose home moved to this node
+	ProtocolMsgs     uint64 // protocol messages this node originated (swdsm)
+	DiffBatches      uint64 // aggregated diff-flush messages sent
+	BatchedDiffs     uint64 // page diffs that traveled inside batches
+	PrefetchRuns     uint64 // speculative multi-page fetch messages sent
+	PrefetchPages    uint64 // pages installed by prefetch runs
+	PrefetchHits     uint64 // prefetched pages later used by a real access
+	PrefetchWaste    uint64 // prefetched pages dropped unused (mispredictions)
 }
 
 // Substrate is one base architecture instance hosting a fixed-size cluster.

@@ -1,0 +1,374 @@
+package swdsm
+
+// Protocol message aggregation (the coalesced-messaging claim of §3.3
+// applied to the DSM protocol itself, §4.3): per-message software overhead
+// dominates the Fast Ethernet cost model (SendSW+RecvSW = 50µs against
+// 80ns/byte), so the aggregation layer trades many small protocol messages
+// for few large ones.
+//
+// Three mechanisms, all gated by Config.Aggregation:
+//
+//  1. Batched diff flush: at release/barrier/fence time every dirty page's
+//     diff destined for the same home travels in one kindApplyDiffBatch
+//     call — one request/ack plus the summed payload instead of one round
+//     trip per page.
+//  2. Write-notice piggybacking: the notice list of a scope rides the
+//     lock-grant reply (and the barrier-release broadcast) that the
+//     protocol sends anyway, so only the payload bytes cost anything; the
+//     separate notice message of the baseline protocol disappears.
+//  3. Adaptive sequential prefetch: a per-node stride tracker watches the
+//     miss stream, and once it turns sequential fetches a run of up to
+//     PrefetchDegree same-home pages in one kindFetchPages call.
+//     Mispredictions (prefetched pages evicted or invalidated unused)
+//     halve the degree and impose a cooldown, so an irregular phase cannot
+//     keep paying for wasted transfers.
+//
+// The zero-value Aggregation is the off mode and is bit-identical to the
+// baseline protocol: same messages in the same order, same virtual times
+// (enforced by TestAggregationOffIdentity against the committed BENCH
+// files). With aggregation on, message sequences remain a pure function of
+// program state — batches and prefetch runs assemble pages in sorted
+// (ascending) order — so seeded fault campaigns still replay
+// bit-identically (the draw streams are positional per link).
+
+import (
+	"fmt"
+	"slices"
+
+	"hamster/internal/amsg"
+	"hamster/internal/memsim"
+	"hamster/internal/perfmon"
+	"hamster/internal/simnet"
+	"hamster/internal/vclock"
+)
+
+// Batched-protocol active-message kinds (the singleton kinds live in
+// swdsm.go and migrate.go: kindFetchPage=1, kindApplyDiff=2, kindMigrate=3).
+const (
+	// kindApplyDiffBatch carries [count u32] then per page [page u64]
+	// [diff blob], pages ascending; the home applies each diff in order.
+	kindApplyDiffBatch amsg.Kind = 4
+	// kindFetchPages carries [count u32] then [page u64]..., pages
+	// ascending and all homed at the target; the reply is the concatenated
+	// page frames.
+	kindFetchPages amsg.Kind = 5
+)
+
+// DefaultPrefetchDegree caps a prefetch run when the configuration leaves
+// Aggregation.PrefetchDegree zero.
+const DefaultPrefetchDegree = 8
+
+// Prefetch policy constants: a miss stream must look sequential for
+// prefetchMinStreak consecutive faults before the first speculative fetch,
+// and a tracker that mispredicted down to degree 1 sits out
+// prefetchCooldown faults before trying again.
+const (
+	prefetchMinStreak = 2
+	prefetchCooldown  = 16
+)
+
+// Aggregation configures the protocol aggregation layer. The zero value
+// disables everything and is bit-identical to the baseline protocol.
+type Aggregation struct {
+	// Batch enables batched diff flushes and write-notice piggybacking
+	// (the two are one mechanism economically: both replace per-item
+	// messages with payload riding on traffic that must flow anyway).
+	Batch bool
+	// Prefetch enables adaptive sequential page prefetch.
+	Prefetch bool
+	// PrefetchDegree caps the pages fetched per speculative run
+	// (0 = DefaultPrefetchDegree).
+	PrefetchDegree int
+}
+
+// Enabled reports whether any aggregation mechanism is on.
+func (a Aggregation) Enabled() bool { return a.Batch || a.Prefetch }
+
+// prefetcher is one node's stride tracker. Owned exclusively by the node's
+// goroutine, like the page cache it feeds.
+type prefetcher struct {
+	last   memsim.PageID // page of the most recent demand fault
+	streak int           // consecutive +1-stride faults observed
+	degree int           // current run cap (adaptive, 1..maxDegree)
+	hitRun int           // prefetched pages consumed since the last waste
+	cool   int           // faults to sit out after collapsing to degree 1
+	max    int           // configured degree ceiling
+
+	// pending tracks installed-but-unreferenced prefetched pages: a first
+	// access moves one to the hit column, an eviction or invalidation
+	// before that moves it to the waste column.
+	pending map[memsim.PageID]struct{}
+}
+
+func newPrefetcher(degree int) *prefetcher {
+	if degree <= 0 {
+		degree = DefaultPrefetchDegree
+	}
+	start := 2
+	if start > degree {
+		start = degree
+	}
+	return &prefetcher{
+		degree:  start,
+		max:     degree,
+		pending: make(map[memsim.PageID]struct{}),
+	}
+}
+
+// registerAggHandlers installs the home-side handlers of the batched
+// protocol. They are registered unconditionally (the kinds are part of the
+// wire protocol whether or not this node's peers aggregate), but never
+// fire unless a peer sends batched traffic.
+func (d *DSM) registerAggHandlers(n *node) {
+	id := simnet.NodeID(n.id)
+	d.layer.Register(id, kindApplyDiffBatch, func(from amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
+		dec := amsg.NewDec(req)
+		count := int(dec.U32())
+		var total vclock.Duration
+		for i := 0; i < count; i++ {
+			p := memsim.PageID(dec.U64())
+			diff := dec.Blob()
+			hp := n.home.Frame(p)
+			hp.Mu.Lock()
+			err := applyDiff(hp.Data, diff)
+			hp.Mu.Unlock()
+			if err != nil {
+				panic(err) // internal protocol corruption
+			}
+			n.markCkptDirty(p)
+			// Same per-diff apply cost as the unbatched handler; batching
+			// saves messages, never modeled CPU work.
+			cost := d.params.CPU.PageCopyNs * vclock.Duration(len(diff)+1) / memsim.PageSize
+			if rec := d.rec; rec != nil && rec.Enabled() {
+				rec.Record(n.id, perfmon.EvDiffApply, d.clocks[n.id].Now(), cost, uint64(p), uint64(len(diff)))
+			}
+			total += cost
+		}
+		return nil, total
+	})
+	d.layer.Register(id, kindFetchPages, func(_ amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
+		pages := amsg.NewDec(req).U64s()
+		out := make([]byte, len(pages)*memsim.PageSize)
+		for i, v := range pages {
+			hp := n.home.Frame(memsim.PageID(v))
+			hp.Mu.Lock()
+			copy(out[i*memsim.PageSize:(i+1)*memsim.PageSize], hp.Data)
+			hp.Mu.Unlock()
+		}
+		return out, vclock.Duration(len(pages)) * d.params.CPU.PageCopyNs
+	})
+}
+
+// flushBatched is the aggregated replacement for flushAll's per-page flush
+// loop: diff every dirty cached page (sorted order — the scan sequence and
+// its costs must stay a pure function of program state), group the
+// non-empty diffs by home, and deliver each group in one call. Charges one
+// request/ack plus the summed payload per home instead of one round trip
+// per page.
+func (n *node) flushBatched(pages []memsim.PageID) {
+	d := n.dsm
+	clk := d.clocks[n.id]
+	type pageDiff struct {
+		p    memsim.PageID
+		diff []byte
+	}
+	var byHome map[int][]pageDiff
+	var homes []int
+	for _, p := range pages {
+		cp, ok := n.cache[p]
+		if !ok || cp.twin == nil {
+			continue
+		}
+		t0 := clk.Now()
+		clk.AdvanceCat(vclock.CatProtocol, d.params.CPU.DiffScanNs)
+		diff := buildDiff(cp.data, cp.twin)
+		putTwin(cp.twin)
+		cp.twin = nil
+		delete(n.dirty, p)
+		if len(diff) == 0 {
+			putDiff(diff)
+			continue
+		}
+		n.stats.DiffsCreated++
+		n.stats.DiffBytes += uint64(len(diff))
+		if rec := d.rec; rec != nil && rec.Enabled() {
+			rec.Record(n.id, perfmon.EvDiffCreate, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(len(diff)))
+		}
+		cp.diffStreak++
+		home := d.space.Home(p)
+		if byHome == nil {
+			byHome = make(map[int][]pageDiff)
+		}
+		if _, seen := byHome[home]; !seen {
+			homes = append(homes, home)
+		}
+		// Input pages are ascending, so each home's batch is too.
+		byHome[home] = append(byHome[home], pageDiff{p, diff})
+	}
+	slices.Sort(homes) // deterministic batch order across homes
+	for _, home := range homes {
+		batch := byHome[home]
+		size := 4
+		for _, e := range batch {
+			size += 12 + len(e.diff)
+		}
+		enc := amsg.NewEnc(size).U32(uint32(len(batch)))
+		for _, e := range batch {
+			enc.U64(uint64(e.p)).Blob(e.diff)
+		}
+		t0 := clk.Now()
+		if _, err := d.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(home), kindApplyDiffBatch, enc.Bytes()); err != nil {
+			// Like flushPage: a diff batch that cannot reach the
+			// authoritative copies means writes are lost; stop loudly.
+			panic(fmt.Sprintf("swdsm: node %d cannot flush %d-page diff batch to home node %d: %v",
+				n.id, len(batch), home, err))
+		}
+		for _, e := range batch {
+			putDiff(e.diff)
+		}
+		n.stats.ProtocolMsgs++
+		n.stats.DiffBatches++
+		n.stats.BatchedDiffs += uint64(len(batch))
+		if rec := d.rec; rec != nil && rec.Enabled() {
+			rec.Record(n.id, perfmon.EvBatchFlush, t0, vclock.Since(t0, clk.Now()), uint64(home), uint64(len(batch)))
+		}
+	}
+}
+
+// piggybackNoticeCost is the cost of a notice list riding a message the
+// protocol sends anyway (lock grant, barrier release): only the payload
+// bytes, none of the per-message software overhead — that is the whole
+// point of piggybacking. Zero for an empty list.
+func (d *DSM) piggybackNoticeCost(pages int) vclock.Duration {
+	return vclock.Duration(8*pages) * d.params.Ethernet.NsPerByte
+}
+
+// maybePrefetch runs at the tail of every demand fault: update the stride
+// tracker and, when the miss stream is sequential, speculatively fetch the
+// next run of same-home pages in one message. Prefetch is strictly an
+// optimization — on any failure it backs off and lets demand faults make
+// progress — and it only fills free cache capacity, never evicts.
+func (n *node) maybePrefetch(p memsim.PageID, home int) {
+	pf := n.pf
+	if pf == nil {
+		return
+	}
+	if p == pf.last+1 {
+		pf.streak++
+	} else {
+		pf.streak = 0
+	}
+	pf.last = p
+	if pf.cool > 0 {
+		pf.cool--
+		return
+	}
+	if pf.streak < prefetchMinStreak {
+		return
+	}
+	limit := n.dsm.cacheCap - len(n.cache)
+	if limit > pf.degree {
+		limit = pf.degree
+	}
+	run := make([]uint64, 0, pf.degree)
+	for q := p + 1; len(run) < limit; q++ {
+		// Only extend the run while the next page is already homed at the
+		// same node: an unassigned page must never be first-touch-claimed
+		// on speculation, and a differently-homed one belongs to another
+		// run. Stop at the first cached page — past it we would be
+		// re-fetching the node's own working set.
+		if n.dsm.space.Home(q) != home {
+			break
+		}
+		if _, cached := n.cache[q]; cached {
+			break
+		}
+		run = append(run, uint64(q))
+	}
+	if len(run) == 0 {
+		return
+	}
+	clk := n.dsm.clocks[n.id]
+	t0 := clk.Now()
+	req := amsg.NewEnc(4 + 8*len(run)).U64s(run).Bytes()
+	data, err := n.dsm.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(home), kindFetchPages, req)
+	n.stats.ProtocolMsgs++
+	if err != nil || len(data) != len(run)*memsim.PageSize {
+		pf.degree = 1
+		pf.cool = prefetchCooldown
+		return
+	}
+	for i, v := range run {
+		q := memsim.PageID(v)
+		// Disjoint full-slice subslices of the one response buffer: each
+		// page writes only its own window, so sharing the backing array is
+		// safe and avoids a copy per page.
+		cp := &cpage{data: data[i*memsim.PageSize : (i+1)*memsim.PageSize : (i+1)*memsim.PageSize]}
+		cp.lru = n.lru.PushFront(q)
+		n.cache[q] = cp
+		pf.pending[q] = struct{}{}
+	}
+	clk.AdvanceCat(vclock.CatMemory, vclock.Duration(len(run))*n.dsm.params.CPU.PageCopyNs) // install copies
+	n.stats.PrefetchRuns++
+	n.stats.PrefetchPages += uint64(len(run))
+	if rec := n.dsm.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvPrefetch, t0, vclock.Since(t0, clk.Now()), uint64(run[0]), uint64(len(run)))
+	}
+}
+
+// notePrefetchHit moves a pending prefetched page to the hit column on its
+// first real access. A sustained hit run doubles the degree toward the
+// configured ceiling.
+func (n *node) notePrefetchHit(p memsim.PageID) {
+	pf := n.pf
+	if pf == nil || len(pf.pending) == 0 {
+		return
+	}
+	if _, ok := pf.pending[p]; !ok {
+		return
+	}
+	delete(pf.pending, p)
+	n.stats.PrefetchHits++
+	pf.hitRun++
+	if pf.hitRun >= 2*pf.degree && pf.degree < pf.max {
+		pf.degree *= 2
+		if pf.degree > pf.max {
+			pf.degree = pf.max
+		}
+		pf.hitRun = 0
+	}
+}
+
+// notePrefetchDrop charges a misprediction: a prefetched page left the
+// cache (eviction, invalidation, fence) before any access used it. The
+// degree halves; collapsing to 1 imposes the cooldown.
+func (n *node) notePrefetchDrop(p memsim.PageID) {
+	pf := n.pf
+	if pf == nil || len(pf.pending) == 0 {
+		return
+	}
+	if _, ok := pf.pending[p]; !ok {
+		return
+	}
+	delete(pf.pending, p)
+	n.stats.PrefetchWaste++
+	pf.hitRun = 0
+	pf.degree /= 2
+	if pf.degree < 1 {
+		pf.degree = 1
+		pf.cool = prefetchCooldown
+	}
+	if rec := n.dsm.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvPrefetchWaste, n.dsm.clocks[n.id].Now(), 0, uint64(p), 0)
+	}
+}
+
+// resetPrefetch clears the tracker (checkpoint restore: the rebuilt cache
+// has no speculative history).
+func (n *node) resetPrefetch() {
+	if n.pf == nil {
+		return
+	}
+	deg := n.pf.max
+	n.pf = newPrefetcher(deg)
+}

@@ -14,6 +14,12 @@ import (
 // the direct-mapped model). Twin creation, diffing, and write notices
 // are untouched — a block write dirties the page exactly once per
 // interval, the same as N word writes.
+//
+// Prefetched frames (aggregate.go) need no special handling here: a
+// speculatively installed page is an ordinary clean cache entry, so
+// frameForRead/prepareWrite resolve it like any cache hit (scoring the
+// prefetch-hit on first touch) and a page-straddling run simply crosses
+// from a prefetched frame into a demand-faulted one.
 
 // ReadF64Block implements platform.Substrate.
 func (d *DSM) ReadF64Block(nodeID int, a memsim.Addr, dst []float64) {

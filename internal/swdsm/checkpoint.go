@@ -60,6 +60,9 @@ func (d *DSM) CachedPages(node int) []memsim.PageID {
 // skipped; the capacity cap is respected.
 func (d *DSM) RestoreCached(node int, pages []memsim.PageID) {
 	n := d.access(node)
+	// The rebuilt cache has no speculative history: a stale prefetch
+	// pending set would misattribute post-restore evictions as waste.
+	n.resetPrefetch()
 	for _, p := range pages {
 		if len(n.cache) >= d.cacheCap {
 			return

@@ -14,6 +14,12 @@ import (
 // compares 8-byte words, matching classic multiple-writer DSM protocols:
 // two nodes writing disjoint words of the same page produce disjoint diffs
 // that merge cleanly at the home.
+//
+// This wire format is shared verbatim by the aggregated protocol: a
+// kindApplyDiffBatch message (aggregate.go) is just a count-prefixed
+// sequence of [page][diff-blob] entries, each blob exactly the encoding
+// below, so the home applies batched and singleton diffs with the same
+// applyDiff and batching can never change what lands in a frame.
 
 const diffRunHeader = 4 // uint16 offset + uint16 length
 

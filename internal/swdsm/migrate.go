@@ -140,6 +140,7 @@ func (n *node) performMigrations(pages []memsim.PageID) {
 		clk := d.clocks[n.id]
 		t0 := clk.Now()
 		req := amsg.NewEnc(8).U64(uint64(p)).Bytes()
+		n.stats.ProtocolMsgs++
 		data, err := d.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(oldHome), kindMigrate, req)
 		if err != nil {
 			// Migration is an optimization, not a correctness requirement:

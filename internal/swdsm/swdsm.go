@@ -99,6 +99,11 @@ type Config struct {
 	// Protocol selects Scope Consistency (default) or eager Release
 	// Consistency.
 	Protocol Protocol
+	// Aggregation configures the protocol aggregation layer (batched diff
+	// flush, write-notice piggybacking, adaptive prefetch — see
+	// aggregate.go). The zero value is off and bit-identical to the
+	// baseline protocol.
+	Aggregation Aggregation
 }
 
 // DSM is one software-DSM cluster.
@@ -112,6 +117,7 @@ type DSM struct {
 	cacheCap     int
 	migrateAfter int
 	protocol     Protocol
+	agg          Aggregation
 	rcPending    *notices.Board // EagerRC: one global notice board
 	migration    *migrationState
 	vbMig        *vclock.VBarrier
@@ -192,6 +198,10 @@ type node struct {
 	// other goroutines, hence the mutex.
 	ckptMu    sync.Mutex
 	ckptDirty map[memsim.PageID]struct{}
+
+	// pf is the adaptive prefetch tracker; nil unless Aggregation.Prefetch
+	// is on, so the off mode pays one nil check per hook site.
+	pf *prefetcher
 
 	stats platform.Stats
 }
@@ -293,12 +303,17 @@ func New(cfg Config) (*DSM, error) {
 			dirty:     make(map[memsim.PageID]struct{}),
 			homeDirty: make(map[memsim.PageID]struct{}),
 		}
+		if cfg.Aggregation.Prefetch {
+			n.pf = newPrefetcher(cfg.Aggregation.PrefetchDegree)
+		}
 		d.nodes[i] = n
 		d.registerHandlers(n)
+		d.registerAggHandlers(n)
 		d.registerMigrateHandler(n)
 	}
 	d.cacheCap = cap
 	d.protocol = cfg.Protocol
+	d.agg = cfg.Aggregation
 	d.rcPending = notices.NewBoard()
 	d.migrateAfter = cfg.MigrateAfter
 	d.migration = newMigrationState()
@@ -461,6 +476,7 @@ func (n *node) frameForRead(p memsim.PageID) ([]byte, *pagestore.Frame) {
 		return hp.Data, hp
 	}
 	if cp, ok := n.cache[p]; ok {
+		n.notePrefetchHit(p)
 		n.lru.MoveToFront(cp.lru)
 		n.fastRecord(fastFrame{ok: true, page: p, gen: n.gen, data: cp.data, lru: cp.lru, dirty: cp.twin != nil})
 		return cp.data, nil
@@ -475,6 +491,7 @@ func (n *node) fault(p memsim.PageID, home int) *cpage {
 	clk := n.dsm.clocks[n.id]
 	t0 := clk.Now()
 	req := amsg.NewEnc(8).U64(uint64(p)).Bytes()
+	n.stats.ProtocolMsgs++
 	data, err := n.dsm.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(home), kindFetchPage, req)
 	if err != nil {
 		// The home may have migrated between the lookup and the call;
@@ -483,6 +500,7 @@ func (n *node) fault(p memsim.PageID, home int) *cpage {
 		// a diagnostic instead of computing on stale data.
 		if cur := n.dsm.space.Home(p); cur != home {
 			home = cur
+			n.stats.ProtocolMsgs++
 			data, err = n.dsm.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(home), kindFetchPage, req)
 		}
 		if err != nil {
@@ -498,6 +516,7 @@ func (n *node) fault(p memsim.PageID, home int) *cpage {
 	n.cache[p] = cp
 	n.stats.PageFaults++
 	n.evictIfNeeded()
+	n.maybePrefetch(p, home)
 	return cp
 }
 
@@ -513,6 +532,7 @@ func (n *node) evictIfNeeded() {
 		if cp.twin != nil {
 			n.flushPage(p, cp)
 		}
+		n.notePrefetchDrop(p)
 		n.lru.Remove(el)
 		delete(n.cache, p)
 		delete(n.dirty, p)
@@ -547,6 +567,7 @@ func (n *node) prepareWrite(p memsim.PageID) ([]byte, *pagestore.Frame) {
 	if !ok {
 		cp = n.fault(p, home)
 	} else {
+		n.notePrefetchHit(p)
 		n.lru.MoveToFront(cp.lru)
 	}
 	if cp.twin == nil {

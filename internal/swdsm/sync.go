@@ -65,6 +65,7 @@ func (d *DSM) Acquire(nodeID, lock int) {
 	if st.home != nodeID {
 		reqCost = d.params.Ethernet.MsgCost(noticeMsgBytes(0))
 		d.clocks[st.home].Steal(d.params.Ethernet.HandlerNs)
+		n.stats.ProtocolMsgs++
 	} else {
 		reqCost = amsg.LocalCallNs
 	}
@@ -77,7 +78,15 @@ func (d *DSM) Acquire(nodeID, lock int) {
 		pages = append(pages, d.rcPending.Take(nodeID)...)
 	}
 	if st.home != nodeID {
-		clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+		if d.agg.Batch {
+			// Piggybacked: the notice list rides the grant reply, so only
+			// its payload bytes cost anything — the baseline's separate
+			// notice message disappears.
+			clk.AdvanceCat(vclock.CatNetwork, d.piggybackNoticeCost(len(pages)))
+		} else {
+			clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+			n.stats.ProtocolMsgs++
+		}
 	}
 	n.invalidate(pages)
 	n.stats.LockAcquires++
@@ -106,6 +115,7 @@ func (d *DSM) Release(nodeID, lock int) {
 		if len(pages) > 0 {
 			clk.AdvanceCat(vclock.CatNetwork, vclock.Duration(len(d.nodes)-1)*
 				d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+			n.stats.ProtocolMsgs += uint64(len(d.nodes) - 1)
 			for m := range d.nodes {
 				if m != nodeID {
 					d.clocks[m].Steal(d.params.Ethernet.HandlerNs)
@@ -123,6 +133,7 @@ func (d *DSM) Release(nodeID, lock int) {
 	if st.home != nodeID {
 		relCost = d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages)))
 		d.clocks[st.home].Steal(d.params.Ethernet.HandlerNs)
+		n.stats.ProtocolMsgs++
 	} else {
 		relCost = amsg.LocalCallNs
 	}
@@ -145,6 +156,7 @@ func (n *node) invalidate(pages []memsim.PageID) {
 		if cp.twin != nil {
 			n.flushPage(p, cp)
 		}
+		n.notePrefetchDrop(p)
 		n.lru.Remove(cp.lru)
 		delete(n.cache, p)
 		delete(n.dirty, p)
@@ -171,6 +183,7 @@ func (n *node) flushPage(p memsim.PageID, cp *cpage) {
 	// Enc.Blob copies the diff into the request, so the scratch buffer can
 	// be recycled as soon as the call returns.
 	req := amsg.NewEnc(12 + len(diff)).U64(uint64(p)).Blob(diff).Bytes()
+	n.stats.ProtocolMsgs++
 	if _, err := d.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(home), kindApplyDiff, req); err != nil {
 		// A diff that cannot reach the authoritative copy means writes
 		// are lost; no safe degradation exists, so stop with a diagnostic.
@@ -200,9 +213,13 @@ func (n *node) flushAll() []memsim.PageID {
 		out = append(out, p)
 	}
 	slices.Sort(out)
-	for _, p := range out {
-		if cp, ok := n.cache[p]; ok && cp.twin != nil {
-			n.flushPage(p, cp)
+	if n.dsm.agg.Batch {
+		n.flushBatched(out)
+	} else {
+		for _, p := range out {
+			if cp, ok := n.cache[p]; ok && cp.twin != nil {
+				n.flushPage(p, cp)
+			}
 		}
 	}
 	homeStart := len(out)
@@ -253,6 +270,7 @@ func (d *DSM) Barrier(nodeID int) {
 	if nodeID != manager {
 		arriveCost = d.params.Ethernet.MsgCost(noticeMsgBytes(len(mine)))
 		d.clocks[manager].Steal(d.params.Ethernet.HandlerNs)
+		n.stats.ProtocolMsgs++
 	} else {
 		arriveCost = amsg.LocalCallNs
 	}
@@ -262,7 +280,14 @@ func (d *DSM) Barrier(nodeID int) {
 	others := b.exchange.CollectOthers(epoch, nodeID)
 
 	if nodeID != manager {
-		clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(others))))
+		if d.agg.Batch {
+			// Piggybacked: the merged notices ride the barrier-release
+			// broadcast the manager sends anyway (see Acquire).
+			clk.AdvanceCat(vclock.CatNetwork, d.piggybackNoticeCost(len(others)))
+		} else {
+			clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(others))))
+			n.stats.ProtocolMsgs++
+		}
 	}
 	n.invalidate(others)
 	if rec := d.rec; rec != nil && rec.Enabled() && len(others) > 0 {
@@ -287,10 +312,15 @@ func (d *DSM) Barrier(nodeID int) {
 		arrive := d.params.Ethernet.MsgCost(16)
 		if nodeID == manager {
 			arrive = amsg.LocalCallNs
+		} else {
+			n.stats.ProtocolMsgs++
 		}
 		d.vbMig.Arrive(clk, arrive, 0)
 		if d.migration.peekAny(epoch) {
 			n.performMigrations(d.migration.grants(epoch, nodeID))
+			if nodeID != manager {
+				n.stats.ProtocolMsgs++
+			}
 			d.vbMig.Arrive(clk, arrive, 0)
 		}
 		d.migration.finish(epoch, len(d.nodes))
@@ -319,6 +349,7 @@ func (d *DSM) Fence(nodeID int) {
 		if cp.twin != nil {
 			n.flushPage(p, cp)
 		}
+		n.notePrefetchDrop(p)
 		n.lru.Remove(cp.lru)
 		delete(n.cache, p)
 		n.stats.Invalidations++
@@ -341,6 +372,7 @@ func (d *DSM) TryAcquire(nodeID, lock int) bool {
 	if st.home != nodeID {
 		reqCost = d.params.Ethernet.MsgCost(noticeMsgBytes(0))
 		d.clocks[st.home].Steal(d.params.Ethernet.HandlerNs)
+		n.stats.ProtocolMsgs++
 	} else {
 		reqCost = amsg.LocalCallNs
 	}
@@ -352,7 +384,12 @@ func (d *DSM) TryAcquire(nodeID, lock int) bool {
 		pages = append(pages, d.rcPending.Take(nodeID)...)
 	}
 	if st.home != nodeID {
-		clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+		if d.agg.Batch {
+			clk.AdvanceCat(vclock.CatNetwork, d.piggybackNoticeCost(len(pages)))
+		} else {
+			clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+			n.stats.ProtocolMsgs++
+		}
 	}
 	n.invalidate(pages)
 	n.stats.LockAcquires++

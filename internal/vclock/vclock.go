@@ -53,7 +53,11 @@ type Duration uint64
 //     timeline.
 //   - Network: wire costs — send/receive software, latency, payload
 //     serialization, SAN remote accesses, page fetch transfers, and
-//     waits for message arrival.
+//     waits for message arrival. Piggybacked payloads (data riding a
+//     message the protocol sends anyway, e.g. write notices on a lock
+//     grant under aggregation) charge only their serialization bytes
+//     here — the carrying message's software overhead is charged once,
+//     by whoever accounts the message itself.
 //   - Stolen: asynchronous handler cycles charged by other nodes
 //     (Clock.Steal); always its own bucket.
 type Category uint8

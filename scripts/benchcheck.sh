@@ -1,0 +1,15 @@
+#!/bin/sh
+# Bench-identity gate: the aggregation layer's off mode must cost exactly
+# what the committed baselines cost. TestAggregationOffIdentity replays
+# the standard kernel set and compares against BENCH_2.json (bare
+# substrate) and BENCH_3.json (core services): checksums bit-exact,
+# virtual times within 0.1% (goroutine scheduling can shift a stolen
+# handler charge between nodes by ±15µs; that wobble predates the
+# aggregation layer). Run plain (no -race): the pinned numbers are what
+# ships in the JSON files — identity is about virtual time, not wall
+# clock.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go test -run 'TestAggregationOffIdentity' ./internal/bench/

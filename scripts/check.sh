@@ -43,4 +43,10 @@ go test -race -run 'TestAttributionInvariantAllSubstrates' ./internal/perfmon/
 # suite for the same unmistakable-failure property.
 go test -race -run 'TestCrashRecoveryKernels' ./internal/bench/
 
+# Bench-identity gate: aggregation off must be bit-identical to the
+# committed BENCH baselines (see scripts/benchcheck.sh), and aggregation
+# on must never move a checksum on any substrate.
+sh scripts/benchcheck.sh
+go test -race -run 'TestAggregationEquivalence' ./internal/bench/
+
 go test -race ./...
