@@ -6,9 +6,10 @@
 //
 //	hamsterbench [-size small|default|paper] [-models DIR]
 //	             [-table1] [-table2] [-fig2] [-fig3] [-fig4] [-ablations]
-//	hamsterbench -json FILE [-faults PROFILE] [-faultseed SEED]
-//	hamsterbench -json FILE -checkpoint N [-incremental]
-//	hamsterbench -json FILE -aggregate [-prefetch]
+//	hamsterbench -json FILE [-faults PROFILE] [-faultseed SEED] [-parallel N]
+//	hamsterbench -json FILE -checkpoint N [-incremental] [-parallel N]
+//	hamsterbench -json FILE -aggregate [-prefetch] [-parallel N]
+//	hamsterbench -json FILE -walltime [-parallel N]
 //
 // With no selection flags, everything runs. -json instead runs the kernel
 // wall-clock benchmark (simulator throughput on the software DSM) and
@@ -30,6 +31,18 @@
 // message count with aggregation off next to the same run with batched
 // diff flush + write-notice piggybacking (-aggregate) and adaptive
 // sequential prefetch (-prefetch) on, at 2 and 4 nodes.
+//
+// -walltime switches -json to the wall-time suite (BENCH_5.json): the
+// kernel wall-clock set and the aggregation matrix run once sequentially
+// and once cell-parallel, recording both suite totals plus allocs/op and
+// B/op on the pooled hot paths (page fetch, message send, diff flush).
+//
+// -parallel N runs independent benchmark cells on up to N goroutines
+// (0 = GOMAXPROCS, 1 = sequential). Each cell owns a private simulated
+// cluster, so modeled results — virtual times, checksums, message and
+// retransmission counts — are identical at any parallelism and results
+// are always emitted in canonical (sequential) order; only wall-clock
+// readings vary with co-scheduling.
 package main
 
 import (
@@ -61,6 +74,8 @@ func main() {
 	ckptInc := flag.Bool("incremental", false, "capture dirty-page diffs after the first full snapshot (requires -checkpoint)")
 	aggregate := flag.Bool("aggregate", false, "switch -json to the protocol-aggregation benchmark (batched diff flush + notice piggybacking)")
 	prefetch := flag.Bool("prefetch", false, "also enable adaptive sequential prefetch in the aggregation benchmark (requires -aggregate)")
+	par := flag.Int("parallel", 0, "run independent benchmark cells on up to N goroutines (0 = GOMAXPROCS, 1 = sequential); modeled results are identical at any setting")
+	wall := flag.Bool("walltime", false, "switch -json to the simulator wall-time suite: sequential vs parallel totals plus hot-path allocation benchmarks")
 	flag.Parse()
 
 	// Flag validation happens before any benchmark runs: unknown -faults
@@ -85,6 +100,20 @@ func main() {
 	if *prefetch && !*aggregate {
 		fmt.Fprintln(os.Stderr, "-prefetch requires -aggregate")
 		os.Exit(2)
+	}
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "-parallel must be >= 0, got %d\n", *par)
+		os.Exit(2)
+	}
+	if *wall {
+		if *jsonOut == "" {
+			fmt.Fprintln(os.Stderr, "-walltime requires -json: it selects the wall-time suite")
+			os.Exit(2)
+		}
+		if *aggregate || *ckptEvery > 0 || *faults != "" {
+			fmt.Fprintln(os.Stderr, "-walltime, -aggregate, -checkpoint, and -faults are separate -json benchmarks; pass one of them")
+			os.Exit(2)
+		}
 	}
 	if *aggregate {
 		if *jsonOut == "" {
@@ -129,8 +158,20 @@ func main() {
 		}
 		var env envelope
 		var render string
-		if *aggregate {
-			rows, err := bench.AggregationBench(true, *prefetch)
+		if *wall {
+			rep, err := bench.Walltime(*par)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "walltime: %v\n", err)
+				os.Exit(1)
+			}
+			env = envelope{
+				Schema:      "hamster/walltime/v5",
+				Description: "simulator wall-time engineering: sequential vs cell-parallel suite totals (kernel wall-clock set + aggregation matrix), per-cell results from the sequential leg, and pooled hot-path allocation benchmarks",
+				Results:     rep,
+			}
+			render = bench.RenderWalltime(rep)
+		} else if *aggregate {
+			rows, err := bench.AggregationBenchParallel(true, *prefetch, *par)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "aggregation: %v\n", err)
 				os.Exit(1)
@@ -144,7 +185,7 @@ func main() {
 			}
 			render = bench.RenderAggregation(rows, true, *prefetch)
 		} else if *ckptEvery > 0 {
-			rows, err := bench.CheckpointOverhead(*ckptEvery, *ckptInc)
+			rows, err := bench.CheckpointOverheadParallel(*ckptEvery, *ckptInc, *par)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ckptoverhead: %v\n", err)
 				os.Exit(1)
@@ -162,7 +203,7 @@ func main() {
 			if *faults != "" {
 				desc += fmt.Sprintf("; fault campaign %q", *faults)
 			}
-			rows, err := bench.KernelWallFaults(plan)
+			rows, err := bench.KernelWallFaultsParallel(plan, *par)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "kernelwall: %v\n", err)
 				os.Exit(1)

@@ -44,8 +44,12 @@ type Layer struct {
 	net  *simnet.Network
 	link machine.Link
 
-	mu       sync.RWMutex
-	handlers map[Kind][]Handler // indexed by target node
+	// handlers is a copy-on-write registry: Register publishes a cloned
+	// map through the atomic pointer, so the per-call lookup is lock-free.
+	// Registration happens at startup (and is cheap enough to clone), the
+	// lookup happens on every protocol message.
+	handlers atomic.Pointer[map[Kind][]Handler]
+	regMu    sync.Mutex // serializes Register's clone-and-swap
 
 	stats []CallStats
 
@@ -61,45 +65,45 @@ type Layer struct {
 	rec *perfmon.Recorder // protocol event recorder; nil until attached
 }
 
-// CallStats counts active-message activity per node.
+// CallStats counts active-message activity per node. The counters are
+// independent atomics — a call bumps the caller's and target's counters
+// without any cross-node serialization (the old per-struct mutex put two
+// lock acquisitions on every protocol message).
 type CallStats struct {
-	mu         sync.Mutex
-	Calls      uint64 // calls issued by this node
-	Serviced   uint64 // handler executions on behalf of this node
-	ReqBytes   uint64
-	RspBytes   uint64
-	Retries    uint64 // retransmissions issued by this node
-	Suppressed uint64 // duplicate requests this node absorbed without re-executing
+	calls      atomic.Uint64 // calls issued by this node
+	serviced   atomic.Uint64 // handler executions on behalf of this node
+	reqBytes   atomic.Uint64
+	rspBytes   atomic.Uint64
+	retries    atomic.Uint64 // retransmissions issued by this node
+	suppressed atomic.Uint64 // duplicate requests this node absorbed without re-executing
 }
 
 // Snapshot returns a copy of the counters.
 func (s *CallStats) Snapshot() (calls, serviced, reqBytes, rspBytes uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Calls, s.Serviced, s.ReqBytes, s.RspBytes
+	return s.calls.Load(), s.serviced.Load(), s.reqBytes.Load(), s.rspBytes.Load()
 }
 
 // Faults returns the reliability counters: retransmissions issued by
 // this node and duplicate requests it suppressed.
 func (s *CallStats) Faults() (retries, suppressed uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Retries, s.Suppressed
+	return s.retries.Load(), s.suppressed.Load()
 }
 
 // New creates an active-message layer over net using the given link costs
 // (normally the same profile the network itself was built with).
 func New(net *simnet.Network, link machine.Link) *Layer {
-	return &Layer{
-		net:      net,
-		link:     link,
-		handlers: make(map[Kind][]Handler),
-		stats:    make([]CallStats, net.Size()),
-		policy:   RetryPolicy{}.withDefaults(link),
-		callSeq:  make([]atomic.Uint64, net.Size()),
-		svc:      make([]svcTable, net.Size()),
-		down:     make([]atomic.Bool, net.Size()),
+	l := &Layer{
+		net:     net,
+		link:    link,
+		stats:   make([]CallStats, net.Size()),
+		policy:  RetryPolicy{}.withDefaults(link),
+		callSeq: make([]atomic.Uint64, net.Size()),
+		svc:     make([]svcTable, net.Size()),
+		down:    make([]atomic.Bool, net.Size()),
 	}
+	empty := make(map[Kind][]Handler)
+	l.handlers.Store(&empty)
+	return l
 }
 
 // Network returns the underlying simulated network.
@@ -117,14 +121,18 @@ func (l *Layer) SetRecorder(rec *perfmon.Recorder) {
 // Registration happens at startup, before traffic; re-registration
 // replaces the previous handler.
 func (l *Layer) Register(target NodeID, kind Kind, h Handler) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	hs, ok := l.handlers[kind]
-	if !ok {
-		hs = make([]Handler, l.net.Size())
-		l.handlers[kind] = hs
+	l.regMu.Lock()
+	defer l.regMu.Unlock()
+	old := *l.handlers.Load()
+	next := make(map[Kind][]Handler, len(old)+1)
+	for k, hs := range old {
+		next[k] = hs
 	}
+	hs := make([]Handler, l.net.Size())
+	copy(hs, next[kind])
 	hs[target] = h
+	next[kind] = hs
+	l.handlers.Store(&next)
 }
 
 // LocalCallNs is the cost of a call that stays on the caller's node
@@ -134,9 +142,7 @@ const LocalCallNs vclock.Duration = 500
 // handlerFor resolves the handler for kind on node to, panicking on an
 // unregistered kind (a programming error, not a runtime fault).
 func (l *Layer) handlerFor(to NodeID, kind Kind) Handler {
-	l.mu.RLock()
-	hs := l.handlers[kind]
-	l.mu.RUnlock()
+	hs := (*l.handlers.Load())[kind]
 	if hs == nil || hs[to] == nil {
 		panic(fmt.Sprintf("amsg: no handler for kind %d on node %d", kind, to))
 	}
@@ -270,16 +276,11 @@ func (l *Layer) NotifyOthers(from NodeID, kind Kind, req []byte) {
 
 func (l *Layer) count(from, to NodeID, req, rsp int) {
 	s := &l.stats[from]
-	s.mu.Lock()
-	s.Calls++
-	s.ReqBytes += uint64(req)
-	s.RspBytes += uint64(rsp)
-	s.mu.Unlock()
+	s.calls.Add(1)
+	s.reqBytes.Add(uint64(req))
+	s.rspBytes.Add(uint64(rsp))
 	if from != to {
-		t := &l.stats[to]
-		t.mu.Lock()
-		t.Serviced++
-		t.mu.Unlock()
+		l.stats[to].serviced.Add(1)
 	}
 }
 

@@ -3,6 +3,7 @@ package amsg
 import (
 	"encoding/binary"
 	"math"
+	"sync"
 )
 
 // Enc is an append-style binary encoder for protocol payloads. All fields
@@ -13,6 +14,28 @@ type Enc struct {
 
 // NewEnc returns an encoder with the given capacity hint.
 func NewEnc(capacity int) *Enc { return &Enc{buf: make([]byte, 0, capacity)} }
+
+// encPool recycles encoders (struct plus backing buffer) for protocol
+// hot paths. Ownership rule: a pooled encoder's buffer may be released
+// with Free only after the Call/Notify that carried it RETURNS — the
+// fault-free active-message path runs the handler synchronously on the
+// caller's goroutine, so by then no reference to the request remains.
+// A payload handed to the queued-message path (simnet.Send) must NEVER
+// be freed: the receiver holds it for an unbounded time.
+var encPool = sync.Pool{New: func() any { return new(Enc) }}
+
+// GetEnc returns a pooled encoder, reset to empty but keeping whatever
+// backing capacity it accumulated in earlier lives.
+func GetEnc() *Enc {
+	e := encPool.Get().(*Enc)
+	e.buf = e.buf[:0]
+	return e
+}
+
+// Free recycles the encoder and its buffer. See encPool for when this is
+// legal; after Free the encoder and any slice obtained from Bytes are
+// invalid.
+func (e *Enc) Free() { encPool.Put(e) }
 
 // Bytes returns the encoded payload.
 func (e *Enc) Bytes() []byte { return e.buf }
@@ -79,6 +102,10 @@ type Dec struct {
 
 // NewDec wraps a payload for decoding.
 func NewDec(b []byte) *Dec { return &Dec{buf: b} }
+
+// MakeDec is NewDec by value: handlers that decode on the hot path use it
+// to keep the decoder on the stack instead of allocating one per message.
+func MakeDec(b []byte) Dec { return Dec{buf: b} }
 
 // Remaining reports how many bytes are left.
 func (d *Dec) Remaining() int { return len(d.buf) - d.off }

@@ -257,16 +257,5 @@ func (l *Layer) callReliable(from, to NodeID, kind Kind, h Handler, req []byte, 
 	}
 }
 
-func (l *Layer) addRetry(id NodeID) {
-	s := &l.stats[id]
-	s.mu.Lock()
-	s.Retries++
-	s.mu.Unlock()
-}
-
-func (l *Layer) addSuppressed(id NodeID) {
-	s := &l.stats[id]
-	s.mu.Lock()
-	s.Suppressed++
-	s.mu.Unlock()
-}
+func (l *Layer) addRetry(id NodeID)      { l.stats[id].retries.Add(1) }
+func (l *Layer) addSuppressed(id NodeID) { l.stats[id].suppressed.Add(1) }

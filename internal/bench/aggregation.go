@@ -85,46 +85,64 @@ func aggRun(nodes int, agg swdsm.Aggregation, kernel apps.Kernel) (vclock.Durati
 // against the selected mechanisms on. Returns an error if any kernel's
 // checksum moves — aggregation must change costs, never results.
 func AggregationBench(batch, prefetch bool) ([]AggregationResult, error) {
+	return AggregationBenchParallel(batch, prefetch, 1)
+}
+
+// AggregationBenchParallel is AggregationBench with up to `parallel`
+// (kernel, nodes) cells measured concurrently. A cell spans both legs —
+// off then on — so the off/on comparison always comes from adjacent runs,
+// and every cell owns a private cluster: virtual times, message counts,
+// and checksums are unchanged by co-scheduling, and results merge in the
+// canonical (nodes, kernel) order (see runCells).
+func AggregationBenchParallel(batch, prefetch bool, parallel int) ([]AggregationResult, error) {
 	on := swdsm.Aggregation{Batch: batch, Prefetch: prefetch}
-	var out []AggregationResult
+	type cell struct {
+		nodes  int
+		name   string
+		kernel apps.Kernel
+	}
+	var cells []cell
 	for _, nodes := range []int{2, 4} {
 		for _, c := range aggKernels() {
-			offVirt, offCheck, offStats, err := aggRun(nodes, swdsm.Aggregation{}, c.kernel)
-			if err != nil {
-				return nil, fmt.Errorf("bench: aggregation %s/%d off: %w", c.name, nodes, err)
-			}
-			start := time.Now()
-			aggVirt, aggCheck, aggStats, err := aggRun(nodes, on, c.kernel)
-			wall := time.Since(start)
-			if err != nil {
-				return nil, fmt.Errorf("bench: aggregation %s/%d on: %w", c.name, nodes, err)
-			}
-			if aggCheck != offCheck {
-				return nil, fmt.Errorf("bench: aggregation %s/%d moved the checksum: %v vs %v",
-					c.name, nodes, aggCheck, offCheck)
-			}
-			offNs, aggNs := uint64(offVirt), uint64(aggVirt)
-			out = append(out, AggregationResult{
-				Kernel:          c.name,
-				Substrate:       "swdsm",
-				Nodes:           nodes,
-				WallNs:          wall.Nanoseconds(),
-				VirtualOffNs:    offNs,
-				VirtualAggNs:    aggNs,
-				SpeedupPct:      100 * (float64(offNs) - float64(aggNs)) / float64(offNs),
-				MsgsOff:         offStats.ProtocolMsgs,
-				MsgsAgg:         aggStats.ProtocolMsgs,
-				MsgReductionPct: 100 * (float64(offStats.ProtocolMsgs) - float64(aggStats.ProtocolMsgs)) / float64(offStats.ProtocolMsgs),
-				DiffBatches:     aggStats.DiffBatches,
-				BatchedDiffs:    aggStats.BatchedDiffs,
-				PrefetchPages:   aggStats.PrefetchPages,
-				PrefetchHits:    aggStats.PrefetchHits,
-				PrefetchWaste:   aggStats.PrefetchWaste,
-				Check:           aggCheck,
-			})
+			cells = append(cells, cell{nodes, c.name, c.kernel})
 		}
 	}
-	return out, nil
+	return runCells(parallel, len(cells), func(i int) (AggregationResult, error) {
+		c := cells[i]
+		offVirt, offCheck, offStats, err := aggRun(c.nodes, swdsm.Aggregation{}, c.kernel)
+		if err != nil {
+			return AggregationResult{}, fmt.Errorf("bench: aggregation %s/%d off: %w", c.name, c.nodes, err)
+		}
+		start := time.Now()
+		aggVirt, aggCheck, aggStats, err := aggRun(c.nodes, on, c.kernel)
+		wall := time.Since(start)
+		if err != nil {
+			return AggregationResult{}, fmt.Errorf("bench: aggregation %s/%d on: %w", c.name, c.nodes, err)
+		}
+		if aggCheck != offCheck {
+			return AggregationResult{}, fmt.Errorf("bench: aggregation %s/%d moved the checksum: %v vs %v",
+				c.name, c.nodes, aggCheck, offCheck)
+		}
+		offNs, aggNs := uint64(offVirt), uint64(aggVirt)
+		return AggregationResult{
+			Kernel:          c.name,
+			Substrate:       "swdsm",
+			Nodes:           c.nodes,
+			WallNs:          wall.Nanoseconds(),
+			VirtualOffNs:    offNs,
+			VirtualAggNs:    aggNs,
+			SpeedupPct:      100 * (float64(offNs) - float64(aggNs)) / float64(offNs),
+			MsgsOff:         offStats.ProtocolMsgs,
+			MsgsAgg:         aggStats.ProtocolMsgs,
+			MsgReductionPct: 100 * (float64(offStats.ProtocolMsgs) - float64(aggStats.ProtocolMsgs)) / float64(offStats.ProtocolMsgs),
+			DiffBatches:     aggStats.DiffBatches,
+			BatchedDiffs:    aggStats.BatchedDiffs,
+			PrefetchPages:   aggStats.PrefetchPages,
+			PrefetchHits:    aggStats.PrefetchHits,
+			PrefetchWaste:   aggStats.PrefetchWaste,
+			Check:           aggCheck,
+		}, nil
+	})
 }
 
 // RenderAggregation prints the measurements as a text table.

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+
+	"hamster/internal/machine"
+	"hamster/internal/memsim"
+	"hamster/internal/simnet"
+	"hamster/internal/swdsm"
+	"hamster/internal/vclock"
+)
+
+// Allocation probes for the hot paths the zero-copy work targets: one
+// remote page-fetch cycle, one simnet message send/receive, and one
+// scope-consistency release flushing K dirty pages. Each probe returns a
+// steady-state op plus a teardown; the same ops feed the
+// testing.AllocsPerRun regression gates (allocs_test.go), the -benchmem
+// microbenchmarks, and the BENCH_5 walltime report — so the gated number
+// is the reported number.
+
+// pageFetchProbe builds a 2-node software DSM whose page cache is smaller
+// than the probed working set: every read from node 1 misses, fetches the
+// page from its home (node 0), installs it, and evicts the LRU victim.
+// One op performs `pages` full fetch+install+evict cycles. Steady state
+// must not allocate: reply buffers, cache entries, and request encoders
+// all recycle through pools.
+func pageFetchProbe() (op func(), close func(), err error) {
+	const pages = 4
+	d, err := swdsm.New(swdsm.Config{Nodes: 2, CachePages: pages / 2})
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := d.Alloc(pages*memsim.PageSize, "fetchprobe", memsim.Fixed, 0)
+	if err != nil {
+		d.Close()
+		return nil, nil, err
+	}
+	op = func() {
+		for i := 0; i < pages; i++ {
+			d.ReadF64(1, r.Base+memsim.Addr(i*memsim.PageSize))
+		}
+	}
+	return op, d.Close, nil
+}
+
+// messageSendProbe drives the raw simulated network: one op sends a
+// payload from node 0 to node 1, receives it, and returns the Message to
+// the pool. The payload buffer is owned by the probe and reused, so a
+// zero-alloc op certifies the whole per-message path — fault-state load,
+// stats, enqueue, dequeue — free of per-message garbage.
+func messageSendProbe() (op func(), close func()) {
+	clocks := []*vclock.Clock{{}, {}}
+	net := simnet.New(machine.Default().Ethernet, clocks)
+	payload := make([]byte, 64)
+	any := func(*simnet.Message) bool { return true }
+	op = func() {
+		net.Send(0, 1, 1, 0, payload)
+		if m := net.TryRecv(1, any); m != nil {
+			m.Free()
+		}
+	}
+	return op, net.Close
+}
+
+// diffFlushProbe builds a 2-node DSM with batched diff flush on. One op
+// is a full scope interval: node 1 acquires, writes one word on each of K
+// remote pages (creating K twins), and releases — flushing all K diffs in
+// home-grouped batches — then node 0 acquires and releases to drain the
+// write notices. The allocation gate asserts the MARGINAL cost of a
+// flushed page is zero: ops at K=64 must allocate no more than ops at
+// K=8, because twins, diffs, encoders, and reply buffers are pooled and
+// only the per-flush bookkeeping (notice list, batch map) allocates.
+func diffFlushProbe(k int) (op func(), close func(), err error) {
+	d, err := swdsm.New(swdsm.Config{
+		Nodes:       2,
+		CachePages:  2 * k,
+		Aggregation: swdsm.Aggregation{Batch: true},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := d.Alloc(uint64(k)*memsim.PageSize, fmt.Sprintf("flushprobe%d", k), memsim.Fixed, 0)
+	if err != nil {
+		d.Close()
+		return nil, nil, err
+	}
+	l := d.NewLock()
+	var tick float64
+	op = func() {
+		tick++ // distinct value each interval so every diff is non-empty
+		d.Acquire(1, l)
+		for i := 0; i < k; i++ {
+			d.WriteF64(1, r.Base+memsim.Addr(i*memsim.PageSize), tick)
+		}
+		d.Release(1, l)
+		d.Acquire(0, l)
+		d.Release(0, l)
+	}
+	return op, d.Close, nil
+}

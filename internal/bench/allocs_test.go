@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"testing"
+)
+
+// The allocation regression gates: the pooled hot paths must not allocate
+// in steady state. testing.AllocsPerRun runs each op once to warm the
+// pools (plus the explicit warmup below, which also materializes home
+// frames, fast-path entries, and map buckets), then averages mallocs over
+// the measured runs — any pool regression shows up as a fractional
+// average and fails the gate.
+
+func warm(op func(), times int) {
+	for i := 0; i < times; i++ {
+		op()
+	}
+}
+
+// skipUnderRace skips an allocation gate when the race detector is on:
+// the race runtime allocates on instrumented paths, which would fail the
+// zero-alloc assertions for reasons unrelated to the pools. check.sh
+// runs the gates plain before the -race suite.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race runtime allocates on instrumented paths; run plain for allocation gates")
+	}
+}
+
+// TestPageFetchZeroAlloc pins the remote page-fetch cycle — request
+// encode, synchronous fetch call, reply install, LRU eviction — at zero
+// steady-state heap allocations.
+func TestPageFetchZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	op, close, err := pageFetchProbe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close()
+	warm(op, 8)
+	if avg := testing.AllocsPerRun(50, op); avg != 0 {
+		t.Errorf("page-fetch cycle allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestMessageSendZeroAlloc pins the per-message simnet path — fault-state
+// load, stats, enqueue, dequeue, pool return — at zero steady-state heap
+// allocations.
+func TestMessageSendZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	op, close := messageSendProbe()
+	defer close()
+	warm(op, 8)
+	if avg := testing.AllocsPerRun(50, op); avg != 0 {
+		t.Errorf("message send/recv allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestDiffFlushMarginalZeroAlloc pins the MARGINAL allocation cost of a
+// flushed page at zero: an interval flushing 64 dirty pages must allocate
+// no more than one flushing 8, because twins, diffs, encoders, and reply
+// buffers are pooled — only the per-interval bookkeeping (notice slice,
+// batch grouping) may allocate, and that cost is independent of K.
+func TestDiffFlushMarginalZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	measure := func(k int) float64 {
+		op, close, err := diffFlushProbe(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer close()
+		warm(op, 8)
+		return testing.AllocsPerRun(50, op)
+	}
+	a8, a64 := measure(8), measure(64)
+	if a64 > a8 {
+		t.Errorf("interval flushing 64 pages allocates %.2f objects/op vs %.2f at 8 pages; marginal page cost must be zero", a64, a8)
+	}
+}
+
+// Microbenchmarks for the same ops (run with -bench . -benchmem).
+
+func BenchmarkPageFetch(b *testing.B) {
+	op, close, err := pageFetchProbe()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+}
+
+func BenchmarkMessageSend(b *testing.B) {
+	op, close := messageSendProbe()
+	defer close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+}
+
+func BenchmarkDiffFlush(b *testing.B) {
+	for _, k := range []int{8, 64} {
+		b.Run(byteSizeName(k), func(b *testing.B) {
+			op, close, err := diffFlushProbe(k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		})
+	}
+}
+
+func byteSizeName(k int) string {
+	if k == 8 {
+		return "k=8"
+	}
+	return "k=64"
+}

@@ -33,6 +33,14 @@ type CheckpointOverheadResult struct {
 // baseline for the on-leg; workload sizes mirror KernelWall. The off-leg
 // checksum must match the on-leg's — captures must never move results.
 func CheckpointOverhead(every int, incremental bool) ([]CheckpointOverheadResult, error) {
+	return CheckpointOverheadParallel(every, incremental, 1)
+}
+
+// CheckpointOverheadParallel is CheckpointOverhead with up to `parallel`
+// (kernel, nodes) cells measured concurrently; each cell runs both legs
+// on private clusters and results merge in canonical order (see
+// runCells).
+func CheckpointOverheadParallel(every int, incremental bool, parallel int) ([]CheckpointOverheadResult, error) {
 	cases := []struct {
 		name   string
 		kernel apps.Kernel
@@ -42,48 +50,56 @@ func CheckpointOverhead(every int, incremental bool) ([]CheckpointOverheadResult
 		{"lu", func(m apps.Machine) apps.Result { return apps.LU(m, 96) }},
 		{"stream", func(m apps.Machine) apps.Result { return apps.Stream(m, 1<<15, 8, 0) }},
 	}
-	var out []CheckpointOverheadResult
+	type cell struct {
+		nodes  int
+		name   string
+		kernel apps.Kernel
+	}
+	var cells []cell
 	for _, nodes := range []int{2, 4} {
 		for _, c := range cases {
-			off, err := runCore(hamster.Config{Platform: hamster.SWDSM, Nodes: nodes}, c.kernel)
-			if err != nil {
-				return nil, fmt.Errorf("bench: ckptoverhead %s/%d off: %w", c.name, nodes, err)
-			}
-			onCfg := hamster.Config{
-				Platform:              hamster.SWDSM,
-				Nodes:                 nodes,
-				CheckpointEvery:       every,
-				CheckpointIncremental: incremental,
-			}
-			start := time.Now()
-			rt, err := hamster.New(onCfg)
-			if err != nil {
-				return nil, fmt.Errorf("bench: ckptoverhead %s/%d: %w", c.name, nodes, err)
-			}
-			res := apps.RunOnEnv(rt, c.kernel)
-			wall := time.Since(start)
-			captures, bytes := rt.Checkpoints().Stats()
-			rt.Close()
-			if res[0].Check != off.check {
-				return nil, fmt.Errorf("bench: ckptoverhead %s/%d: checkpointing moved the checksum: %v vs %v",
-					c.name, nodes, res[0].Check, off.check)
-			}
-			offNs, onNs := uint64(off.virtual), uint64(apps.MaxTotal(res))
-			out = append(out, CheckpointOverheadResult{
-				Kernel:       c.name,
-				Substrate:    "swdsm",
-				Nodes:        nodes,
-				WallNs:       wall.Nanoseconds(),
-				VirtualOffNs: offNs,
-				VirtualOnNs:  onNs,
-				OverheadPct:  100 * (float64(onNs) - float64(offNs)) / float64(offNs),
-				Captures:     captures,
-				CaptureBytes: bytes,
-				Check:        res[0].Check,
-			})
+			cells = append(cells, cell{nodes, c.name, c.kernel})
 		}
 	}
-	return out, nil
+	return runCells(parallel, len(cells), func(i int) (CheckpointOverheadResult, error) {
+		c := cells[i]
+		off, err := runCore(hamster.Config{Platform: hamster.SWDSM, Nodes: c.nodes}, c.kernel)
+		if err != nil {
+			return CheckpointOverheadResult{}, fmt.Errorf("bench: ckptoverhead %s/%d off: %w", c.name, c.nodes, err)
+		}
+		onCfg := hamster.Config{
+			Platform:              hamster.SWDSM,
+			Nodes:                 c.nodes,
+			CheckpointEvery:       every,
+			CheckpointIncremental: incremental,
+		}
+		start := time.Now()
+		rt, err := hamster.New(onCfg)
+		if err != nil {
+			return CheckpointOverheadResult{}, fmt.Errorf("bench: ckptoverhead %s/%d: %w", c.name, c.nodes, err)
+		}
+		res := apps.RunOnEnv(rt, c.kernel)
+		wall := time.Since(start)
+		captures, bytes := rt.Checkpoints().Stats()
+		rt.Close()
+		if res[0].Check != off.check {
+			return CheckpointOverheadResult{}, fmt.Errorf("bench: ckptoverhead %s/%d: checkpointing moved the checksum: %v vs %v",
+				c.name, c.nodes, res[0].Check, off.check)
+		}
+		offNs, onNs := uint64(off.virtual), uint64(apps.MaxTotal(res))
+		return CheckpointOverheadResult{
+			Kernel:       c.name,
+			Substrate:    "swdsm",
+			Nodes:        c.nodes,
+			WallNs:       wall.Nanoseconds(),
+			VirtualOffNs: offNs,
+			VirtualOnNs:  onNs,
+			OverheadPct:  100 * (float64(onNs) - float64(offNs)) / float64(offNs),
+			Captures:     captures,
+			CaptureBytes: bytes,
+			Check:        res[0].Check,
+		}, nil
+	})
 }
 
 type coreRun struct {

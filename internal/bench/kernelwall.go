@@ -40,6 +40,15 @@ func KernelWall() ([]KernelWallResult, error) { return KernelWallFaults(nil) }
 // drops, delays, or degrades, with retransmissions counted per kernel.
 // Virtual times stay deterministic for a fixed plan and seed.
 func KernelWallFaults(plan *simnet.FaultPlan) ([]KernelWallResult, error) {
+	return KernelWallFaultsParallel(plan, 1)
+}
+
+// KernelWallFaultsParallel is KernelWallFaults with up to `parallel`
+// kernels measured concurrently. Each cell builds its own private
+// cluster, so virtual times and checksums are unchanged by
+// co-scheduling and results merge in canonical kernel order (see
+// runCells); only the wall-clock readings feel the contention.
+func KernelWallFaultsParallel(plan *simnet.FaultPlan, parallel int) ([]KernelWallResult, error) {
 	const nodes = 4
 	cases := []struct {
 		name   string
@@ -50,11 +59,11 @@ func KernelWallFaults(plan *simnet.FaultPlan) ([]KernelWallResult, error) {
 		{"lu", func(m apps.Machine) apps.Result { return apps.LU(m, 96) }},
 		{"stream", func(m apps.Machine) apps.Result { return apps.Stream(m, 1<<15, 8, 0) }},
 	}
-	out := make([]KernelWallResult, 0, len(cases))
-	for _, c := range cases {
+	return runCells(parallel, len(cases), func(ci int) (KernelWallResult, error) {
+		c := cases[ci]
 		d, err := swdsm.New(swdsm.Config{Nodes: nodes})
 		if err != nil {
-			return nil, fmt.Errorf("bench: kernelwall %s: %w", c.name, err)
+			return KernelWallResult{}, fmt.Errorf("bench: kernelwall %s: %w", c.name, err)
 		}
 		if plan != nil {
 			d.Layer().Network().SetFaults(*plan)
@@ -70,7 +79,7 @@ func KernelWallFaults(plan *simnet.FaultPlan) ([]KernelWallResult, error) {
 			retries += r
 		}
 		d.Close()
-		out = append(out, KernelWallResult{
+		return KernelWallResult{
 			Kernel:    c.name,
 			Substrate: "swdsm",
 			Nodes:     nodes,
@@ -85,9 +94,8 @@ func KernelWallFaults(plan *simnet.FaultPlan) ([]KernelWallResult, error) {
 				"stolen":   uint64(agg.Stolen),
 			},
 			Retries: retries,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderKernelWall prints the measurements as a text table.

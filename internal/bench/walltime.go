@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"hamster/internal/vclock"
+)
+
+// The walltime suite (BENCH_5.json): how fast the simulator itself runs.
+// It executes the two heavy measurement suites — the kernel wall-clock
+// set and the aggregation matrix — once sequentially and once with cells
+// in parallel, records both suite totals, and carries the per-cell
+// results of the sequential leg (whose wall readings are uncontended).
+// The parallel leg must reproduce the sequential leg's modeled numbers:
+// checksums bit-exact, virtual times within the pre-existing ±15µs
+// stolen-charge attribution wobble (see TestAggregationOffIdentity).
+// Alloc probes append allocs/op and B/op for the pooled hot paths.
+
+// AllocProbeResult is one hot-path allocation measurement.
+type AllocProbeResult struct {
+	Path        string `json:"path"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// WalltimeReport is the BENCH_5.json payload.
+type WalltimeReport struct {
+	Parallelism      int                 `json:"parallelism"`
+	HostCores        int                 `json:"host_cores"`
+	SequentialWallNs int64               `json:"suite_sequential_wall_ns"`
+	ParallelWallNs   int64               `json:"suite_parallel_wall_ns"`
+	KernelWall       []KernelWallResult  `json:"kernelwall"`
+	Aggregation      []AggregationResult `json:"aggregation"`
+	AllocBenchmarks  []AllocProbeResult  `json:"alloc_benchmarks"`
+}
+
+// walltimeSuite runs both heavy suites at the given cell parallelism and
+// returns the results plus the total wall time.
+func walltimeSuite(parallel int) ([]KernelWallResult, []AggregationResult, time.Duration, error) {
+	start := time.Now()
+	kw, err := KernelWallFaultsParallel(nil, parallel)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	agg, err := AggregationBenchParallel(true, true, parallel)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return kw, agg, time.Since(start), nil
+}
+
+// Walltime measures the suite sequentially and at `parallel` (<= 0 means
+// GOMAXPROCS), verifies the parallel leg reproduced the sequential leg's
+// modeled results, and measures the hot-path allocation probes.
+func Walltime(parallel int) (*WalltimeReport, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	kwSeq, aggSeq, seq, err := walltimeSuite(1)
+	if err != nil {
+		return nil, err
+	}
+	kwPar, aggPar, par, err := walltimeSuite(parallel)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range kwSeq {
+		p := kwPar[i]
+		if p.Check != s.Check {
+			return nil, fmt.Errorf("bench: walltime: parallel run moved %s checksum: %v vs %v",
+				s.Kernel, p.Check, s.Check)
+		}
+		if !virtualClose(p.VirtualNs, s.VirtualNs) {
+			return nil, fmt.Errorf("bench: walltime: parallel run moved %s virtual time: %d vs %d",
+				s.Kernel, p.VirtualNs, s.VirtualNs)
+		}
+	}
+	for i, s := range aggSeq {
+		p := aggPar[i]
+		if p.Check != s.Check {
+			return nil, fmt.Errorf("bench: walltime: parallel run moved %s/%d checksum: %v vs %v",
+				s.Kernel, s.Nodes, p.Check, s.Check)
+		}
+		if !virtualClose(p.VirtualOffNs, s.VirtualOffNs) || !virtualClose(p.VirtualAggNs, s.VirtualAggNs) {
+			return nil, fmt.Errorf("bench: walltime: parallel run moved %s/%d virtual time", s.Kernel, s.Nodes)
+		}
+	}
+	probes, err := MeasureAllocProbes()
+	if err != nil {
+		return nil, err
+	}
+	return &WalltimeReport{
+		Parallelism:      parallel,
+		HostCores:        runtime.NumCPU(),
+		SequentialWallNs: seq.Nanoseconds(),
+		ParallelWallNs:   par.Nanoseconds(),
+		KernelWall:       kwSeq,
+		Aggregation:      aggSeq,
+		AllocBenchmarks:  probes,
+	}, nil
+}
+
+// virtualClose applies the 0.1% stolen-charge tolerance the committed
+// baselines use.
+func virtualClose(a, b uint64) bool {
+	return math.Abs(float64(a)-float64(b)) <= float64(b)*0.001
+}
+
+// MeasureAllocProbes benchmarks the pooled hot paths with allocation
+// reporting (the same ops the allocs_test.go gates pin to zero / to
+// K-independence).
+func MeasureAllocProbes() ([]AllocProbeResult, error) {
+	var out []AllocProbeResult
+	run := func(path string, op func()) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		})
+		out = append(out, AllocProbeResult{
+			Path:        path,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	fetchOp, fetchClose, err := pageFetchProbe()
+	if err != nil {
+		return nil, err
+	}
+	run("page-fetch", fetchOp)
+	fetchClose()
+	msgOp, msgClose := messageSendProbe()
+	run("message-send", msgOp)
+	msgClose()
+	flushOp, flushClose, err := diffFlushProbe(8)
+	if err != nil {
+		return nil, err
+	}
+	run("diff-flush-k8", flushOp)
+	flushClose()
+	return out, nil
+}
+
+// RenderWalltime prints the walltime report as text.
+func RenderWalltime(r *WalltimeReport) string {
+	s := fmt.Sprintf("Suite wall time (kernelwall + aggregation; host cores %d)\n\n", r.HostCores)
+	s += fmt.Sprintf("  sequential  %12v\n", time.Duration(r.SequentialWallNs).Round(time.Millisecond))
+	s += fmt.Sprintf("  parallel %-2d %12v\n\n", r.Parallelism, time.Duration(r.ParallelWallNs).Round(time.Millisecond))
+	s += fmt.Sprintf("  %-10s %12s %14s\n", "kernel", "wall", "virtual")
+	for _, row := range r.KernelWall {
+		s += fmt.Sprintf("  %-10s %12v %14v\n", row.Kernel,
+			time.Duration(row.WallNs).Round(time.Microsecond), vclock.Duration(row.VirtualNs))
+	}
+	s += "\n"
+	s += fmt.Sprintf("  %-14s %10s %10s %10s\n", "path", "ns/op", "allocs/op", "B/op")
+	for _, p := range r.AllocBenchmarks {
+		s += fmt.Sprintf("  %-14s %10d %10d %10d\n", p.Path, p.NsPerOp, p.AllocsPerOp, p.BytesPerOp)
+	}
+	return s
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestWalltimeBaselineIdentity cross-checks the committed BENCH files
+// against each other — no simulation, just the invariant that makes the
+// wall-time work trustworthy: BENCH_5's per-cell modeled results are the
+// same physics as the older baselines. Its kernelwall cells must carry
+// BENCH_2's virtual times and checksums exactly, and its aggregation
+// cells BENCH_4's; only wall-clock and allocation readings are new
+// measurements. The committed file also pins the hot-path allocation
+// story: page-fetch and message-send at 0 allocs/op.
+func TestWalltimeBaselineIdentity(t *testing.T) {
+	var b5 struct {
+		Results WalltimeReport `json:"results"`
+	}
+	var b2 struct {
+		Results []KernelWallResult `json:"results"`
+	}
+	var b4 struct {
+		Results []AggregationResult `json:"results"`
+	}
+	for path, into := range map[string]any{
+		"../../BENCH_5.json": &b5,
+		"../../BENCH_2.json": &b2,
+		"../../BENCH_4.json": &b4,
+	} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+
+	if got, want := len(b5.Results.KernelWall), len(b2.Results); got != want {
+		t.Fatalf("BENCH_5 kernelwall rows %d, BENCH_2 has %d", got, want)
+	}
+	for i, r := range b5.Results.KernelWall {
+		want := b2.Results[i]
+		if r.Kernel != want.Kernel {
+			t.Fatalf("kernelwall row %d kernel %q, BENCH_2 %q", i, r.Kernel, want.Kernel)
+		}
+		if r.VirtualNs != want.VirtualNs {
+			t.Errorf("%s: BENCH_5 virtual %d != BENCH_2 %d", r.Kernel, r.VirtualNs, want.VirtualNs)
+		}
+		if r.Check != want.Check {
+			t.Errorf("%s: BENCH_5 checksum %v != BENCH_2 %v", r.Kernel, r.Check, want.Check)
+		}
+	}
+
+	if got, want := len(b5.Results.Aggregation), len(b4.Results); got != want {
+		t.Fatalf("BENCH_5 aggregation rows %d, BENCH_4 has %d", got, want)
+	}
+	for i, r := range b5.Results.Aggregation {
+		want := b4.Results[i]
+		if r.Kernel != want.Kernel || r.Nodes != want.Nodes {
+			t.Fatalf("aggregation row %d is %s/%d, BENCH_4 has %s/%d",
+				i, r.Kernel, r.Nodes, want.Kernel, want.Nodes)
+		}
+		if r.VirtualOffNs != want.VirtualOffNs || r.VirtualAggNs != want.VirtualAggNs {
+			t.Errorf("%s/%d: BENCH_5 virtual %d/%d != BENCH_4 %d/%d", r.Kernel, r.Nodes,
+				r.VirtualOffNs, r.VirtualAggNs, want.VirtualOffNs, want.VirtualAggNs)
+		}
+		if r.Check != want.Check {
+			t.Errorf("%s/%d: BENCH_5 checksum %v != BENCH_4 %v", r.Kernel, r.Nodes, r.Check, want.Check)
+		}
+		if r.MsgsOff != want.MsgsOff || r.MsgsAgg != want.MsgsAgg {
+			t.Errorf("%s/%d: BENCH_5 protocol messages %d/%d != BENCH_4 %d/%d", r.Kernel, r.Nodes,
+				r.MsgsOff, r.MsgsAgg, want.MsgsOff, want.MsgsAgg)
+		}
+	}
+
+	for _, p := range b5.Results.AllocBenchmarks {
+		if (p.Path == "page-fetch" || p.Path == "message-send") && p.AllocsPerOp != 0 {
+			t.Errorf("%s: committed BENCH_5 records %d allocs/op, the pooled path must be 0", p.Path, p.AllocsPerOp)
+		}
+	}
+}

@@ -71,7 +71,9 @@ func (c *ClusterCtl) Recv(tag uint32) (payload []byte, from int, ok bool) {
 	if m == nil {
 		return nil, 0, false
 	}
-	return m.Payload, int(m.From), true
+	payload, from = m.Payload, int(m.From)
+	m.Free()
+	return payload, from, true
 }
 
 // RecvAny blocks until any user message arrives.
@@ -83,7 +85,9 @@ func (c *ClusterCtl) RecvAny() (payload []byte, tag uint32, from int, ok bool) {
 	if m == nil {
 		return nil, 0, 0, false
 	}
-	return m.Payload, m.Tag, int(m.From), true
+	payload, tag, from = m.Payload, m.Tag, int(m.From)
+	m.Free()
+	return payload, tag, from, true
 }
 
 // TryRecv is the non-blocking variant of Recv.
@@ -95,7 +99,9 @@ func (c *ClusterCtl) TryRecv(tag uint32) (payload []byte, from int, ok bool) {
 	if m == nil {
 		return nil, 0, false
 	}
-	return m.Payload, int(m.From), true
+	payload, from = m.Payload, int(m.From)
+	m.Free()
+	return payload, from, true
 }
 
 // Broadcast sends a user message to all other nodes.

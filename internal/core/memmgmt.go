@@ -68,7 +68,9 @@ func (m *MemMgr) AcceptRegion() (memsim.Region, bool) {
 	if msg == nil {
 		return memsim.Region{}, false
 	}
-	return decodeRegion(msg.Payload), true
+	r := decodeRegion(msg.Payload)
+	msg.Free()
+	return r, true
 }
 
 // Probe returns the substrate's memory-system capabilities — the

@@ -36,7 +36,7 @@ func (n *node) readRun(p memsim.PageID, off, count int, get func(fr []byte)) {
 		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
 		n.stats.Reads += uint64(count)
 		n.touchLocal(p)
-		n.lru.MoveToFront(cp.lru)
+		n.lru.moveToFront(cp)
 		get(cp.data)
 		return
 	}
@@ -76,11 +76,12 @@ func (n *node) readRun(p memsim.PageID, off, count int, get func(fr []byte)) {
 	t0 := clk.Now()
 	clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.PageFetchNs)
 	clk.AdvanceCat(vclock.CatMemory, d.params.CPU.PageCopyNs)
-	data := make([]byte, memsim.PageSize)
-	copy(data, hf.Data)
+	cp := cpagePool.Get().(*cpage)
+	cp.data = getPage()
+	copy(cp.data, hf.Data)
 	hf.Mu.Unlock()
-	cp := &cpage{data: data}
-	cp.lru = n.lru.PushFront(p)
+	cp.page = p
+	n.lru.pushFront(cp)
 	n.cache[p] = cp
 	n.stats.PageFaults++
 	if rec := d.rec; rec != nil && rec.Enabled() {
@@ -88,10 +89,10 @@ func (n *node) readRun(p memsim.PageID, off, count int, get func(fr []byte)) {
 	}
 	delete(n.readCount, p)
 	for len(n.cache) > d.cacheCap {
-		el := n.lru.Back()
-		q := el.Value.(memsim.PageID)
-		n.lru.Remove(el)
-		delete(n.cache, q)
+		victim := n.lru.tail
+		n.lru.remove(victim)
+		delete(n.cache, victim.page)
+		retire(victim)
 		n.stats.Evictions++
 	}
 	if rest := count - pio; rest > 0 {

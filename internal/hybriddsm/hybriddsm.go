@@ -25,7 +25,6 @@
 package hybriddsm
 
 import (
-	"container/list"
 	"fmt"
 	"math"
 	"sync"
@@ -92,9 +91,75 @@ type lockState struct {
 	pending *notices.Board
 }
 
+// cpage is one read-cached remote page, linked into the node's intrusive
+// recency list. Structs and page buffers recycle through pools — the read
+// cache churns on every invalidation wave, and a hot loop must not pay
+// the allocator for it (same engineering as swdsm's page path).
 type cpage struct {
-	data []byte
-	lru  *list.Element
+	data       []byte
+	page       memsim.PageID
+	prev, next *cpage
+}
+
+// Array pointers, not slices: Put-ting a []byte would box its header
+// into an interface and allocate on every recycle.
+var pagePool = sync.Pool{
+	New: func() any { return new([memsim.PageSize]byte) },
+}
+
+func getPage() []byte { return pagePool.Get().(*[memsim.PageSize]byte)[:] }
+
+var cpagePool = sync.Pool{New: func() any { return new(cpage) }}
+
+// retire recycles a cache entry and its buffer. The caller must have
+// unlinked it from the LRU; only exact page-shaped buffers re-enter the
+// pool.
+func retire(cp *cpage) {
+	if len(cp.data) == memsim.PageSize && cap(cp.data) == memsim.PageSize {
+		pagePool.Put((*[memsim.PageSize]byte)(cp.data))
+	}
+	*cp = cpage{}
+	cpagePool.Put(cp)
+}
+
+// pageLRU is an intrusive recency list (front = most recent); see the
+// swdsm twin for rationale. Owned by the node's goroutine.
+type pageLRU struct {
+	head, tail *cpage
+}
+
+func (l *pageLRU) pushFront(cp *cpage) {
+	cp.prev = nil
+	cp.next = l.head
+	if l.head != nil {
+		l.head.prev = cp
+	}
+	l.head = cp
+	if l.tail == nil {
+		l.tail = cp
+	}
+}
+
+func (l *pageLRU) remove(cp *cpage) {
+	if cp.prev != nil {
+		cp.prev.next = cp.next
+	} else {
+		l.head = cp.next
+	}
+	if cp.next != nil {
+		cp.next.prev = cp.prev
+	} else {
+		l.tail = cp.prev
+	}
+	cp.prev, cp.next = nil, nil
+}
+
+func (l *pageLRU) moveToFront(cp *cpage) {
+	if l.head == cp {
+		return
+	}
+	l.remove(cp)
+	l.pushFront(cp)
 }
 
 type node struct {
@@ -106,7 +171,7 @@ type node struct {
 
 	// Owner-goroutine state.
 	cache     map[memsim.PageID]*cpage
-	lru       *list.List
+	lru       pageLRU
 	readCount map[memsim.PageID]int
 	written   map[memsim.PageID]struct{}
 	postedOut int // posted writes since the last store barrier
@@ -165,7 +230,6 @@ func New(cfg Config) (*DSM, error) {
 			home:      pagestore.New(),
 			pcache:    machine.NewPageCache(params.Bus.CachePages),
 			cache:     make(map[memsim.PageID]*cpage),
-			lru:       list.New(),
 			readCount: make(map[memsim.PageID]int),
 			written:   make(map[memsim.PageID]struct{}),
 		}
@@ -269,7 +333,7 @@ func (n *node) readWord(a memsim.Addr, get func(fr []byte, off int) uint64) uint
 	}
 	if cp, ok := n.cache[p]; ok {
 		n.touchLocal(p)
-		n.lru.MoveToFront(cp.lru)
+		n.lru.moveToFront(cp)
 		return get(cp.data, off)
 	}
 	// Uncached remote read: PIO load over the SAN.
@@ -301,10 +365,11 @@ func (n *node) maybeCache(p memsim.PageID, homeData []byte) {
 	t0 := clk.Now()
 	clk.AdvanceCat(vclock.CatNetwork, d.params.SAN.PageFetchNs)
 	clk.AdvanceCat(vclock.CatMemory, d.params.CPU.PageCopyNs)
-	data := make([]byte, memsim.PageSize)
-	copy(data, homeData)
-	cp := &cpage{data: data}
-	cp.lru = n.lru.PushFront(p)
+	cp := cpagePool.Get().(*cpage)
+	cp.data = getPage()
+	copy(cp.data, homeData)
+	cp.page = p
+	n.lru.pushFront(cp)
 	n.cache[p] = cp
 	n.stats.PageFaults++ // block transfers counted as "faults" for parity
 	if rec := d.rec; rec != nil && rec.Enabled() {
@@ -312,10 +377,10 @@ func (n *node) maybeCache(p memsim.PageID, homeData []byte) {
 	}
 	delete(n.readCount, p)
 	for len(n.cache) > d.cacheCap {
-		el := n.lru.Back()
-		q := el.Value.(memsim.PageID)
-		n.lru.Remove(el)
-		delete(n.cache, q)
+		victim := n.lru.tail
+		n.lru.remove(victim)
+		delete(n.cache, victim.page)
+		retire(victim)
 		n.stats.Evictions++
 	}
 }
@@ -417,7 +482,7 @@ func (n *node) readSpan(p memsim.PageID, off int, buf []byte) {
 	}
 	if cp, ok := n.cache[p]; ok {
 		n.touchLocal(p)
-		n.lru.MoveToFront(cp.lru)
+		n.lru.moveToFront(cp)
 		copy(buf, cp.data[off:off+len(buf)])
 		return
 	}
@@ -510,8 +575,9 @@ func (n *node) invalidate(pages []memsim.PageID) {
 		if !ok {
 			continue
 		}
-		n.lru.Remove(cp.lru)
+		n.lru.remove(cp)
 		delete(n.cache, p)
+		retire(cp)
 		n.stats.Invalidations++
 	}
 }
@@ -601,8 +667,9 @@ func (d *DSM) Fence(nodeID int) {
 	n := d.access(nodeID)
 	n.storeBarrier()
 	for p, cp := range n.cache {
-		n.lru.Remove(cp.lru)
+		n.lru.remove(cp)
 		delete(n.cache, p)
+		retire(cp)
 		n.stats.Invalidations++
 	}
 	for p := range n.readCount {

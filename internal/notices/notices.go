@@ -43,6 +43,24 @@ func (b *Board) Take(node int) []memsim.PageID {
 	return out
 }
 
+// TakeInto drains the notices pending for a node by appending them to dst
+// and returns the extended slice. Unlike Take, the board keeps its queue's
+// backing array (truncated to zero length) for the next interval, so a
+// steady Take/AddForOthers cycle stops allocating once both the queue and
+// dst have grown to the interval's working size. The caller owns dst; the
+// board never aliases it.
+func (b *Board) TakeInto(node int, dst []memsim.PageID) []memsim.PageID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.byN[node]
+	if len(q) == 0 {
+		return dst
+	}
+	dst = append(dst, q...)
+	b.byN[node] = q[:0]
+	return dst
+}
+
 // AddForOthers queues pages as pending notices for every node except self.
 func (b *Board) AddForOthers(self, nodes int, pages []memsim.PageID) {
 	if len(pages) == 0 {

@@ -12,12 +12,20 @@ package simnet
 // matters is each sender's own program order, which IS deterministic —
 // there is no shared RNG stream for concurrent senders to race on.
 //
+// The installed plan is denormalized into an immutable faultState and
+// published through one atomic pointer, so per-message fault decisions
+// never take a lock: the per-link draw counters are atomics that only the
+// link's own sender increments (single-writer, so atomicity is about
+// visibility, not arbitration), and everything else in the state is
+// read-only after construction.
+//
 // Time in a fault plan is virtual time (see internal/vclock): a crash at
 // CrashAt = 5 ms fires when the simulation reaches that point on the
 // affected links, not after 5 ms of wall clock.
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hamster/internal/vclock"
 )
@@ -64,6 +72,53 @@ const (
 	saltAckDrop
 )
 
+// faultState is one installed fault plan, denormalized for lock-free
+// per-message decisions. Everything except linkSeq is immutable after
+// construction; linkSeq entries are single-writer (each directed link's
+// counter is only advanced by that link's sender goroutine).
+type faultState struct {
+	plan    FaultPlan
+	seed    uint64
+	nodes   int
+	crashAt []vclock.Time // per node; 0 = never
+	slow    []float64     // per node; 1 = full speed
+	linkSeq []atomic.Uint64
+
+	// Precomputed dispatch bits, so the zero plan costs one pointer load
+	// and a couple of branch-predicted tests per message.
+	canLose    bool // drops, partitions, or node schedules can eat a message
+	callFaults bool // plan can affect active-message calls
+	slowAny    bool // some node has SlowFactor > 1
+}
+
+// newFaultState denormalizes a plan for a cluster of the given size. The
+// per-link draw counters start at zero — installing a plan (re)starts its
+// decision streams.
+func newFaultState(p FaultPlan, nodes int) *faultState {
+	fs := &faultState{
+		plan:    p,
+		seed:    uint64(p.Seed),
+		nodes:   nodes,
+		crashAt: make([]vclock.Time, nodes),
+		slow:    make([]float64, nodes),
+		linkSeq: make([]atomic.Uint64, nodes*nodes),
+	}
+	for i := range fs.slow {
+		fs.slow[i] = 1
+	}
+	for _, f := range p.NodeFaults {
+		fs.crashAt[f.Node] = f.CrashAt
+		if f.SlowFactor > 1 {
+			fs.slow[f.Node] = f.SlowFactor
+			fs.slowAny = true
+		}
+	}
+	fs.canLose = p.DropProb > 0 || len(p.Partitions) > 0 || len(p.NodeFaults) > 0
+	fs.callFaults = p.DropProb > 0 || p.DuplicateProb > 0 ||
+		len(p.Partitions) > 0 || len(p.NodeFaults) > 0
+	return fs
+}
+
 // splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
 // high-quality bit mixer used to turn (seed, link, seq, salt) into an
 // independent uniform draw.
@@ -78,97 +133,104 @@ func splitmix64(x uint64) uint64 {
 // and returns a uniform float64 in [0, 1). Concurrent traffic on other
 // links cannot perturb the stream; within one link the draws follow the
 // sender's program order.
-func (n *Network) roll(from, to NodeID, salt uint64) float64 {
-	idx := uint64(from)*uint64(len(n.nodes)) + uint64(to)
-	n.faultMu.Lock()
-	seq := n.linkSeq[idx]
-	n.linkSeq[idx]++
-	seed := uint64(n.faults.Seed)
-	n.faultMu.Unlock()
-	h := splitmix64(seed ^ splitmix64(idx+1) ^ splitmix64(seq<<3|salt))
+func (fs *faultState) roll(from, to NodeID, salt uint64) float64 {
+	idx := uint64(from)*uint64(fs.nodes) + uint64(to)
+	seq := fs.linkSeq[idx].Add(1) - 1
+	h := splitmix64(fs.seed ^ splitmix64(idx+1) ^ splitmix64(seq<<3|salt))
 	return float64(h>>11) / float64(uint64(1)<<53)
 }
 
-// crashedLocked reports whether node id has fail-stopped by time at.
-// Callers hold faultMu.
-func (n *Network) crashedLocked(id NodeID, at vclock.Time) bool {
-	t := n.crashAt[id]
+// crashed reports whether node id has fail-stopped by time at.
+func (fs *faultState) crashed(id NodeID, at vclock.Time) bool {
+	t := fs.crashAt[id]
 	return t > 0 && at >= t
+}
+
+// scaledSW scales a per-message software cost by a node's slow factor.
+func (fs *faultState) scaledSW(id NodeID, d vclock.Duration) vclock.Duration {
+	if !fs.slowAny {
+		return d
+	}
+	if f := fs.slow[id]; f > 1 {
+		return vclock.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// linkLost decides the fate of one transmission from→to entering the
+// wire at virtual time at: lost to the random-drop draw, a partition
+// window, or a crashed endpoint. When DropProb > 0 exactly one drop draw
+// is consumed per call — even when the message is already dead to a
+// partition or crash — so replays stay aligned.
+func (fs *faultState) linkLost(from, to NodeID, at vclock.Time) bool {
+	lost := fs.crashed(from, at) || fs.crashed(to, at) ||
+		fs.plan.partitionedAt(from, to, at)
+	if fs.plan.DropProb > 0 && fs.roll(from, to, saltDrop) < fs.plan.DropProb {
+		lost = true
+	}
+	return lost
+}
+
+// ackLost is linkLost for the ack/response travelling to→from, with the
+// drop draw taken from the CALLER's from→to stream (its own salt): the
+// reverse link's counter belongs to node to's own outgoing traffic, and
+// two goroutines sharing one counter would make the decision stream
+// depend on scheduler interleaving.
+func (fs *faultState) ackLost(from, to NodeID, at vclock.Time) bool {
+	lost := fs.crashed(from, at) || fs.crashed(to, at) ||
+		fs.plan.partitionedAt(to, from, at)
+	if fs.plan.DropProb > 0 && fs.roll(from, to, saltAckDrop) < fs.plan.DropProb {
+		lost = true
+	}
+	return lost
+}
+
+// linkDup reports whether a delivered transmission from→to is duplicated
+// by the network. Consumes one draw when DuplicateProb > 0.
+func (fs *faultState) linkDup(from, to NodeID) bool {
+	p := fs.plan.DuplicateProb
+	return p > 0 && fs.roll(from, to, saltDup) < p
 }
 
 // NodeCrashed reports whether the fault plan has fail-stopped a node by
 // the given virtual time.
 func (n *Network) NodeCrashed(id NodeID, at vclock.Time) bool {
 	n.checkID(id)
-	n.faultMu.Lock()
-	defer n.faultMu.Unlock()
-	return n.crashedLocked(id, at)
+	return n.fs.Load().crashed(id, at)
 }
 
 // SlowFactor returns the software-cost multiplier of a node (1 when the
 // plan does not degrade it).
 func (n *Network) SlowFactor(id NodeID) float64 {
 	n.checkID(id)
-	n.faultMu.Lock()
-	defer n.faultMu.Unlock()
-	return n.slow[id]
+	return n.fs.Load().slow[id]
 }
 
 // ScaledSW scales a per-message software cost by a node's slow factor.
 // The wire itself (latency, serialization) is never scaled — only the
 // CPU-side protocol stack of the degraded node.
 func (n *Network) ScaledSW(id NodeID, d vclock.Duration) vclock.Duration {
-	n.faultMu.Lock()
-	f := n.slow[id]
-	n.faultMu.Unlock()
-	if f <= 1 {
-		return d
-	}
-	return vclock.Duration(float64(d) * f)
+	return n.fs.Load().scaledSW(id, d)
 }
 
 // LinkLost decides the fate of one transmission from→to entering the
-// wire at virtual time at: lost to the random-drop draw, a partition
-// window, or a crashed endpoint. When DropProb > 0 exactly one drop draw
-// is consumed per call, so callers must invoke it once per transmission
+// wire at virtual time at. When DropProb > 0 exactly one drop draw is
+// consumed per call, so callers must invoke it once per transmission
 // attempt to keep replays aligned.
 func (n *Network) LinkLost(from, to NodeID, at vclock.Time) bool {
-	n.faultMu.Lock()
-	lost := n.crashedLocked(from, at) || n.crashedLocked(to, at) ||
-		n.faults.partitionedAt(from, to, at)
-	dp := n.faults.DropProb
-	n.faultMu.Unlock()
-	if dp > 0 && n.roll(from, to, saltDrop) < dp {
-		lost = true
-	}
-	return lost
+	return n.fs.Load().linkLost(from, to, at)
 }
 
 // AckLost decides the fate of the ack/response travelling to→from at
-// virtual time at. Semantically it is LinkLost for the reverse
-// direction, but the drop draw comes from the CALLER's from→to stream
-// (with its own salt): the reverse link's counter belongs to node to's
-// own outgoing traffic, and two goroutines sharing one counter would
-// make the decision stream depend on scheduler interleaving.
+// virtual time at (see faultState.ackLost for the draw-stream rationale).
 func (n *Network) AckLost(from, to NodeID, at vclock.Time) bool {
-	n.faultMu.Lock()
-	lost := n.crashedLocked(from, at) || n.crashedLocked(to, at) ||
-		n.faults.partitionedAt(to, from, at)
-	dp := n.faults.DropProb
-	n.faultMu.Unlock()
-	if dp > 0 && n.roll(from, to, saltAckDrop) < dp {
-		lost = true
-	}
-	return lost
+	return n.fs.Load().ackLost(from, to, at)
 }
 
 // LinkDup reports whether a delivered transmission from→to is duplicated
 // by the network. Consumes one draw when DuplicateProb > 0.
 func (n *Network) LinkDup(from, to NodeID) bool {
-	n.faultMu.Lock()
-	p := n.faults.DuplicateProb
-	n.faultMu.Unlock()
-	return p > 0 && n.roll(from, to, saltDup) < p
+	return n.fs.Load().linkDup(from, to)
 }
 
 // FaultJitter returns a deterministic uniform duration in [0, max) drawn
@@ -177,7 +239,7 @@ func (n *Network) FaultJitter(from, to NodeID, max vclock.Duration) vclock.Durat
 	if max == 0 {
 		return 0
 	}
-	return vclock.Duration(n.roll(from, to, saltBackoff) * float64(max))
+	return vclock.Duration(n.fs.Load().roll(from, to, saltBackoff) * float64(max))
 }
 
 // partitionedAt reports whether the plan severs the a↔b link at time t.
@@ -194,13 +256,10 @@ func (p *FaultPlan) partitionedAt(a, b NodeID, t vclock.Time) bool {
 // active-message calls (drops, duplicates, partitions, or node
 // schedules). The active-message layer uses it to pick between the
 // fault-free fast path and the request/ack protocol; jitter- or
-// reorder-only plans perturb queued messages but not calls.
+// reorder-only plans perturb queued messages but not calls. One atomic
+// load — this sits on the fast path of every Call.
 func (n *Network) CallFaultsActive() bool {
-	n.faultMu.Lock()
-	defer n.faultMu.Unlock()
-	p := &n.faults
-	return p.DropProb > 0 || p.DuplicateProb > 0 ||
-		len(p.Partitions) > 0 || len(p.NodeFaults) > 0
+	return n.fs.Load().callFaults
 }
 
 // Closed reports whether Close has been called. The active-message layer

@@ -19,6 +19,13 @@
 //     target with stolen handler cycles. This models interrupt-driven
 //     protocol processing (SIGIO in JiaJia) without requiring the target
 //     goroutine to poll.
+//
+// Wall-time engineering: the per-message path is contention-free when no
+// fault plan is active. The installed plan lives behind one atomic
+// pointer (an immutable faultState), per-node counters are plain atomics,
+// and Message structs recycle through a pool (consumers that know a
+// message is dead hand it back with Free). The only mutex a fault-free
+// Send/Recv pair touches is the receiver endpoint's own queue lock.
 package simnet
 
 import (
@@ -50,6 +57,22 @@ type Message struct {
 	// ArriveAt is the virtual time the message reaches the receiver's NIC.
 	ArriveAt vclock.Time
 	seq      uint64 // per-receiver tiebreaker for deterministic ordering
+}
+
+// msgPool recycles Message structs on the send/receive hot path. A struct
+// re-enters the pool only through Free, i.e. only when its consumer
+// declares it dead; payloads are never pooled here (the sender owns the
+// payload bytes — see Send).
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// Free recycles a received message's struct (NOT its payload — payload
+// ownership is unaffected and stays with whoever holds the slice). Call
+// it only when no reference to the message remains; receiving a message
+// does not require freeing it, so callers that let structs reach the
+// garbage collector are merely slower, never wrong.
+func (m *Message) Free() {
+	*m = Message{}
+	msgPool.Put(m)
 }
 
 // FaultPlan perturbs message delivery for robustness tests. Every field
@@ -92,14 +115,13 @@ type Network struct {
 	nodes []*endpoint
 	stats Stats
 
-	// Fault state. linkSeq holds one draw counter per directed link
-	// (index from*size+to); crashAt and slow are the per-node schedules
-	// denormalized from faults for O(1) lookup. All guarded by faultMu.
-	faultMu sync.Mutex
-	faults  FaultPlan
-	linkSeq []uint64
-	crashAt []vclock.Time
-	slow    []float64
+	// fs is the installed fault plan, denormalized into an immutable
+	// faultState and swapped atomically by SetFaults. Never nil — the
+	// zero plan is installed at construction — so every per-message
+	// decision is one atomic pointer load, no mutex. In-flight messages
+	// observe either the old or the new state, never a mix (each Send
+	// loads the pointer once).
+	fs atomic.Pointer[faultState]
 
 	closed atomic.Bool
 	drops  atomic.Uint64
@@ -107,26 +129,23 @@ type Network struct {
 	rec *perfmon.Recorder // protocol event recorder; nil until attached
 }
 
-// Stats aggregates network activity. All fields are protected by the
-// owning endpoint or updated atomically via the endpoint mutex.
+// Stats aggregates network activity. Counters are plain atomics: a
+// per-message mutex here would serialize every sender in the cluster
+// (the exact software overhead the paper's message economics warns
+// about, applied to the host).
 type Stats struct {
-	mu       sync.Mutex
-	Messages uint64
-	Bytes    uint64
+	messages atomic.Uint64
+	bytes    atomic.Uint64
 }
 
-// Snapshot returns a copy of the current counters.
+// Snapshot returns the current counters.
 func (s *Stats) Snapshot() (msgs, bytes uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Messages, s.Bytes
+	return s.messages.Load(), s.bytes.Load()
 }
 
 func (s *Stats) add(bytes int) {
-	s.mu.Lock()
-	s.Messages++
-	s.Bytes += uint64(bytes)
-	s.mu.Unlock()
+	s.messages.Add(1)
+	s.bytes.Add(uint64(bytes))
 }
 
 type endpoint struct {
@@ -142,48 +161,32 @@ type endpoint struct {
 // Each node's costs are charged to the corresponding clock.
 func New(link machine.Link, clocks []*vclock.Clock) *Network {
 	n := &Network{
-		link:    link,
-		nodes:   make([]*endpoint, len(clocks)),
-		linkSeq: make([]uint64, len(clocks)*len(clocks)),
-		crashAt: make([]vclock.Time, len(clocks)),
-		slow:    make([]float64, len(clocks)),
+		link:  link,
+		nodes: make([]*endpoint, len(clocks)),
 	}
 	for i, c := range clocks {
 		ep := &endpoint{clock: c}
 		ep.cond = sync.NewCond(&ep.mu)
 		n.nodes[i] = ep
-		n.slow[i] = 1
 	}
+	n.fs.Store(newFaultState(FaultPlan{}, len(clocks)))
 	return n
 }
 
 // SetFaults installs a fault plan, replacing any previous one and
 // resetting the per-link draw counters of the seeded decision streams.
-// Safe to call at any time, including while traffic is in flight: every
-// read of the plan happens under the same mutex this write takes, so
+// Safe to call at any time, including while traffic is in flight: the
+// plan is published as one immutable state behind an atomic pointer, so
 // in-flight messages simply see either the old or the new plan. Messages
 // already queued keep the arrival times they were stamped with. Panics
 // if a NodeFault names a node outside the cluster.
 func (n *Network) SetFaults(p FaultPlan) {
-	n.faultMu.Lock()
-	defer n.faultMu.Unlock()
-	n.faults = p
-	for i := range n.linkSeq {
-		n.linkSeq[i] = 0
-	}
-	for i := range n.crashAt {
-		n.crashAt[i] = 0
-		n.slow[i] = 1
-	}
 	for _, f := range p.NodeFaults {
 		if f.Node < 0 || int(f.Node) >= len(n.nodes) {
 			panic(fmt.Sprintf("simnet: fault plan names node %d (cluster size %d)", f.Node, len(n.nodes)))
 		}
-		n.crashAt[f.Node] = f.CrashAt
-		if f.SlowFactor > 1 {
-			n.slow[f.Node] = f.SlowFactor
-		}
 	}
+	n.fs.Store(newFaultState(p, len(n.nodes)))
 }
 
 // SetRecorder attaches a protocol event recorder (nil detaches). The
@@ -215,67 +218,69 @@ func (n *Network) Send(from, to NodeID, kind Kind, tag uint32, payload []byte) {
 	n.checkID(from)
 	n.checkID(to)
 	src := n.nodes[from]
+	fs := n.fs.Load()
 	t0 := src.clock.Now()
-	src.clock.AdvanceCat(vclock.CatNetwork, n.ScaledSW(from, n.link.SendSWNs))
+	src.clock.AdvanceCat(vclock.CatNetwork, fs.scaledSW(from, n.link.SendSWNs))
 	sendT := src.clock.Now()
 	arrive := sendT +
 		vclock.Time(n.link.LatencyNs) +
 		vclock.Time(uint64(len(payload))*uint64(n.link.NsPerByte))
-	n.faultMu.Lock()
-	jit := n.faults.JitterNs
-	canLose := n.faults.DropProb > 0 || len(n.faults.Partitions) > 0 || len(n.faults.NodeFaults) > 0
-	n.faultMu.Unlock()
-	if jit > 0 {
-		arrive += vclock.Time(n.roll(from, to, saltJitter) * float64(jit))
+	if fs.plan.JitterNs > 0 {
+		arrive += vclock.Time(fs.roll(from, to, saltJitter) * float64(fs.plan.JitterNs))
 	}
-	m := &Message{From: from, To: to, Kind: kind, Tag: tag, Payload: payload, ArriveAt: arrive}
 	n.stats.add(len(payload))
 	if rec := n.rec; rec != nil && rec.Enabled() {
 		rec.Record(int(from), perfmon.EvMsgSend, t0, vclock.Since(t0, src.clock.Now()), uint64(to), uint64(len(payload)))
 	}
-	if canLose && n.LinkLost(from, to, sendT) {
+	if fs.canLose && fs.linkLost(from, to, sendT) {
 		n.drops.Add(1)
 		return
 	}
-	n.deliver(m)
+	m := msgPool.Get().(*Message)
+	*m = Message{From: from, To: to, Kind: kind, Tag: tag, Payload: payload, ArriveAt: arrive}
+	n.deliver(m, fs)
 }
 
-func (n *Network) deliver(m *Message) {
+func (n *Network) deliver(m *Message, fs *faultState) {
 	dst := n.nodes[m.To]
-	dup := n.LinkDup(m.From, m.To)
+	// Fault draws happen before the endpoint lock is taken: the decision
+	// streams are per-directed-link (sender program order), so lock hold
+	// time never extends a draw's critical section.
+	dup := fs.linkDup(m.From, m.To)
+	var cp *Message
+	if dup {
+		cp = msgPool.Get().(*Message)
+		*cp = *m
+	}
+	reorder := fs.plan.ReorderProb > 0 &&
+		fs.roll(m.From, m.To, saltReorder) < fs.plan.ReorderProb
 
 	dst.mu.Lock()
 	m.seq = dst.nextSq
 	dst.nextSq++
 	dst.queue = append(dst.queue, m)
-	n.maybeReorderLocked(m, dst)
+	// The reorder draw is consumed whenever the plan can reorder —
+	// regardless of queue depth — so the decision stream does not depend
+	// on receiver timing.
+	if reorder && len(dst.queue) >= 2 {
+		k := len(dst.queue)
+		dst.queue[k-1], dst.queue[k-2] = dst.queue[k-2], dst.queue[k-1]
+	}
 	if dup {
-		cp := *m
 		cp.seq = dst.nextSq
 		dst.nextSq++
-		dst.queue = append(dst.queue, &cp)
+		dst.queue = append(dst.queue, cp)
 	}
 	dst.cond.Broadcast()
 	dst.mu.Unlock()
-}
-
-func (n *Network) maybeReorderLocked(m *Message, ep *endpoint) {
-	n.faultMu.Lock()
-	p := n.faults.ReorderProb
-	n.faultMu.Unlock()
-	// The draw is consumed whenever the plan can reorder — regardless of
-	// queue depth — so the decision stream does not depend on receiver
-	// timing.
-	if p > 0 && n.roll(m.From, m.To, saltReorder) < p && len(ep.queue) >= 2 {
-		k := len(ep.queue)
-		ep.queue[k-1], ep.queue[k-2] = ep.queue[k-2], ep.queue[k-1]
-	}
 }
 
 // Recv blocks the calling node until a message matching the filter is
 // available, removes it from the queue, charges receive costs, and
 // advances the node's clock past the arrival time. A nil filter matches
 // any message. Returns nil if the network is closed while waiting.
+// The returned message is owned by the caller; hand the struct back with
+// Message.Free once it is dead to keep the send path allocation-free.
 func (n *Network) Recv(self NodeID, match func(*Message) bool) *Message {
 	n.checkID(self)
 	ep := n.nodes[self]
@@ -296,7 +301,7 @@ func (n *Network) Recv(self NodeID, match func(*Message) bool) *Message {
 			ep.mu.Unlock()
 			t0 := ep.clock.Now()
 			ep.clock.AdvanceToCat(vclock.CatNetwork, m.ArriveAt)
-			ep.clock.AdvanceCat(vclock.CatNetwork, n.ScaledSW(self, n.link.RecvSWNs))
+			ep.clock.AdvanceCat(vclock.CatNetwork, n.fs.Load().scaledSW(self, n.link.RecvSWNs))
 			if rec := n.rec; rec != nil && rec.Enabled() {
 				rec.Record(int(self), perfmon.EvMsgRecv, t0, vclock.Since(t0, ep.clock.Now()), uint64(m.From), uint64(len(m.Payload)))
 			}
@@ -334,7 +339,7 @@ func (n *Network) TryRecv(self NodeID, match func(*Message) bool) *Message {
 	ep.mu.Unlock()
 	t0 := ep.clock.Now()
 	ep.clock.AdvanceToCat(vclock.CatNetwork, m.ArriveAt)
-	ep.clock.AdvanceCat(vclock.CatNetwork, n.ScaledSW(self, n.link.RecvSWNs))
+	ep.clock.AdvanceCat(vclock.CatNetwork, n.fs.Load().scaledSW(self, n.link.RecvSWNs))
 	if rec := n.rec; rec != nil && rec.Enabled() {
 		rec.Record(int(self), perfmon.EvMsgRecv, t0, vclock.Since(t0, ep.clock.Now()), uint64(m.From), uint64(len(m.Payload)))
 	}

@@ -122,7 +122,7 @@ func newPrefetcher(degree int) *prefetcher {
 func (d *DSM) registerAggHandlers(n *node) {
 	id := simnet.NodeID(n.id)
 	d.layer.Register(id, kindApplyDiffBatch, func(from amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
-		dec := amsg.NewDec(req)
+		dec := amsg.MakeDec(req)
 		count := int(dec.U32())
 		var total vclock.Duration
 		for i := 0; i < count; i++ {
@@ -147,7 +147,10 @@ func (d *DSM) registerAggHandlers(n *node) {
 		return nil, total
 	})
 	d.layer.Register(id, kindFetchPages, func(_ amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
-		pages := amsg.NewDec(req).U64s()
+		dec := amsg.MakeDec(req)
+		pages := dec.U64s()
+		// One allocation amortized over the whole run; the requester carves
+		// it into per-page windows that retire individually (see pool.go).
 		out := make([]byte, len(pages)*memsim.PageSize)
 		for i, v := range pages {
 			hp := n.home.Frame(memsim.PageID(v))
@@ -159,6 +162,14 @@ func (d *DSM) registerAggHandlers(n *node) {
 	})
 }
 
+// homeDiff is one page's encoded diff tagged with its home node — the
+// element type of the node's reusable flush-grouping scratch.
+type homeDiff struct {
+	home int
+	p    memsim.PageID
+	diff []byte
+}
+
 // flushBatched is the aggregated replacement for flushAll's per-page flush
 // loop: diff every dirty cached page (sorted order — the scan sequence and
 // its costs must stay a pure function of program state), group the
@@ -168,12 +179,7 @@ func (d *DSM) registerAggHandlers(n *node) {
 func (n *node) flushBatched(pages []memsim.PageID) {
 	d := n.dsm
 	clk := d.clocks[n.id]
-	type pageDiff struct {
-		p    memsim.PageID
-		diff []byte
-	}
-	var byHome map[int][]pageDiff
-	var homes []int
+	batch := n.flushScratch[:0]
 	for _, p := range pages {
 		cp, ok := n.cache[p]
 		if !ok || cp.twin == nil {
@@ -195,25 +201,26 @@ func (n *node) flushBatched(pages []memsim.PageID) {
 			rec.Record(n.id, perfmon.EvDiffCreate, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(len(diff)))
 		}
 		cp.diffStreak++
-		home := d.space.Home(p)
-		if byHome == nil {
-			byHome = make(map[int][]pageDiff)
-		}
-		if _, seen := byHome[home]; !seen {
-			homes = append(homes, home)
-		}
-		// Input pages are ascending, so each home's batch is too.
-		byHome[home] = append(byHome[home], pageDiff{p, diff})
+		batch = append(batch, homeDiff{home: d.space.Home(p), p: p, diff: diff})
 	}
-	slices.Sort(homes) // deterministic batch order across homes
-	for _, home := range homes {
-		batch := byHome[home]
-		size := 4
-		for _, e := range batch {
-			size += 12 + len(e.diff)
+	// Group by home with an in-place stable sort over the node's reusable
+	// scratch (no per-flush map, no per-home slices — the marginal
+	// allocation cost of a flushed page must be zero). Input pages are
+	// ascending, so stability keeps each home's batch ascending and homes
+	// emerge in ascending order: the exact message sequence the old
+	// map-plus-sorted-homes grouping produced, which seeded fault replay
+	// depends on (draw streams are positional per link).
+	slices.SortStableFunc(batch, func(a, b homeDiff) int { return a.home - b.home })
+	for lo := 0; lo < len(batch); {
+		hi := lo
+		for hi < len(batch) && batch[hi].home == batch[lo].home {
+			hi++
 		}
-		enc := amsg.NewEnc(size).U32(uint32(len(batch)))
-		for _, e := range batch {
+		group := batch[lo:hi]
+		home := batch[lo].home
+		enc := amsg.GetEnc()
+		enc.U32(uint32(len(group)))
+		for _, e := range group {
 			enc.U64(uint64(e.p)).Blob(e.diff)
 		}
 		t0 := clk.Now()
@@ -221,18 +228,24 @@ func (n *node) flushBatched(pages []memsim.PageID) {
 			// Like flushPage: a diff batch that cannot reach the
 			// authoritative copies means writes are lost; stop loudly.
 			panic(fmt.Sprintf("swdsm: node %d cannot flush %d-page diff batch to home node %d: %v",
-				n.id, len(batch), home, err))
+				n.id, len(group), home, err))
 		}
-		for _, e := range batch {
+		enc.Free()
+		for _, e := range group {
 			putDiff(e.diff)
 		}
 		n.stats.ProtocolMsgs++
 		n.stats.DiffBatches++
-		n.stats.BatchedDiffs += uint64(len(batch))
+		n.stats.BatchedDiffs += uint64(len(group))
 		if rec := d.rec; rec != nil && rec.Enabled() {
-			rec.Record(n.id, perfmon.EvBatchFlush, t0, vclock.Since(t0, clk.Now()), uint64(home), uint64(len(batch)))
+			rec.Record(n.id, perfmon.EvBatchFlush, t0, vclock.Since(t0, clk.Now()), uint64(home), uint64(len(group)))
 		}
+		lo = hi
 	}
+	for i := range batch {
+		batch[i].diff = nil // scratch must not pin recycled diff buffers
+	}
+	n.flushScratch = batch[:0]
 }
 
 // piggybackNoticeCost is the cost of a notice list riding a message the
@@ -290,8 +303,10 @@ func (n *node) maybePrefetch(p memsim.PageID, home int) {
 	}
 	clk := n.dsm.clocks[n.id]
 	t0 := clk.Now()
-	req := amsg.NewEnc(4 + 8*len(run)).U64s(run).Bytes()
+	enc := amsg.GetEnc()
+	req := enc.U64s(run).Bytes()
 	data, err := n.dsm.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(home), kindFetchPages, req)
+	enc.Free()
 	n.stats.ProtocolMsgs++
 	if err != nil || len(data) != len(run)*memsim.PageSize {
 		pf.degree = 1
@@ -303,8 +318,10 @@ func (n *node) maybePrefetch(p memsim.PageID, home int) {
 		// Disjoint full-slice subslices of the one response buffer: each
 		// page writes only its own window, so sharing the backing array is
 		// safe and avoids a copy per page.
-		cp := &cpage{data: data[i*memsim.PageSize : (i+1)*memsim.PageSize : (i+1)*memsim.PageSize]}
-		cp.lru = n.lru.PushFront(q)
+		cp := getCpage()
+		cp.data = data[i*memsim.PageSize : (i+1)*memsim.PageSize : (i+1)*memsim.PageSize]
+		cp.page = q
+		n.lru.pushFront(cp)
 		n.cache[q] = cp
 		pf.pending[q] = struct{}{}
 	}

@@ -71,12 +71,15 @@ func (d *DSM) RestoreCached(node int, pages []memsim.PageID) {
 		if home == memsim.NoHome || home == n.id {
 			continue
 		}
-		data := make([]byte, memsim.PageSize)
+		data := getPage()
 		if !d.access(home).home.CopyFrame(p, data) {
+			putPage(data)
 			continue
 		}
-		cp := &cpage{data: data}
-		cp.lru = n.lru.PushFront(p)
+		cp := getCpage()
+		cp.data = data
+		cp.page = p
+		n.lru.pushFront(cp)
 		n.cache[p] = cp
 	}
 }

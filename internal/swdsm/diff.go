@@ -34,21 +34,28 @@ const maxDiffBytes = diffRunHeader + memsim.PageSize
 // strictly node-local and dead by the time they are released (Enc.Blob
 // copies the diff into the message; the twin is discarded after the scan),
 // so they recycle through pools.
+// Both pools store array pointers, not slices: Put-ting a []byte boxes
+// its header into an interface and allocates — see pagePool (pool.go).
 var twinPool = sync.Pool{
-	New: func() any { return make([]byte, memsim.PageSize) },
+	New: func() any { return new([memsim.PageSize]byte) },
 }
 
 var diffPool = sync.Pool{
-	New: func() any { return make([]byte, 0, maxDiffBytes) },
+	New: func() any { return new([maxDiffBytes]byte) },
 }
 
-func getTwin() []byte  { return twinPool.Get().([]byte) }
-func putTwin(b []byte) { twinPool.Put(b[:memsim.PageSize]) }
+func getTwin() []byte { return twinPool.Get().(*[memsim.PageSize]byte)[:] }
+
+func putTwin(b []byte) {
+	if cap(b) >= memsim.PageSize {
+		twinPool.Put((*[memsim.PageSize]byte)(b[:memsim.PageSize]))
+	}
+}
 
 // putDiff recycles a buildDiff result. Safe on the nil empty-diff return.
 func putDiff(b []byte) {
-	if cap(b) >= maxDiffBytes {
-		diffPool.Put(b[:0])
+	if cap(b) == maxDiffBytes {
+		diffPool.Put((*[maxDiffBytes]byte)(b[:maxDiffBytes]))
 	}
 }
 
@@ -59,7 +66,8 @@ func buildDiff(data, twin []byte) []byte {
 	if len(data) != memsim.PageSize || len(twin) != memsim.PageSize {
 		panic(fmt.Sprintf("swdsm: buildDiff on short buffers %d/%d", len(data), len(twin)))
 	}
-	out := diffPool.Get().([]byte)
+	buf := diffPool.Get().(*[maxDiffBytes]byte)
+	out := buf[:0]
 	const w = memsim.WordSize
 	runStart := -1
 	for off := 0; off <= memsim.PageSize; off += w {
@@ -79,7 +87,7 @@ func buildDiff(data, twin []byte) []byte {
 		}
 	}
 	if len(out) == 0 {
-		diffPool.Put(out[:0])
+		diffPool.Put(buf)
 		return nil
 	}
 	return out

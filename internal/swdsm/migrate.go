@@ -98,7 +98,8 @@ func (m *migrationState) finish(epoch uint64, nodes int) {
 // up the authoritative frame and return its contents.
 func (d *DSM) registerMigrateHandler(n *node) {
 	d.layer.Register(simnet.NodeID(n.id), kindMigrate, func(_ amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
-		p := memsim.PageID(amsg.NewDec(req).U64())
+		dec := amsg.MakeDec(req)
+		p := memsim.PageID(dec.U64())
 		data := n.home.Drop(p)
 		if data == nil {
 			// Never materialized at the old home: hand over a zero page.
@@ -139,9 +140,11 @@ func (n *node) performMigrations(pages []memsim.PageID) {
 		}
 		clk := d.clocks[n.id]
 		t0 := clk.Now()
-		req := amsg.NewEnc(8).U64(uint64(p)).Bytes()
+		enc := amsg.GetEnc()
+		req := enc.U64(uint64(p)).Bytes()
 		n.stats.ProtocolMsgs++
 		data, err := d.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(oldHome), kindMigrate, req)
+		enc.Free()
 		if err != nil {
 			// Migration is an optimization, not a correctness requirement:
 			// when the old home never saw the request, the current
@@ -160,6 +163,9 @@ func (n *node) performMigrations(pages []memsim.PageID) {
 		hp.Mu.Lock()
 		copy(hp.Data, data)
 		hp.Mu.Unlock()
+		// The handover reply was copied into the home frame; the buffer
+		// (the old home's dropped frame) is dead and can serve page fetches.
+		putPage(data)
 		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.PageCopyNs)
 		d.space.SetHome(p, n.id)
 		n.markCkptDirty(p)
@@ -168,9 +174,10 @@ func (n *node) performMigrations(pages []memsim.PageID) {
 		}
 		// The page is now home-resident: retire the cached copy.
 		if cp, ok := n.cache[p]; ok {
-			n.lru.Remove(cp.lru)
+			n.lru.remove(cp)
 			delete(n.cache, p)
 			delete(n.dirty, p)
+			putCpage(cp)
 		}
 		n.stats.HomeMigrations++
 	}

@@ -1,0 +1,107 @@
+package swdsm
+
+// Buffer and cache-entry recycling for the page-fetch hot path.
+//
+// Ownership chain of a remote page buffer: the home's fetch handler takes
+// a buffer from pagePool and fills it from the frame; the reply travels
+// (by reference — the active-message fast path never copies) to the
+// requester, which installs it as the cached copy; the buffer returns to
+// the pool only when that cached copy is retired (eviction, invalidation,
+// fence, home migration, checkpoint restore rebuild). Exactly one owner
+// at every step, so a pooled buffer can never be recycled while a reader
+// still holds it — the aliasing race test (pool_test.go) hammers this
+// chain under -race.
+//
+// Prefetch replies are the one exception to one-buffer-per-page: a
+// kindFetchPages reply is a single allocation carved into PageSize
+// windows by three-index subslices (len == cap == PageSize, so no write
+// through one window can reach another). The windows retire individually
+// into pagePool like any other page buffer; the shared backing array is
+// simply reclaimed window by window.
+
+import (
+	"sync"
+
+	"hamster/internal/memsim"
+)
+
+// The pool stores *[PageSize]byte rather than []byte: putting a slice
+// into a sync.Pool boxes its three-word header into an interface — one
+// heap allocation per recycle, which is exactly what the pool exists to
+// avoid. Slice ⇄ array-pointer conversions are free.
+var pagePool = sync.Pool{
+	New: func() any { return new([memsim.PageSize]byte) },
+}
+
+// getPage returns a PageSize buffer with undefined contents.
+func getPage() []byte { return pagePool.Get().(*[memsim.PageSize]byte)[:] }
+
+// putPage recycles a page buffer. Buffers whose shape is not exactly one
+// page (len == cap == PageSize) are left to the garbage collector — the
+// pool must never hand out a buffer through which a neighboring window
+// could be reached.
+func putPage(b []byte) {
+	if len(b) == memsim.PageSize && cap(b) == memsim.PageSize {
+		pagePool.Put((*[memsim.PageSize]byte)(b))
+	}
+}
+
+var cpagePool = sync.Pool{New: func() any { return new(cpage) }}
+
+// getCpage returns a zeroed cache entry.
+func getCpage() *cpage { return cpagePool.Get().(*cpage) }
+
+// putCpage retires a cache entry: the page buffer goes back to pagePool,
+// the struct to cpagePool. The caller must have unlinked it from the LRU
+// and flushed any twin first.
+func putCpage(cp *cpage) {
+	putPage(cp.data)
+	*cp = cpage{}
+	cpagePool.Put(cp)
+}
+
+// pageLRU is an intrusive doubly-linked recency list over cpage entries
+// (front = most recent). Intrusive rather than container/list so that
+// moving a page to the front on every access — the single hottest
+// list operation in the DSM — touches no allocator and no interface
+// boxing. Owned, like the cache map, by the node's goroutine.
+type pageLRU struct {
+	head, tail *cpage
+}
+
+func (l *pageLRU) pushFront(cp *cpage) {
+	cp.prev = nil
+	cp.next = l.head
+	if l.head != nil {
+		l.head.prev = cp
+	}
+	l.head = cp
+	if l.tail == nil {
+		l.tail = cp
+	}
+}
+
+func (l *pageLRU) remove(cp *cpage) {
+	if cp.prev != nil {
+		cp.prev.next = cp.next
+	} else {
+		l.head = cp.next
+	}
+	if cp.next != nil {
+		cp.next.prev = cp.prev
+	} else {
+		l.tail = cp.prev
+	}
+	cp.prev, cp.next = nil, nil
+}
+
+func (l *pageLRU) moveToFront(cp *cpage) {
+	if l.head == cp {
+		return
+	}
+	l.remove(cp)
+	l.pushFront(cp)
+}
+
+// back returns the least recently used entry, nil when empty.
+func (l *pageLRU) back() *cpage { return l.tail }

@@ -21,7 +21,6 @@
 package swdsm
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -137,11 +136,14 @@ type DSM struct {
 }
 
 // cpage is one cached remote page. Owned exclusively by the node's
-// goroutine.
+// goroutine; structs and their page buffers recycle through pools (see
+// pool.go), with prev/next linking the entry into the node's intrusive
+// recency list.
 type cpage struct {
-	data []byte
-	twin []byte // non-nil while the page is dirty
-	lru  *list.Element
+	data       []byte
+	twin       []byte // non-nil while the page is dirty
+	page       memsim.PageID
+	prev, next *cpage
 	// diffStreak counts consecutive intervals in which this node diffed
 	// the page without anyone else's write notice invalidating it — the
 	// single-writer detector for home migration.
@@ -163,7 +165,7 @@ type fastFrame struct {
 	gen   uint64
 	data  []byte
 	hp    *pagestore.Frame // non-nil when home-resident
-	lru   *list.Element    // LRU element of a cached (non-home) frame
+	cp    *cpage           // cache entry of a cached (non-home) frame
 	dirty bool             // write-ready: twin exists / homeDirty recorded
 }
 
@@ -184,13 +186,21 @@ type node struct {
 	// the node's own goroutine touches these (invalidations are applied
 	// by the owner when it acquires), so no locking is needed.
 	cache     map[memsim.PageID]*cpage
-	lru       *list.List // front = most recent
+	lru       pageLRU // front = most recent
 	dirty     map[memsim.PageID]struct{}
 	homeDirty map[memsim.PageID]struct{}
 	epoch     uint64
 	gen       uint64 // invalidates the fast set when bumped
 	fast      [fastWays]fastFrame
 	fastNext  int // round-robin victim index
+
+	// Reusable interval buffers (owner goroutine only): the acquire-side
+	// notice list and the release-side batch grouping grow to the interval
+	// working size once, then recycle — the marginal allocation cost of a
+	// flushed or invalidated page is zero (gated by the bench package's
+	// TestDiffFlushMarginalZeroAlloc).
+	noticeScratch []memsim.PageID
+	flushScratch  []homeDiff
 
 	// ckptDirty records home pages mutated since the last checkpoint
 	// capture (local drains, remote diffs, migration installs). Unlike the
@@ -299,7 +309,6 @@ func New(cfg Config) (*DSM, error) {
 			home:      pagestore.New(),
 			pcache:    machine.NewPageCache(params.Bus.CachePages),
 			cache:     make(map[memsim.PageID]*cpage),
-			lru:       list.New(),
 			dirty:     make(map[memsim.PageID]struct{}),
 			homeDirty: make(map[memsim.PageID]struct{}),
 		}
@@ -331,16 +340,20 @@ func New(cfg Config) (*DSM, error) {
 func (d *DSM) registerHandlers(n *node) {
 	id := simnet.NodeID(n.id)
 	d.layer.Register(id, kindFetchPage, func(_ amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
-		p := memsim.PageID(amsg.NewDec(req).U64())
+		dec := amsg.MakeDec(req)
+		p := memsim.PageID(dec.U64())
 		hp := n.home.Frame(p)
 		hp.Mu.Lock()
-		out := make([]byte, memsim.PageSize)
+		// The reply buffer comes from the page pool and will BECOME the
+		// requester's cached copy; it re-enters the pool when that copy is
+		// retired (see pool.go for the ownership chain).
+		out := getPage()
 		copy(out, hp.Data)
 		hp.Mu.Unlock()
 		return out, d.params.CPU.PageCopyNs
 	})
 	d.layer.Register(id, kindApplyDiff, func(from amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
-		dec := amsg.NewDec(req)
+		dec := amsg.MakeDec(req)
 		p := memsim.PageID(dec.U64())
 		diff := dec.Blob()
 		hp := n.home.Frame(p)
@@ -464,7 +477,7 @@ func (n *node) frameForRead(p memsim.PageID) ([]byte, *pagestore.Frame) {
 			f.hp.Mu.Lock()
 			return f.hp.Data, f.hp
 		}
-		n.lru.MoveToFront(f.lru)
+		n.lru.moveToFront(f.cp)
 		return f.data, nil
 	}
 	home := n.homeOf(p)
@@ -477,12 +490,12 @@ func (n *node) frameForRead(p memsim.PageID) ([]byte, *pagestore.Frame) {
 	}
 	if cp, ok := n.cache[p]; ok {
 		n.notePrefetchHit(p)
-		n.lru.MoveToFront(cp.lru)
-		n.fastRecord(fastFrame{ok: true, page: p, gen: n.gen, data: cp.data, lru: cp.lru, dirty: cp.twin != nil})
+		n.lru.moveToFront(cp)
+		n.fastRecord(fastFrame{ok: true, page: p, gen: n.gen, data: cp.data, cp: cp, dirty: cp.twin != nil})
 		return cp.data, nil
 	}
 	cp := n.fault(p, home)
-	n.fastRecord(fastFrame{ok: true, page: p, gen: n.gen, data: cp.data, lru: cp.lru})
+	n.fastRecord(fastFrame{ok: true, page: p, gen: n.gen, data: cp.data, cp: cp})
 	return cp.data, nil
 }
 
@@ -490,7 +503,8 @@ func (n *node) frameForRead(p memsim.PageID) ([]byte, *pagestore.Frame) {
 func (n *node) fault(p memsim.PageID, home int) *cpage {
 	clk := n.dsm.clocks[n.id]
 	t0 := clk.Now()
-	req := amsg.NewEnc(8).U64(uint64(p)).Bytes()
+	enc := amsg.GetEnc()
+	req := enc.U64(uint64(p)).Bytes()
 	n.stats.ProtocolMsgs++
 	data, err := n.dsm.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(home), kindFetchPage, req)
 	if err != nil {
@@ -507,12 +521,15 @@ func (n *node) fault(p memsim.PageID, home int) *cpage {
 			panic(fmt.Sprintf("swdsm: node %d cannot fetch page %d from home node %d: %v", n.id, p, home, err))
 		}
 	}
+	enc.Free()                                                    // the call returned: no reference to the request remains
 	clk.AdvanceCat(vclock.CatMemory, n.dsm.params.CPU.PageCopyNs) // install copy
 	if rec := n.dsm.rec; rec != nil && rec.Enabled() {
 		rec.Record(n.id, perfmon.EvPageFault, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(home))
 	}
-	cp := &cpage{data: data}
-	cp.lru = n.lru.PushFront(p)
+	cp := getCpage()
+	cp.data = data
+	cp.page = p
+	n.lru.pushFront(cp)
 	n.cache[p] = cp
 	n.stats.PageFaults++
 	n.evictIfNeeded()
@@ -522,20 +539,20 @@ func (n *node) fault(p memsim.PageID, home int) *cpage {
 
 func (n *node) evictIfNeeded() {
 	for len(n.cache) > n.dsm.cacheCap {
-		el := n.lru.Back()
-		if el == nil {
+		cp := n.lru.back()
+		if cp == nil {
 			return
 		}
 		n.bumpGen()
-		p := el.Value.(memsim.PageID)
-		cp := n.cache[p]
+		p := cp.page
 		if cp.twin != nil {
 			n.flushPage(p, cp)
 		}
 		n.notePrefetchDrop(p)
-		n.lru.Remove(el)
+		n.lru.remove(cp)
 		delete(n.cache, p)
 		delete(n.dirty, p)
+		putCpage(cp)
 		n.stats.Evictions++
 	}
 }
@@ -552,7 +569,7 @@ func (n *node) prepareWrite(p memsim.PageID) ([]byte, *pagestore.Frame) {
 			f.hp.Mu.Lock()
 			return f.hp.Data, f.hp
 		}
-		n.lru.MoveToFront(f.lru)
+		n.lru.moveToFront(f.cp)
 		return f.data, nil
 	}
 	home := n.homeOf(p)
@@ -568,7 +585,7 @@ func (n *node) prepareWrite(p memsim.PageID) ([]byte, *pagestore.Frame) {
 		cp = n.fault(p, home)
 	} else {
 		n.notePrefetchHit(p)
-		n.lru.MoveToFront(cp.lru)
+		n.lru.moveToFront(cp)
 	}
 	if cp.twin == nil {
 		clk := n.dsm.clocks[n.id]
@@ -582,7 +599,7 @@ func (n *node) prepareWrite(p memsim.PageID) ([]byte, *pagestore.Frame) {
 			rec.Record(n.id, perfmon.EvTwinCreate, t0, vclock.Since(t0, clk.Now()), uint64(p), 0)
 		}
 	}
-	n.fastRecord(fastFrame{ok: true, page: p, gen: n.gen, data: cp.data, lru: cp.lru, dirty: true})
+	n.fastRecord(fastFrame{ok: true, page: p, gen: n.gen, data: cp.data, cp: cp, dirty: true})
 	return cp.data, nil
 }
 

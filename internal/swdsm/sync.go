@@ -71,12 +71,16 @@ func (d *DSM) Acquire(nodeID, lock int) {
 	}
 	st.vl.Acquire(clk, reqCost, 0)
 
-	pages := st.pending.Take(nodeID)
+	// Drain into the node's reusable scratch: the boards keep their queue
+	// capacity (TakeInto), the node keeps the drained list's, so steady
+	// acquire/release cycles allocate nothing for notices.
+	pages := st.pending.TakeInto(nodeID, n.noticeScratch[:0])
 	if d.protocol == EagerRC {
 		// Eager RC: any acquire applies every pending notice, regardless
 		// of which lock published it.
-		pages = append(pages, d.rcPending.Take(nodeID)...)
+		pages = d.rcPending.TakeInto(nodeID, pages)
 	}
+	n.noticeScratch = pages
 	if st.home != nodeID {
 		if d.agg.Batch {
 			// Piggybacked: the notice list rides the grant reply, so only
@@ -157,9 +161,10 @@ func (n *node) invalidate(pages []memsim.PageID) {
 			n.flushPage(p, cp)
 		}
 		n.notePrefetchDrop(p)
-		n.lru.Remove(cp.lru)
+		n.lru.remove(cp)
 		delete(n.cache, p)
 		delete(n.dirty, p)
+		putCpage(cp)
 		n.stats.Invalidations++
 	}
 }
@@ -181,8 +186,9 @@ func (n *node) flushPage(p memsim.PageID, cp *cpage) {
 	}
 	home := d.space.Home(p)
 	// Enc.Blob copies the diff into the request, so the scratch buffer can
-	// be recycled as soon as the call returns.
-	req := amsg.NewEnc(12 + len(diff)).U64(uint64(p)).Blob(diff).Bytes()
+	// be recycled as soon as the call returns — and the encoder with it.
+	enc := amsg.GetEnc()
+	req := enc.U64(uint64(p)).Blob(diff).Bytes()
 	n.stats.ProtocolMsgs++
 	if _, err := d.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(home), kindApplyDiff, req); err != nil {
 		// A diff that cannot reach the authoritative copy means writes
@@ -190,6 +196,7 @@ func (n *node) flushPage(p memsim.PageID, cp *cpage) {
 		panic(fmt.Sprintf("swdsm: node %d cannot flush page %d to home node %d (%d modified bytes would be lost): %v",
 			n.id, p, home, len(diff), err))
 	}
+	enc.Free()
 	n.stats.DiffsCreated++
 	n.stats.DiffBytes += uint64(len(diff))
 	if rec := d.rec; rec != nil && rec.Enabled() {
@@ -301,9 +308,11 @@ func (d *DSM) Barrier(nodeID int) {
 	locks := append([]*lockState(nil), d.locks...)
 	d.lockMu.Unlock()
 	for _, st := range locks {
-		n.invalidate(st.pending.Take(nodeID))
+		n.noticeScratch = st.pending.TakeInto(nodeID, n.noticeScratch[:0])
+		n.invalidate(n.noticeScratch)
 	}
-	n.invalidate(d.rcPending.Take(nodeID))
+	n.noticeScratch = d.rcPending.TakeInto(nodeID, n.noticeScratch[:0])
+	n.invalidate(n.noticeScratch)
 
 	// Home migration phase (when enabled): a second rendezvous opens a
 	// quiescent window in which the winning nodes retarget page homes.
@@ -350,8 +359,9 @@ func (d *DSM) Fence(nodeID int) {
 			n.flushPage(p, cp)
 		}
 		n.notePrefetchDrop(p)
-		n.lru.Remove(cp.lru)
+		n.lru.remove(cp)
 		delete(n.cache, p)
+		putCpage(cp)
 		n.stats.Invalidations++
 	}
 	for p := range n.dirty {
@@ -379,10 +389,11 @@ func (d *DSM) TryAcquire(nodeID, lock int) bool {
 	if !st.vl.TryAcquire(clk, reqCost, 0) {
 		return false
 	}
-	pages := st.pending.Take(nodeID)
+	pages := st.pending.TakeInto(nodeID, n.noticeScratch[:0])
 	if d.protocol == EagerRC {
-		pages = append(pages, d.rcPending.Take(nodeID)...)
+		pages = d.rcPending.TakeInto(nodeID, pages)
 	}
+	n.noticeScratch = pages
 	if st.home != nodeID {
 		if d.agg.Batch {
 			clk.AdvanceCat(vclock.CatNetwork, d.piggybackNoticeCost(len(pages)))

@@ -8,8 +8,20 @@
 # aggregation layer). Run plain (no -race): the pinned numbers are what
 # ships in the JSON files — identity is about virtual time, not wall
 # clock.
+#
+# Two further identity gates ride along, both plain-mode for the same
+# reason:
+#   - TestWalltimeBaselineIdentity: the committed BENCH_5.json (wall-time
+#     suite) must carry BENCH_2's and BENCH_4's virtual times, checksums,
+#     and message counts verbatim — its wall and allocation readings are
+#     new, its physics are not.
+#   - TestParallelRunnerByteIdentity: the cell-parallel campaign runner
+#     must emit JSON byte-identical to -parallel 1 after zeroing wall
+#     readings and normalizing the ±15µs virtual-time wobble (all
+#     discrete fields exactly equal), including under a seeded 5%-drop
+#     fault campaign.
 set -eux
 
 cd "$(dirname "$0")/.."
 
-go test -run 'TestAggregationOffIdentity' ./internal/bench/
+go test -run 'TestAggregationOffIdentity|TestWalltimeBaselineIdentity|TestParallelRunnerByteIdentity' ./internal/bench/

@@ -44,9 +44,22 @@ go test -race -run 'TestAttributionInvariantAllSubstrates' ./internal/perfmon/
 go test -race -run 'TestCrashRecoveryKernels' ./internal/bench/
 
 # Bench-identity gate: aggregation off must be bit-identical to the
-# committed BENCH baselines (see scripts/benchcheck.sh), and aggregation
-# on must never move a checksum on any substrate.
+# committed BENCH baselines (see scripts/benchcheck.sh — which also runs
+# the BENCH_5 baseline cross-check and the parallel-runner byte-identity
+# gate), and aggregation on must never move a checksum on any substrate.
 sh scripts/benchcheck.sh
 go test -race -run 'TestAggregationEquivalence' ./internal/bench/
+
+# Allocation gates: the pooled hot paths must not allocate in steady
+# state (page fetch and message send at exactly 0 allocs/op; diff flush
+# with zero marginal cost per page). Plain mode only — the race runtime
+# inserts its own allocations and would drown the signal.
+go test -run 'ZeroAlloc' ./internal/bench/
+
+# The pooled-buffer ownership chain must survive concurrent
+# fetch/evict/invalidate/flush churn under the race detector (also part
+# of the full suite below; named here so a pool regression is
+# unmistakable).
+go test -race -run 'TestPooledBufferAliasing' ./internal/swdsm/
 
 go test -race ./...
