@@ -10,6 +10,7 @@
 //	hamsterbench -json FILE -checkpoint N [-incremental] [-parallel N]
 //	hamsterbench -json FILE -aggregate [-prefetch] [-parallel N]
 //	hamsterbench -json FILE -walltime [-parallel N]
+//	hamsterbench -json FILE -engines [-parallel N]
 //
 // With no selection flags, everything runs. -json instead runs the kernel
 // wall-clock benchmark (simulator throughput on the software DSM) and
@@ -36,6 +37,12 @@
 // kernel wall-clock set and the aggregation matrix run once sequentially
 // and once cell-parallel, recording both suite totals plus allocs/op and
 // B/op on the pooled hot paths (page fetch, message send, diff flush).
+//
+// -engines switches -json to the consistency-engine suite (BENCH_6.json):
+// every selectable engine (scope, eager-rc, ivy) runs the identical
+// kernel set at 2 and 4 nodes, recording virtual time, protocol
+// messages, page faults, invalidations, and ownership migrations per
+// cell; checksums must agree across engines for the same cell.
 //
 // -parallel N runs independent benchmark cells on up to N goroutines
 // (0 = GOMAXPROCS, 1 = sequential). Each cell owns a private simulated
@@ -76,6 +83,7 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "also enable adaptive sequential prefetch in the aggregation benchmark (requires -aggregate)")
 	par := flag.Int("parallel", 0, "run independent benchmark cells on up to N goroutines (0 = GOMAXPROCS, 1 = sequential); modeled results are identical at any setting")
 	wall := flag.Bool("walltime", false, "switch -json to the simulator wall-time suite: sequential vs parallel totals plus hot-path allocation benchmarks")
+	engines := flag.Bool("engines", false, "switch -json to the consistency-engine suite: every engine on the identical kernel set at 2 and 4 nodes")
 	flag.Parse()
 
 	// Flag validation happens before any benchmark runs: unknown -faults
@@ -125,6 +133,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *engines {
+		if *jsonOut == "" {
+			fmt.Fprintln(os.Stderr, "-engines requires -json: it selects the consistency-engine suite")
+			os.Exit(2)
+		}
+		if *wall || *aggregate || *ckptEvery > 0 || *faults != "" {
+			fmt.Fprintln(os.Stderr, "-engines, -walltime, -aggregate, -checkpoint, and -faults are separate -json benchmarks; pass one of them")
+			os.Exit(2)
+		}
+	}
 	var plan *simnet.FaultPlan
 	var seed int64 // stays 0 when unperturbed: no fault plan, no jitter
 	if *faults != "" {
@@ -158,7 +176,19 @@ func main() {
 		}
 		var env envelope
 		var render string
-		if *wall {
+		if *engines {
+			rows, err := bench.EngineSuiteParallel(*par)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "engines: %v\n", err)
+				os.Exit(1)
+			}
+			env = envelope{
+				Schema:      "hamster/engines/v6",
+				Description: "consistency engines: per-kernel virtual time, protocol messages, page faults, invalidations, and ownership migrations for every selectable engine (scope, eager-rc, ivy) on the identical kernel set (swdsm, 2 and 4 nodes); checksums agree across engines per cell",
+				Results:     rows,
+			}
+			render = bench.RenderEngines(rows)
+		} else if *wall {
 			rep, err := bench.Walltime(*par)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "walltime: %v\n", err)

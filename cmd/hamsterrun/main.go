@@ -9,7 +9,7 @@
 //	           [-trace FILE] [-timebreakdown]
 //	           [-faults PROFILE] [-faultseed SEED]
 //	           [-checkpoint N] [-incremental] [-recover]
-//	           [-aggregate] [-prefetch]
+//	           [-aggregate] [-prefetch] [-engine NAME]
 //
 // A -config file (see internal/cluster for the format) overrides the
 // -platform/-nodes flags, mirroring how the original framework switched
@@ -21,8 +21,11 @@
 // rolls a planned node crash back to the last snapshot and re-admits the
 // node instead of aborting. -aggregate turns on the software DSM's
 // protocol aggregation layer (batched diff flush + write-notice
-// piggybacking); -prefetch adds adaptive sequential page prefetch. All
-// flag combinations are validated before anything boots.
+// piggybacking); -prefetch adds adaptive sequential page prefetch.
+// -engine selects the software DSM's consistency engine (scope, eager-rc,
+// or ivy); the ivy write-invalidate engine has no barrier epochs or diff
+// traffic to hook, so it composes with neither -checkpoint/-recover nor
+// -aggregate. All flag combinations are validated before anything boots.
 package main
 
 import (
@@ -59,6 +62,7 @@ func main() {
 	recoverNodes := flag.Bool("recover", false, "recover planned node crashes from the last snapshot (requires -checkpoint and -faults)")
 	aggregate := flag.Bool("aggregate", false, "enable protocol aggregation: batched diff flush + write-notice piggybacking (software DSM only)")
 	prefetch := flag.Bool("prefetch", false, "enable adaptive sequential page prefetch (requires -aggregate)")
+	engine := flag.String("engine", "", "software DSM consistency engine: "+strings.Join(hamster.EngineNames(), ", "))
 	flag.Parse()
 
 	cfg := hamster.Config{Nodes: *nodes}
@@ -147,6 +151,37 @@ func main() {
 		}
 		cfg.SWDSMAggregation = hamster.Aggregation{Batch: true, Prefetch: *prefetch}
 	}
+	if *engine != "" {
+		valid := false
+		for _, n := range hamster.EngineNames() {
+			if *engine == n {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "unknown -engine %q (valid: %s)\n", *engine, strings.Join(hamster.EngineNames(), ", "))
+			os.Exit(2)
+		}
+		if cfg.Platform != hamster.SWDSM {
+			fmt.Fprintf(os.Stderr, "-engine requires the software DSM (got platform %v): it selects the DSM's coherence protocol\n", cfg.Platform)
+			os.Exit(2)
+		}
+		if *engine == "ivy" {
+			if *recoverNodes {
+				fmt.Fprintln(os.Stderr, "-recover is not supported with -engine ivy: rollback re-admission replays scope-protocol snapshots")
+				os.Exit(2)
+			}
+			if *ckptEvery > 0 {
+				fmt.Fprintln(os.Stderr, "-checkpoint is not supported with -engine ivy: snapshots hook the scope protocol's barrier epochs")
+				os.Exit(2)
+			}
+			if *aggregate {
+				fmt.Fprintln(os.Stderr, "-aggregate is not supported with -engine ivy: aggregation batches the scope protocol's diffs and notices")
+				os.Exit(2)
+			}
+		}
+		cfg.Engine = *engine
+	}
 
 	if *ckptEvery > 0 {
 		runRecoverable(cfg, plan, kernel, desc, *ckptEvery, *ckptInc, *recoverNodes, *monitor, *timeBreak, *faults, *faultSeed, haveFaults)
@@ -162,6 +197,9 @@ func main() {
 
 	fmt.Printf("running %s on %v with %d nodes (JiaJia model over HAMSTER)\n",
 		desc, cfg.Platform, cfg.Nodes)
+	if cfg.Engine != "" {
+		fmt.Printf("consistency engine %q\n", cfg.Engine)
+	}
 	if *verify {
 		sys.Runtime().StartTrace()
 	}

@@ -47,6 +47,7 @@ package hamster
 
 import (
 	"hamster/internal/conscheck"
+	"hamster/internal/consengine"
 	"hamster/internal/core"
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
@@ -171,6 +172,13 @@ const WordSize = memsim.WordSize
 
 // New builds a runtime for the configured platform.
 func New(cfg Config) (*Runtime, error) { return core.New(cfg) }
+
+// EngineNames lists the selectable software-DSM consistency engines
+// (Config.Engine): "scope" (the default home-based Scope Consistency
+// protocol), "eager-rc" (eager Release Consistency), and "ivy"
+// (write-invalidate with distributed dynamic ownership, sequential
+// consistency).
+func EngineNames() []string { return consengine.Names() }
 
 // DefaultParams returns the cost model calibrated to the paper's testbed
 // (four dual-Xeon nodes, SCI + switched Fast Ethernet).

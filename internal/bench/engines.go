@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hamster/internal/apps"
+	"hamster/internal/consengine"
+	"hamster/internal/ivy"
+	"hamster/internal/platform"
+	"hamster/internal/swdsm"
+	"hamster/internal/vclock"
+)
+
+// EngineResult is one kernel's measurement on one consistency engine at
+// one cluster size. All engines run the identical kernel binary on a bare
+// software-DSM cluster; checksums must agree across engines for the same
+// (kernel, nodes) cell — a consistency engine changes costs, never
+// results. Message counts and virtual times differ by protocol: the
+// write-invalidate engine pays synchronous invalidation rounds for its
+// sequential consistency, the scope/eager-rc engines defer work to
+// synchronization points.
+type EngineResult struct {
+	Kernel    string `json:"kernel"`
+	Engine    string `json:"engine"`
+	Model     string `json:"model"`
+	Nodes     int    `json:"nodes"`
+	WallNs    int64  `json:"wall_ns"`
+	VirtualNs uint64 `json:"virtual_ns"`
+	// Msgs counts protocol messages originated by all nodes (page
+	// fetches, diffs, notices, invalidations, ownership transfers,
+	// lock/barrier traffic).
+	Msgs          uint64  `json:"protocol_msgs"`
+	PageFaults    uint64  `json:"page_faults"`
+	Invalidations uint64  `json:"invalidations"`
+	Migrations    uint64  `json:"migrations"`
+	Check         float64 `json:"check"`
+}
+
+// engineKernels is the per-engine kernel set: the aggregation suite's
+// workloads scaled down, because the write-invalidate engine's sharing
+// traffic grows much faster with the working set than the scope
+// protocol's (every false-shared write is a synchronous ownership round
+// trip, not a deferred diff).
+func engineKernels() []struct {
+	name   string
+	kernel apps.Kernel
+} {
+	return []struct {
+		name   string
+		kernel apps.Kernel
+	}{
+		{"matmult", func(m apps.Machine) apps.Result { return apps.MatMult(m, 64) }},
+		{"sor-opt", func(m apps.Machine) apps.Result { return apps.SOR(m, 96, 4, true) }},
+		{"lu", func(m apps.Machine) apps.Result { return apps.LU(m, 64) }},
+		{"stream", func(m apps.Machine) apps.Result { return apps.Stream(m, 1<<13, 4, 0) }},
+	}
+}
+
+// BuildEngine constructs a bare software-DSM cluster running the named
+// consistency engine ("" selects the default). This is the same selection
+// core.New performs for Config.Engine, without the core services wrapped
+// around it — the measurement path stays deterministic for the scope
+// engines.
+func BuildEngine(name string, nodes int) (consengine.Engine, error) {
+	eng, err := consengine.NormalizeName(name)
+	if err != nil {
+		return nil, err
+	}
+	if eng == consengine.IVYName {
+		return ivy.New(ivy.Config{Nodes: nodes})
+	}
+	cfg := swdsm.Config{Nodes: nodes}
+	if eng == consengine.EagerRCName {
+		cfg.Protocol = swdsm.EagerRC
+	}
+	return swdsm.New(cfg)
+}
+
+// engineRun executes one kernel on one engine and returns the engine's
+// declared model, the run's virtual time, checksum, and summed node
+// counters.
+func engineRun(name string, nodes int, kernel apps.Kernel) (consengine.Model, vclock.Duration, float64, platform.Stats, error) {
+	d, err := BuildEngine(name, nodes)
+	if err != nil {
+		return 0, 0, 0, platform.Stats{}, err
+	}
+	defer d.Close()
+	res := apps.RunOnSubstrate(d, kernel)
+	var st platform.Stats
+	for i := 0; i < nodes; i++ {
+		s := d.NodeStats(i)
+		st.ProtocolMsgs += s.ProtocolMsgs
+		st.PageFaults += s.PageFaults
+		st.Invalidations += s.Invalidations
+		st.HomeMigrations += s.HomeMigrations
+	}
+	return d.DeclaredModel(), apps.MaxTotal(res), res[0].Check, st, nil
+}
+
+// EngineSuite measures every selectable consistency engine on the
+// per-engine kernel set at 2 and 4 nodes. Returns an error if any
+// engine's checksum disagrees with the default engine's for the same
+// (kernel, nodes) cell.
+func EngineSuite() ([]EngineResult, error) {
+	return EngineSuiteParallel(1)
+}
+
+// EngineSuiteParallel is EngineSuite with up to `parallel` (engine,
+// kernel, nodes) cells measured concurrently. Each cell owns a private
+// cluster (see runCells), so checksums and the scope engines' virtual
+// times and message counts are unchanged by co-scheduling; the
+// write-invalidate engine's message counts are schedule-dependent under
+// contention at any parallelism (its checksums are not).
+func EngineSuiteParallel(parallel int) ([]EngineResult, error) {
+	type cell struct {
+		nodes  int
+		engine string
+		name   string
+		kernel apps.Kernel
+	}
+	var cells []cell
+	for _, nodes := range []int{2, 4} {
+		for _, k := range engineKernels() {
+			for _, eng := range consengine.Names() {
+				cells = append(cells, cell{nodes, eng, k.name, k.kernel})
+			}
+		}
+	}
+	rows, err := runCells(parallel, len(cells), func(i int) (EngineResult, error) {
+		c := cells[i]
+		start := time.Now()
+		model, virt, check, st, err := engineRun(c.engine, c.nodes, c.kernel)
+		wall := time.Since(start)
+		if err != nil {
+			return EngineResult{}, fmt.Errorf("bench: engine %s %s/%d: %w", c.engine, c.name, c.nodes, err)
+		}
+		return EngineResult{
+			Kernel:        c.name,
+			Engine:        c.engine,
+			Model:         model.String(),
+			Nodes:         c.nodes,
+			WallNs:        wall.Nanoseconds(),
+			VirtualNs:     uint64(virt),
+			Msgs:          st.ProtocolMsgs,
+			PageFaults:    st.PageFaults,
+			Invalidations: st.Invalidations,
+			Migrations:    st.HomeMigrations,
+			Check:         check,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Cross-engine agreement: every engine must compute the same answer
+	// as the default engine on the same cell.
+	ref := map[string]float64{}
+	for _, r := range rows {
+		if r.Engine == consengine.ScopeName {
+			ref[fmt.Sprintf("%s/%d", r.Kernel, r.Nodes)] = r.Check
+		}
+	}
+	for _, r := range rows {
+		want, ok := ref[fmt.Sprintf("%s/%d", r.Kernel, r.Nodes)]
+		if !ok {
+			return nil, fmt.Errorf("bench: no scope reference for %s/%d", r.Kernel, r.Nodes)
+		}
+		if r.Check != want {
+			return nil, fmt.Errorf("bench: engine %s moved the %s/%d checksum: %v vs scope's %v",
+				r.Engine, r.Kernel, r.Nodes, r.Check, want)
+		}
+	}
+	return rows, nil
+}
+
+// RenderEngines prints the measurements as a text table.
+func RenderEngines(rows []EngineResult) string {
+	s := "Consistency engines (swdsm; identical kernels, checksums agree per cell)\n\n"
+	s += fmt.Sprintf("  %-10s %-9s %-11s %5s %14s %9s %8s %8s %7s\n",
+		"kernel", "engine", "model", "nodes", "virtual", "msgs", "faults", "invals", "migr")
+	for _, r := range rows {
+		s += fmt.Sprintf("  %-10s %-9s %-11s %5d %14v %9d %8d %8d %7d\n",
+			r.Kernel, r.Engine, r.Model, r.Nodes, vclock.Duration(r.VirtualNs),
+			r.Msgs, r.PageFaults, r.Invalidations, r.Migrations)
+	}
+	return s
+}

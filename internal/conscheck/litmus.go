@@ -1,0 +1,379 @@
+package conscheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hamster/internal/consengine"
+	"hamster/internal/memsim"
+)
+
+// This file is the consistency-engine conformance harness: small
+// concurrent litmus programs (the classical message-passing, store-
+// buffering, IRIW shapes plus synchronized increment and barrier
+// publication) run repeatedly on an engine, and every OBSERVED outcome is
+// checked against the engine's DECLARED model's allowed-outcome set. The
+// check is one-directional on purpose: a model permits relaxed outcomes
+// without obliging any execution to exhibit them, so never observing
+// "r1=1 r2=0" on a scope engine is fine, while observing it once on a
+// sequentially-consistent engine is a conformance violation. For the
+// synchronized tests the harness additionally replays its own trace
+// through the happens-before/lockset analyses (Analyze) to certify the
+// data-race-freedom precondition the relaxed models' guarantees rest on.
+
+// LitmusVars is the number of shared variables a litmus machine provides.
+// Each variable occupies word 0 of its own page (Cyclic placement), so
+// the variables have distinct homes and no false sharing.
+const LitmusVars = 4
+
+// LitmusMachine gives a litmus program numbered shared variables, one
+// lock, and the engine's synchronization, while recording the execution
+// trace for the DRF analyses.
+type LitmusMachine struct {
+	eng  consengine.Engine
+	base memsim.Addr
+	lock int
+
+	mu    sync.Mutex
+	trace []Event
+}
+
+// NewLitmusMachine wraps an engine for one litmus trial.
+func NewLitmusMachine(eng consengine.Engine) (*LitmusMachine, error) {
+	r, err := eng.Alloc(LitmusVars*memsim.PageSize, "litmus", memsim.Cyclic, -1)
+	if err != nil {
+		return nil, err
+	}
+	return &LitmusMachine{eng: eng, base: r.Base, lock: eng.NewLock()}, nil
+}
+
+func (m *LitmusMachine) addr(v int) memsim.Addr {
+	if v < 0 || v >= LitmusVars {
+		panic(fmt.Sprintf("litmus: variable %d out of range", v))
+	}
+	return m.base + memsim.Addr(v)*memsim.PageSize
+}
+
+func (m *LitmusMachine) record(ev Event) {
+	m.mu.Lock()
+	ev.Seq = len(m.trace)
+	m.trace = append(m.trace, ev)
+	m.mu.Unlock()
+}
+
+// Write stores val into variable v from node.
+func (m *LitmusMachine) Write(node, v int, val int64) {
+	m.eng.WriteI64(node, m.addr(v), val)
+	m.record(Event{Node: node, Kind: Write, Addr: m.addr(v)})
+}
+
+// Read loads variable v from node.
+func (m *LitmusMachine) Read(node, v int) int64 {
+	val := m.eng.ReadI64(node, m.addr(v))
+	m.record(Event{Node: node, Kind: Read, Addr: m.addr(v)})
+	return val
+}
+
+// Acquire takes the machine's lock. The event is recorded after the
+// engine grants it, so the trace orders it after the previous holder's
+// release.
+func (m *LitmusMachine) Acquire(node int) {
+	m.eng.Acquire(node, m.lock)
+	m.record(Event{Node: node, Kind: Acquire, Lock: m.lock})
+}
+
+// Release drops the machine's lock. The event is recorded before the
+// engine releases, so it precedes the next holder's acquire in the trace.
+func (m *LitmusMachine) Release(node int) {
+	m.record(Event{Node: node, Kind: Release, Lock: m.lock})
+	m.eng.Release(node, m.lock)
+}
+
+// Barrier joins the global barrier. The event is recorded before
+// arrival: every node's pre-barrier accesses then precede the complete
+// barrier generation in the trace, which is the ordering Analyze needs.
+func (m *LitmusMachine) Barrier(node int) {
+	m.record(Event{Node: node, Kind: Barrier})
+	m.eng.Barrier(node)
+}
+
+// Trace returns the recorded execution trace (after the trial joined).
+func (m *LitmusMachine) Trace() []Event { return m.trace }
+
+// Litmus is one conformance test.
+type Litmus struct {
+	// Name identifies the test in verdicts.
+	Name string
+	// Nodes is the cluster size the program needs.
+	Nodes int
+	// Sync marks a synchronized program: its trace must be data-race-free
+	// (verified with Analyze) and its outcome is model-independent.
+	Sync bool
+	// Run executes one node's program and returns that node's observation
+	// ("" for pure writers). The trial's outcome is the node-ordered join.
+	Run func(m *LitmusMachine, node int) string
+	// Forbidden reports whether an observed outcome is disallowed under
+	// the declared model.
+	Forbidden func(model consengine.Model, outcome string) bool
+}
+
+// Battery is the standard conformance suite.
+func Battery() []Litmus {
+	return []Litmus{
+		messagePassing(),
+		storeBuffering(),
+		iriw(),
+		lockedIncrements(),
+		barrierPublication(),
+	}
+}
+
+// messagePassing: node 0 publishes data then a flag, node 1 reads the
+// flag then the data. Seeing the flag without the data is the classic
+// relaxed-consistency reordering; Processor consistency and stronger
+// forbid it (node 0's writes must be observed in order), Release/Scope
+// allow it for this unsynchronized program.
+func messagePassing() Litmus {
+	return Litmus{
+		Name:  "message-passing",
+		Nodes: 2,
+		Run: func(m *LitmusMachine, node int) string {
+			if node == 0 {
+				m.Write(0, 0, 1) // data
+				m.Write(0, 1, 1) // flag
+				return ""
+			}
+			r1 := m.Read(1, 1) // flag
+			r2 := m.Read(1, 0) // data
+			return fmt.Sprintf("flag=%d data=%d", r1, r2)
+		},
+		Forbidden: func(model consengine.Model, outcome string) bool {
+			return model.AtLeast(consengine.Processor) && outcome == "flag=1 data=0"
+		},
+	}
+}
+
+// storeBuffering: each node writes its variable then reads the other's.
+// Both reading zero requires each node's read to bypass the other's
+// earlier write — forbidden only under Sequential consistency.
+func storeBuffering() Litmus {
+	return Litmus{
+		Name:  "store-buffering",
+		Nodes: 2,
+		Run: func(m *LitmusMachine, node int) string {
+			m.Write(node, node, 1)
+			r := m.Read(node, 1-node)
+			return fmt.Sprintf("r%d=%d", node, r)
+		},
+		Forbidden: func(model consengine.Model, outcome string) bool {
+			return model.AtLeast(consengine.Sequential) && outcome == "r0=0 r1=0"
+		},
+	}
+}
+
+// iriw (independent reads of independent writes): two writers, two
+// readers reading in opposite orders. The readers disagreeing on the
+// write order is forbidden only under Sequential consistency (it denies
+// a single global write serialization).
+func iriw() Litmus {
+	return Litmus{
+		Name:  "iriw",
+		Nodes: 4,
+		Run: func(m *LitmusMachine, node int) string {
+			switch node {
+			case 0:
+				m.Write(0, 0, 1)
+				return ""
+			case 1:
+				m.Write(1, 1, 1)
+				return ""
+			case 2:
+				x := m.Read(2, 0)
+				y := m.Read(2, 1)
+				return fmt.Sprintf("n2:x=%d,y=%d", x, y)
+			default:
+				y := m.Read(3, 1)
+				x := m.Read(3, 0)
+				return fmt.Sprintf("n3:y=%d,x=%d", y, x)
+			}
+		},
+		Forbidden: func(model consengine.Model, outcome string) bool {
+			return model.AtLeast(consengine.Sequential) &&
+				outcome == "n2:x=1,y=0 n3:y=1,x=0"
+		},
+	}
+}
+
+// lockedIncrements: every node increments a shared counter under the
+// lock. Exactly nodes*rounds is the single allowed outcome on EVERY
+// model — lock-protected read-modify-write is the contract all of them
+// share — and the trace must be data-race-free.
+func lockedIncrements() Litmus {
+	const rounds = 8
+	return Litmus{
+		Name:  "locked-increments",
+		Nodes: 4,
+		Sync:  true,
+		Run: func(m *LitmusMachine, node int) string {
+			for i := 0; i < rounds; i++ {
+				m.Acquire(node)
+				m.Write(node, 0, m.Read(node, 0)+1)
+				m.Release(node)
+			}
+			m.Barrier(node)
+			if node != 0 {
+				return ""
+			}
+			return fmt.Sprintf("total=%d", m.Read(0, 0))
+		},
+		Forbidden: func(_ consengine.Model, outcome string) bool {
+			return outcome != fmt.Sprintf("total=%d", 4*rounds)
+		},
+	}
+}
+
+// barrierPublication: readers cache a variable, the writer updates it,
+// and a barrier publishes the update. Every model must deliver the new
+// value — this is the test that deterministically catches an engine
+// whose release/barrier action fails to invalidate stale copies.
+func barrierPublication() Litmus {
+	return Litmus{
+		Name:  "barrier-publication",
+		Nodes: 4,
+		Sync:  true,
+		Run: func(m *LitmusMachine, node int) string {
+			if node == 0 {
+				m.Write(0, 0, 1)
+			}
+			m.Barrier(node)
+			m.Read(node, 0) // every node caches a copy of the old value
+			m.Barrier(node)
+			if node == 0 {
+				m.Write(0, 0, 2)
+			}
+			m.Barrier(node)
+			if node == 0 {
+				return ""
+			}
+			return fmt.Sprintf("x=%d", m.Read(node, 0))
+		},
+		Forbidden: func(_ consengine.Model, outcome string) bool {
+			return outcome != "x=2 x=2 x=2"
+		},
+	}
+}
+
+// Verdict is the result of running one litmus test on one engine.
+type Verdict struct {
+	Test   string
+	Engine string
+	Model  consengine.Model
+	Trials int
+	// Observed maps each distinct outcome to its occurrence count.
+	Observed map[string]int
+	// Violations lists observed outcomes the declared model forbids.
+	Violations []string
+	// Races holds data races found in a Sync test's trace — a failed
+	// precondition, reported separately from model violations.
+	Races []string
+}
+
+// OK reports conformance: no forbidden outcome and no precondition race.
+func (v Verdict) OK() bool { return len(v.Violations) == 0 && len(v.Races) == 0 }
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s (%v, %d trials): ", v.Test, v.Engine, v.Model, v.Trials)
+	if v.OK() {
+		b.WriteString("conforms")
+	} else {
+		b.WriteString("VIOLATION")
+		for _, viol := range v.Violations {
+			fmt.Fprintf(&b, "\n  forbidden outcome observed: %q (%d times)", viol, v.Observed[viol])
+		}
+		for _, r := range v.Races {
+			fmt.Fprintf(&b, "\n  precondition race: %s", r)
+		}
+	}
+	outcomes := make([]string, 0, len(v.Observed))
+	for o := range v.Observed {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		fmt.Fprintf(&b, "\n  observed %q ×%d", o, v.Observed[o])
+	}
+	return b.String()
+}
+
+// RunLitmus executes one test for `trials` independent trials, building a
+// fresh engine each time, and judges the observed outcomes against the
+// engine's declared model.
+func RunLitmus(l Litmus, build func(nodes int) (consengine.Engine, error), trials int) (Verdict, error) {
+	v := Verdict{Test: l.Name, Trials: trials, Observed: map[string]int{}}
+	for trial := 0; trial < trials; trial++ {
+		eng, err := build(l.Nodes)
+		if err != nil {
+			return v, fmt.Errorf("litmus %s: building engine: %w", l.Name, err)
+		}
+		if trial == 0 {
+			v.Engine = eng.EngineName()
+			v.Model = eng.DeclaredModel()
+		}
+		m, err := NewLitmusMachine(eng)
+		if err != nil {
+			eng.Close()
+			return v, fmt.Errorf("litmus %s: %w", l.Name, err)
+		}
+		obs := make([]string, l.Nodes)
+		var wg sync.WaitGroup
+		for node := 0; node < l.Nodes; node++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				obs[node] = l.Run(m, node)
+			}(node)
+		}
+		wg.Wait()
+		parts := obs[:0]
+		for _, o := range obs {
+			if o != "" {
+				parts = append(parts, o)
+			}
+		}
+		outcome := strings.Join(parts, " ")
+		v.Observed[outcome]++
+		if l.Sync && trial == 0 {
+			// The DRF precondition is a property of the program, not the
+			// schedule sample: one trace certification suffices.
+			report := Analyze(m.Trace(), l.Nodes)
+			for _, r := range report.Races {
+				v.Races = append(v.Races, r.String())
+			}
+		}
+		eng.Close()
+	}
+	for outcome := range v.Observed {
+		if l.Forbidden(v.Model, outcome) {
+			v.Violations = append(v.Violations, outcome)
+		}
+	}
+	sort.Strings(v.Violations)
+	return v, nil
+}
+
+// RunBattery runs the full conformance suite against one engine builder.
+func RunBattery(build func(nodes int) (consengine.Engine, error), trials int) ([]Verdict, error) {
+	var out []Verdict
+	for _, l := range Battery() {
+		v, err := RunLitmus(l, build, trials)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package conscheck
+
+// raceEnabled reports whether the test binary was built with the race
+// detector (mirrors internal/bench's helper).
+const raceEnabled = true

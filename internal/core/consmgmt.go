@@ -4,51 +4,34 @@ import (
 	"fmt"
 
 	"hamster/internal/conscheck"
+	"hamster/internal/consengine"
 	"hamster/internal/memsim"
 )
 
 // ConsModel names a memory consistency model supported by the consistency
-// API (§4.5): "optimized implementations of all widely used models".
-type ConsModel int
+// API (§4.5): "optimized implementations of all widely used models". It
+// is the engine layer's model type; see consengine.Model for the
+// strongest-first ordering contract.
+type ConsModel = consengine.Model
 
 // Supported consistency models, strongest first.
 const (
-	// Sequential: every access is globally ordered. Implemented by fencing
-	// around accesses — correct everywhere, catastrophically slow on
-	// loosely coupled systems (the ablation that motivates relaxed models).
-	Sequential ConsModel = iota
+	// Sequential: every access is globally ordered. The IVY engine
+	// provides it natively; on relaxed engines it exists only through
+	// explicit fencing (SeqReadF64/SeqWriteF64).
+	Sequential = consengine.Sequential
 	// Processor: writes from one processor are seen in order (SMP
 	// hardware's native model).
-	Processor
+	Processor = consengine.Processor
 	// Release: consistency actions tied to acquire/release pairs.
-	Release
+	Release = consengine.Release
 	// Scope: release consistency restricted to the scope (lock) under
 	// which modifications happened — JiaJia's native model.
-	Scope
+	Scope = consengine.Scope
 	// Entry: consistency restricted to data explicitly bound to the sync
-	// object. Implemented on the scope machinery: per-lock write notices
-	// already confine invalidations to the pages modified under the lock,
-	// so binding data to its lock yields entry semantics.
-	Entry
+	// object (provided by the scope machinery's per-lock notices).
+	Entry = consengine.Entry
 )
-
-// String names the model.
-func (m ConsModel) String() string {
-	switch m {
-	case Sequential:
-		return "sequential"
-	case Processor:
-		return "processor"
-	case Release:
-		return "release"
-	case Scope:
-		return "scope"
-	case Entry:
-		return "entry"
-	default:
-		return fmt.Sprintf("model(%d)", int(m))
-	}
-}
 
 // ConsMgr is the Consistency Management module (§4.2, §4.5). In
 // conjunction with the Synchronization module's constructs it recreates
@@ -57,27 +40,35 @@ type ConsMgr struct {
 	e *Env
 }
 
-// Native returns the substrate's native consistency model.
+// Native returns the active engine's declared consistency model: the
+// engine's own declaration when the substrate is a consistency engine,
+// else the substrate's capability string.
 func (c *ConsMgr) Native() ConsModel {
-	switch c.e.rt.sub.Caps().ConsistencyModel {
-	case "processor":
-		return Processor
-	case "release":
-		return Release
-	case "scope":
-		return Scope
-	default:
-		return Release
-	}
+	m, _ := declaredModel(c.e.rt.sub)
+	return m
 }
 
-// Supports reports whether a software model can run on this substrate. A
-// weaker software model always maps onto a stronger hardware model (§4.5);
-// the substrate's sync-attached invalidation machinery covers the relaxed
-// ones, and fencing covers Sequential.
+// Supports reports whether the active engine provides a model at least
+// as strong as m for data-race-free programs. A request the engine
+// cannot honor returns false — it is NOT silently mapped onto weaker
+// semantics; use Require for a descriptive error, or the explicit
+// fencing accessors (SeqReadF64/SeqWriteF64) to buy Sequential behavior
+// access-by-access on a relaxed engine.
 func (c *ConsMgr) Supports(m ConsModel) bool {
-	_ = m
-	return true
+	return c.Native().AtLeast(m)
+}
+
+// Require fails with a descriptive setup error when the active engine's
+// declared model is weaker than m. Programming models with a fixed model
+// contract call this once at initialization, so a misconfigured run
+// stops before computing anything under silently weaker semantics.
+func (c *ConsMgr) Require(m ConsModel) error {
+	native, name := declaredModel(c.e.rt.sub)
+	if !native.AtLeast(m) {
+		return fmt.Errorf("core: consistency model %v requires a stronger engine: %s declares %v (select one with Config.Engine, e.g. %q for sequential consistency)",
+			m, name, native, consengine.IVYName)
+	}
+	return nil
 }
 
 // Acquire performs the consistency entry action of a sync object without
@@ -99,9 +90,10 @@ func (c *ConsMgr) Fence() {
 	c.e.rt.sub.Fence(c.e.id)
 }
 
-// SeqReadF64 and SeqWriteF64 are the Sequential model's access path:
-// fence, access, fence. Provided for completeness and for the consistency
-// ablation; real codes use relaxed models.
+// SeqReadF64 and SeqWriteF64 are the Sequential model's access path on a
+// relaxed engine: fence, access, fence. Provided for completeness and for
+// the consistency ablation; real codes use relaxed models (or the IVY
+// engine, which is sequentially consistent without fencing).
 func (c *ConsMgr) SeqReadF64(a memsim.Addr) float64 {
 	c.e.rt.sub.Fence(c.e.id)
 	return c.e.ReadF64(a)

@@ -335,8 +335,17 @@ func TestConsFenceAndModels(t *testing.T) {
 	if e.Cons.Native() != Scope {
 		t.Fatalf("native model = %v", e.Cons.Native())
 	}
-	if !e.Cons.Supports(Sequential) {
-		t.Fatal("sequential must be supported (by fencing)")
+	if e.Cons.Supports(Sequential) {
+		t.Fatal("a scope engine must not claim sequential consistency")
+	}
+	if !e.Cons.Supports(Scope) || !e.Cons.Supports(Entry) {
+		t.Fatal("scope engine must support scope and weaker models")
+	}
+	if err := e.Cons.Require(Scope); err != nil {
+		t.Fatalf("Require(Scope) on scope engine: %v", err)
+	}
+	if err := e.Cons.Require(Sequential); err == nil {
+		t.Fatal("Require(Sequential) on scope engine must error")
 	}
 	r, _ := e.Mem.Alloc(memsim.PageSize, AllocOpts{Policy: memsim.Fixed, FixedNode: 1})
 	e.Cons.SeqWriteF64(r.Base, 3.5)

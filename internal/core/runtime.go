@@ -17,7 +17,9 @@ import (
 
 	"hamster/internal/amsg"
 	"hamster/internal/checkpoint"
+	"hamster/internal/consengine"
 	"hamster/internal/hybriddsm"
+	"hamster/internal/ivy"
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
 	"hamster/internal/perfmon"
@@ -47,6 +49,22 @@ type Config struct {
 	// models): substrate access is then serialized per node, modeling
 	// threads time-sharing one CPU.
 	Threaded bool
+
+	// Engine selects the software DSM's consistency engine: "" or "scope"
+	// (the default home-based scope-consistency protocol), "eager-rc"
+	// (eager release consistency on the same twin/diff machinery), or
+	// "ivy" (write-invalidate with distributed dynamic ownership —
+	// sequentially consistent). Software DSM only. The IVY engine has no
+	// twins, diffs, or barrier epochs, so checkpointing, protocol
+	// aggregation, home migration, and the cache-page cap are rejected
+	// with it rather than silently ignored.
+	Engine string
+	// RequireModel, when non-empty, names the weakest consistency model
+	// the program needs ("sequential", "processor", "release", "scope",
+	// "entry"). New fails with a descriptive error when the selected
+	// engine declares a weaker model, instead of silently running the
+	// program under weaker semantics.
+	RequireModel string
 
 	// SWDSMCachePages caps the software DSM's per-node page cache.
 	SWDSMCachePages int
@@ -125,6 +143,25 @@ func New(cfg Config) (*Runtime, error) {
 	if params.Name == "" {
 		params = machine.Default()
 	}
+	engine, err := consengine.NormalizeName(cfg.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Engine != "" && cfg.Platform != platform.SWDSM {
+		return nil, fmt.Errorf("core: Config.Engine %q selects a software DSM consistency engine; platform %v has a fixed hardware protocol", cfg.Engine, cfg.Platform)
+	}
+	if engine == consengine.IVYName {
+		switch {
+		case cfg.CheckpointEvery > 0:
+			return nil, fmt.Errorf("core: the ivy engine does not support checkpointing (CheckpointEvery=%d): snapshots hook the scope protocol's barrier epochs", cfg.CheckpointEvery)
+		case cfg.SWDSMAggregation.Enabled():
+			return nil, fmt.Errorf("core: the ivy engine does not support protocol aggregation: batched diff flush and write-notice piggybacking are scope-protocol machinery")
+		case cfg.SWDSMMigrateAfter > 0:
+			return nil, fmt.Errorf("core: the ivy engine does not support home migration (SWDSMMigrateAfter=%d): ownership already migrates to writers", cfg.SWDSMMigrateAfter)
+		case cfg.SWDSMCachePages > 0:
+			return nil, fmt.Errorf("core: the ivy engine does not support a cache-page cap (SWDSMCachePages=%d): read copies are tracked by owners, not evicted locally", cfg.SWDSMCachePages)
+		}
+	}
 	rt := &Runtime{cfg: cfg}
 
 	switch cfg.Platform {
@@ -138,30 +175,21 @@ func New(cfg Config) (*Runtime, error) {
 			}
 			net := simnet.New(eff.Ethernet, clocks)
 			layer := amsg.New(net, eff.Ethernet)
-			d, err := swdsm.New(swdsm.Config{
-				Nodes: cfg.Nodes, Params: eff,
-				CachePages: cfg.SWDSMCachePages, Layer: layer,
-				MigrateAfter: cfg.SWDSMMigrateAfter,
-				Aggregation:  cfg.SWDSMAggregation,
-			})
+			sub, err := buildEngine(cfg, engine, eff, layer)
 			if err != nil {
 				return nil, err
 			}
-			rt.sub = d
+			rt.sub = sub
 			rt.msgs = net
 			rt.am = layer
 		} else {
-			d, err := swdsm.New(swdsm.Config{
-				Nodes: cfg.Nodes, Params: eff, CachePages: cfg.SWDSMCachePages,
-				MigrateAfter: cfg.SWDSMMigrateAfter,
-				Aggregation:  cfg.SWDSMAggregation,
-			})
+			sub, err := buildEngine(cfg, engine, eff, nil)
 			if err != nil {
 				return nil, err
 			}
-			rt.sub = d
-			rt.msgs = simnet.New(eff.Ethernet, substrateClocks(d))
-			rt.am = d.Layer()
+			rt.sub = sub
+			rt.msgs = simnet.New(eff.Ethernet, substrateClocks(sub))
+			rt.am = layerOf(sub)
 		}
 	case platform.HybridDSM:
 		d, err := hybriddsm.New(hybriddsm.Config{
@@ -184,6 +212,17 @@ func New(cfg Config) (*Runtime, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown platform %v", cfg.Platform)
 	}
+	if cfg.RequireModel != "" {
+		want, err := consengine.ParseModel(cfg.RequireModel)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		native, name := declaredModel(rt.sub)
+		if !native.AtLeast(want) {
+			return nil, fmt.Errorf("core: Config.RequireModel %q: engine %s declares %v consistency, weaker than %v — select a stronger engine (e.g. Engine: %q for sequential)",
+				cfg.RequireModel, name, native, want, consengine.IVYName)
+		}
+	}
 	rt.attachRecorder(cfg.PerfEventCap)
 	if cfg.CheckpointEvery > 0 {
 		if err := rt.attachCheckpointer(); err != nil {
@@ -192,6 +231,59 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	rt.buildEnvs()
 	return rt, nil
+}
+
+// buildEngine constructs the selected software-DSM consistency engine.
+// A non-nil layer is the coalesced-messaging case: protocol and user
+// messages share it. The default path hands swdsm.New the exact
+// configuration the pre-engine code did, keeping default runs
+// bit-identical (gated by TestEngineDefaultIdentity and benchcheck.sh).
+func buildEngine(cfg Config, engine string, eff machine.Params, layer *amsg.Layer) (platform.Substrate, error) {
+	if engine == consengine.IVYName {
+		return ivy.New(ivy.Config{Nodes: cfg.Nodes, Params: eff, Layer: layer})
+	}
+	sc := swdsm.Config{
+		Nodes: cfg.Nodes, Params: eff,
+		CachePages: cfg.SWDSMCachePages, Layer: layer,
+		MigrateAfter: cfg.SWDSMMigrateAfter,
+		Aggregation:  cfg.SWDSMAggregation,
+	}
+	if engine == consengine.EagerRCName {
+		sc.Protocol = swdsm.EagerRC
+	}
+	return swdsm.New(sc)
+}
+
+// layerOf extracts a substrate's private active-message layer, when it
+// has one (separate-messaging software DSM engines).
+func layerOf(sub platform.Substrate) *amsg.Layer {
+	if ld, ok := sub.(interface{ Layer() *amsg.Layer }); ok {
+		return ld.Layer()
+	}
+	return nil
+}
+
+// declaredModel resolves a substrate's native consistency model and a
+// human-readable engine name: consistency engines declare both
+// themselves; hardware substrates are mapped from their capability
+// string.
+func declaredModel(sub platform.Substrate) (consengine.Model, string) {
+	if e, ok := sub.(consengine.Engine); ok {
+		return e.DeclaredModel(), e.EngineName()
+	}
+	name := sub.Kind().String()
+	switch sub.Caps().ConsistencyModel {
+	case "sequential":
+		return consengine.Sequential, name
+	case "processor":
+		return consengine.Processor, name
+	case "scope":
+		return consengine.Scope, name
+	case "entry":
+		return consengine.Entry, name
+	default:
+		return consengine.Release, name
+	}
 }
 
 // NewWithSubstrate wraps an existing substrate (used by tests and by the

@@ -1,0 +1,99 @@
+package ivy
+
+import (
+	"hamster/internal/memsim"
+	"hamster/internal/vclock"
+)
+
+// Block accessors: the bulk fast path of platform.Substrate, with the
+// same cost identity as the scope engine's (see swdsm/block.go): a run
+// of words within one page pays ONE frame resolution and ONE batched
+// clock charge, but the modeled cost is word-for-word what the per-word
+// loop charges — AccessNs per word, one fault (if any) for the whole
+// run, one CPU-cache touch per page. Under IVY a block write triggers at
+// most one ownership transfer and one invalidation round per page, the
+// same as the first word write of a loop.
+
+// ReadF64Block implements platform.Substrate.
+func (d *DSM) ReadF64Block(nodeID int, a memsim.Addr, dst []float64) {
+	n := d.access(nodeID)
+	n.mu.Lock()
+	n.stats.BlockReads++
+	n.mu.Unlock()
+	clk := d.clocks[nodeID]
+	memsim.WordRuns(a, len(dst), func(p memsim.PageID, off, count int) {
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
+		miss := n.touchLocal(p)
+		e := n.readableFrame(p)
+		memsim.GetF64Slice(e.data, off, dst[:count])
+		n.stats.Reads += uint64(count)
+		if miss {
+			n.stats.CacheMisses++
+		}
+		n.mu.Unlock()
+		dst = dst[count:]
+	})
+}
+
+// WriteF64Block implements platform.Substrate.
+func (d *DSM) WriteF64Block(nodeID int, a memsim.Addr, src []float64) {
+	n := d.access(nodeID)
+	n.mu.Lock()
+	n.stats.BlockWrites++
+	n.mu.Unlock()
+	clk := d.clocks[nodeID]
+	memsim.WordRuns(a, len(src), func(p memsim.PageID, off, count int) {
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
+		miss := n.touchLocal(p)
+		e := n.writableFrame(p)
+		memsim.PutF64Slice(e.data, off, src[:count])
+		n.stats.Writes += uint64(count)
+		if miss {
+			n.stats.CacheMisses++
+		}
+		n.mu.Unlock()
+		src = src[count:]
+	})
+}
+
+// ReadI64Block implements platform.Substrate.
+func (d *DSM) ReadI64Block(nodeID int, a memsim.Addr, dst []int64) {
+	n := d.access(nodeID)
+	n.mu.Lock()
+	n.stats.BlockReads++
+	n.mu.Unlock()
+	clk := d.clocks[nodeID]
+	memsim.WordRuns(a, len(dst), func(p memsim.PageID, off, count int) {
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
+		miss := n.touchLocal(p)
+		e := n.readableFrame(p)
+		memsim.GetI64Slice(e.data, off, dst[:count])
+		n.stats.Reads += uint64(count)
+		if miss {
+			n.stats.CacheMisses++
+		}
+		n.mu.Unlock()
+		dst = dst[count:]
+	})
+}
+
+// WriteI64Block implements platform.Substrate.
+func (d *DSM) WriteI64Block(nodeID int, a memsim.Addr, src []int64) {
+	n := d.access(nodeID)
+	n.mu.Lock()
+	n.stats.BlockWrites++
+	n.mu.Unlock()
+	clk := d.clocks[nodeID]
+	memsim.WordRuns(a, len(src), func(p memsim.PageID, off, count int) {
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*vclock.Duration(count))
+		miss := n.touchLocal(p)
+		e := n.writableFrame(p)
+		memsim.PutI64Slice(e.data, off, src[:count])
+		n.stats.Writes += uint64(count)
+		if miss {
+			n.stats.CacheMisses++
+		}
+		n.mu.Unlock()
+		src = src[count:]
+	})
+}

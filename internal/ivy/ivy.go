@@ -1,0 +1,752 @@
+// Package ivy implements an IVY-style write-invalidate software DSM with
+// distributed dynamic ownership (Li & Hudak's distributed-manager design:
+// no central metadata server; ownership migrates to writers). It is the
+// framework's second consistency engine (§4.5, ROADMAP items 1 and 4),
+// declaring Sequential consistency where the scope engine declares Scope.
+//
+// Every page has exactly one owner holding the authoritative copy and the
+// copyset of nodes with read copies. A read fault chases the requester's
+// probable-owner hint chain to the owner, which adds the requester to the
+// copyset and returns the page. A write fault transfers ownership: the
+// old owner relinquishes its copy, hands over page + copyset, and the new
+// owner synchronously invalidates every copyset member before the write
+// performs — that synchronous completion is what yields sequential
+// consistency, and what makes the engine so much noisier than the relaxed
+// protocols (the ablation the paper's §4.5 model menu exists for). Hint
+// chains are compressed on every hop (requester, granting node, and
+// invalidated nodes all repoint to the new owner), the Li & Hudak
+// argument that chains always terminate at the current owner.
+//
+// Concurrency contract: each node's accessors run on that node's own
+// goroutine; protocol handlers execute on the caller's goroutine against
+// the target node's state (amsg's convention) and take the target node's
+// mutex. A node never holds its mutex across a network call: ownership
+// installs set a pending flag instead, and handlers wait on the node's
+// condition variable until the invalidation round completes, so requests
+// observe either the pre-transfer or post-transfer state, never the
+// middle. Ownership chase lengths under contention depend on goroutine
+// scheduling, so message counts and virtual times of contended runs are
+// schedule-dependent; checksums are not (the protocol is coherent under
+// every schedule).
+package ivy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+	"sync"
+
+	"hamster/internal/amsg"
+	"hamster/internal/consengine"
+	"hamster/internal/machine"
+	"hamster/internal/memsim"
+	"hamster/internal/perfmon"
+	"hamster/internal/platform"
+	"hamster/internal/simnet"
+	"hamster/internal/vclock"
+)
+
+// Active-message kinds. Offset high above swdsm's kinds so both engines
+// can share one coalesced layer without collision.
+const (
+	kindReadPage amsg.Kind = iota + 41
+	kindWritePage
+	kindInvalidate
+)
+
+// Config parameterizes an IVY cluster. The fields mirror swdsm.Config so
+// core and multidsm compose either engine the same way.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Params is the cost model; zero value means machine.Default().
+	Params machine.Params
+	// Layer optionally supplies a shared active-message layer (HAMSTER's
+	// coalesced messaging). When nil the DSM builds a private network.
+	Layer *amsg.Layer
+	// Space optionally supplies a shared global address space (multi-DSM
+	// composition, §6). When nil the DSM owns a private space.
+	Space *memsim.Space
+	// Clocks optionally supplies shared per-node clocks (multi-DSM
+	// composition). Length must equal Nodes. Ignored when Layer is set.
+	Clocks []*vclock.Clock
+}
+
+// pstate is the coherence state of a page at one node.
+type pstate uint8
+
+const (
+	// pHint: no local copy; the entry only carries the probable-owner
+	// hint left behind by an invalidation or an ownership grant.
+	pHint pstate = iota
+	// pRead: valid read copy (registered in the owner's copyset).
+	pRead
+	// pOwned: authoritative copy plus the copyset.
+	pOwned
+)
+
+// ipage is one page's local protocol state. Guarded by the node's mutex.
+type ipage struct {
+	state   pstate
+	data    []byte           // pRead, pOwned
+	copyset map[int]struct{} // pOwned
+	hint    int              // pHint, pRead: probable owner (-1 = use home)
+	// pending is true while the owner runs its synchronous invalidation
+	// round; handlers wait on the node's cond until it clears, so
+	// ownership never transfers mid-round.
+	pending bool
+	// gen counts invalidations of this entry. A read fault that raced
+	// with an invalidation (reply generated before, arriving after)
+	// detects the stale reply by the bump and refetches.
+	gen uint64
+}
+
+// DSM is one IVY cluster.
+type DSM struct {
+	params machine.Params
+	space  *memsim.Space
+	clocks []*vclock.Clock
+	layer  *amsg.Layer
+	nodes  []*node
+
+	lockMu sync.Mutex
+	locks  []*lockState
+
+	barrier *vclock.VBarrier
+
+	rec *perfmon.Recorder // protocol event recorder; nil until attached
+}
+
+type node struct {
+	id  int
+	dsm *DSM
+	// pcache models this node's CPU cache for local references. Owner
+	// goroutine only.
+	pcache *machine.PageCache
+
+	// mu guards pages and stats: protocol handlers run on other
+	// goroutines against this state. cond signals pending-flag clears.
+	mu    sync.Mutex
+	cond  *sync.Cond
+	pages map[memsim.PageID]*ipage
+	stats platform.Stats
+}
+
+// New builds an IVY cluster.
+func New(cfg Config) (*DSM, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("ivy: need at least one node, got %d", cfg.Nodes)
+	}
+	params := cfg.Params
+	if params.Name == "" {
+		params = machine.Default()
+	}
+	space := cfg.Space
+	if space == nil {
+		space = memsim.NewSpace(cfg.Nodes)
+	}
+	d := &DSM{
+		params: params,
+		space:  space,
+		clocks: make([]*vclock.Clock, cfg.Nodes),
+		nodes:  make([]*node, cfg.Nodes),
+	}
+	if cfg.Clocks != nil {
+		if len(cfg.Clocks) != cfg.Nodes {
+			return nil, fmt.Errorf("ivy: %d clocks for %d nodes", len(cfg.Clocks), cfg.Nodes)
+		}
+		copy(d.clocks, cfg.Clocks)
+	} else {
+		for i := range d.clocks {
+			d.clocks[i] = &vclock.Clock{}
+		}
+	}
+	if cfg.Layer != nil {
+		if cfg.Layer.Network().Size() != cfg.Nodes {
+			return nil, fmt.Errorf("ivy: shared layer has %d nodes, want %d",
+				cfg.Layer.Network().Size(), cfg.Nodes)
+		}
+		d.layer = cfg.Layer
+		for i := range d.clocks {
+			d.clocks[i] = cfg.Layer.Network().Clock(simnet.NodeID(i))
+		}
+	} else {
+		net := simnet.New(params.Ethernet, d.clocks)
+		d.layer = amsg.New(net, params.Ethernet)
+	}
+	for i := range d.nodes {
+		n := &node{
+			id:     i,
+			dsm:    d,
+			pcache: machine.NewPageCache(params.Bus.CachePages),
+			pages:  make(map[memsim.PageID]*ipage),
+		}
+		n.cond = sync.NewCond(&n.mu)
+		d.nodes[i] = n
+		d.registerHandlers(n)
+	}
+	d.barrier = vclock.NewVBarrier(cfg.Nodes)
+	d.barrier.SetLiveRelease(d.layer.Network().CallFaultsActive)
+	return d, nil
+}
+
+// homeOf resolves (and first-touch assigns) the home of a page — the
+// page's initial owner.
+func (n *node) homeOf(p memsim.PageID) int {
+	h := n.dsm.space.Home(p)
+	if h == memsim.NoHome {
+		h = n.dsm.space.TouchHome(p, n.id)
+	}
+	return h
+}
+
+// entry returns (creating if needed) the page's state record. Call with
+// n.mu held.
+func (n *node) entry(p memsim.PageID) *ipage {
+	e := n.pages[p]
+	if e == nil {
+		e = &ipage{hint: -1}
+		n.pages[p] = e
+	}
+	return e
+}
+
+// bootstrapOwned installs the zeroed initial owned copy at the page's
+// home. Call with n.mu held and only when n is the home and the page has
+// never been granted away.
+func (n *node) bootstrapOwned(p memsim.PageID) *ipage {
+	e := n.entry(p)
+	e.state = pOwned
+	e.data = make([]byte, memsim.PageSize)
+	e.copyset = make(map[int]struct{})
+	return e
+}
+
+func (d *DSM) registerHandlers(n *node) {
+	id := simnet.NodeID(n.id)
+	d.layer.Register(id, kindReadPage, func(from amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
+		p := memsim.PageID(binary.LittleEndian.Uint64(req))
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for {
+			e := n.pages[p]
+			if e == nil && n.dsm.space.Home(p) == n.id {
+				// Lazy home bootstrap: the home becomes initial owner on
+				// the first request for an untouched page.
+				e = n.bootstrapOwned(p)
+			}
+			if e == nil || e.state != pOwned {
+				return hintReply(n.hintLocked(p)), 0
+			}
+			if !e.pending {
+				e.copyset[int(from)] = struct{}{}
+				out := make([]byte, 1+memsim.PageSize)
+				out[0] = 1
+				copy(out[1:], e.data)
+				return out, d.params.CPU.PageCopyNs
+			}
+			n.cond.Wait()
+		}
+	})
+	d.layer.Register(id, kindWritePage, func(from amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
+		p := memsim.PageID(binary.LittleEndian.Uint64(req))
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		for {
+			e := n.pages[p]
+			if e == nil && n.dsm.space.Home(p) == n.id {
+				e = n.bootstrapOwned(p)
+			}
+			if e == nil || e.state != pOwned {
+				return hintReply(n.hintLocked(p)), 0
+			}
+			if !e.pending {
+				// Grant: relinquish the copy, hand over page + copyset
+				// (minus the requester), repoint the hint at the new owner.
+				out := make([]byte, 1+4+8*len(e.copyset)+memsim.PageSize)
+				out[0] = 1
+				members := 0
+				for m := range e.copyset {
+					if m == int(from) {
+						continue
+					}
+					binary.LittleEndian.PutUint64(out[5+8*members:], uint64(m))
+					members++
+				}
+				binary.LittleEndian.PutUint32(out[1:], uint32(members))
+				copy(out[5+8*members:], e.data)
+				out = out[:5+8*members+memsim.PageSize]
+				e.state = pHint
+				e.data = nil
+				e.copyset = nil
+				e.hint = int(from)
+				e.gen++
+				return out, d.params.CPU.PageCopyNs
+			}
+			n.cond.Wait()
+		}
+	})
+	d.layer.Register(id, kindInvalidate, func(from amsg.NodeID, req []byte) ([]byte, vclock.Duration) {
+		p := memsim.PageID(binary.LittleEndian.Uint64(req))
+		owner := int(binary.LittleEndian.Uint64(req[8:]))
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		e := n.entry(p)
+		if e.state == pOwned {
+			panic(fmt.Sprintf("ivy: node %d received invalidation for page %d it owns (from %d)", n.id, p, from))
+		}
+		if e.state == pRead {
+			e.data = nil
+			n.stats.Invalidations++
+		}
+		e.state = pHint
+		e.hint = owner
+		e.gen++
+		return nil, 0
+	})
+}
+
+// hintLocked computes the best probable-owner hint this node can give for
+// a page it does not own. Call with n.mu held.
+func (n *node) hintLocked(p memsim.PageID) int {
+	if e := n.pages[p]; e != nil && e.hint >= 0 {
+		return e.hint
+	}
+	if h := n.dsm.space.Home(p); h >= 0 {
+		return h
+	}
+	return n.id
+}
+
+func hintReply(hint int) []byte {
+	out := make([]byte, 9)
+	copy(out, []byte{0})
+	binary.LittleEndian.PutUint64(out[1:], uint64(hint))
+	return out
+}
+
+// nextHop picks the next node to ask for a page: the local hint when one
+// exists, else the page's home (first-touch assigned to the caller).
+func (n *node) nextHop(p memsim.PageID) int {
+	n.mu.Lock()
+	e := n.pages[p]
+	if e != nil && e.state != pOwned && e.hint >= 0 {
+		h := e.hint
+		n.mu.Unlock()
+		return h
+	}
+	n.mu.Unlock()
+	return n.homeOf(p)
+}
+
+// pageReq encodes the one-word request shared by the read and write
+// faults. The encoder's pooled buffer is returned by the caller's
+// enc.Free once the call completes.
+func pageReq(enc *amsg.Enc, p memsim.PageID) []byte {
+	return enc.U64(uint64(p)).Bytes()
+}
+
+// readFault chases the hint chain to the owner and installs a read copy.
+func (n *node) readFault(p memsim.PageID) {
+	d := n.dsm
+	clk := d.clocks[n.id]
+	t0 := clk.Now()
+	for {
+		target := n.nextHop(p)
+		if target == n.id {
+			// We are the home of an untouched page: become initial owner.
+			n.mu.Lock()
+			if n.pages[p] == nil {
+				n.bootstrapOwned(p)
+				n.mu.Unlock()
+				return
+			}
+			n.mu.Unlock()
+			continue // a handler bootstrapped (and maybe granted) meanwhile
+		}
+		n.mu.Lock()
+		gen := n.entry(p).gen
+		n.stats.ProtocolMsgs++
+		n.mu.Unlock()
+		enc := amsg.GetEnc()
+		resp, err := d.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(target), kindReadPage, pageReq(enc, p))
+		enc.Free()
+		if err != nil {
+			panic(fmt.Sprintf("ivy: node %d cannot fetch page %d from node %d: %v", n.id, p, target, err))
+		}
+		if resp[0] != 1 {
+			hint := int(binary.LittleEndian.Uint64(resp[1:]))
+			if hint == n.id {
+				continue // stale pointer back at us; retry via our own state
+			}
+			n.mu.Lock()
+			n.entry(p).hint = hint
+			n.mu.Unlock()
+			continue
+		}
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.PageCopyNs)
+		n.mu.Lock()
+		e := n.entry(p)
+		if e.gen != gen {
+			// Invalidated between reply generation and install: the copy
+			// is already stale, refetch from the new owner.
+			n.mu.Unlock()
+			continue
+		}
+		e.state = pRead
+		e.data = resp[1:]
+		e.hint = target
+		n.stats.PageFaults++
+		n.mu.Unlock()
+		if rec := d.rec; rec != nil && rec.Enabled() {
+			rec.Record(n.id, perfmon.EvPageFault, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(target))
+		}
+		return
+	}
+}
+
+// writeFault chases the hint chain, takes ownership, and synchronously
+// invalidates the inherited copyset before returning.
+func (n *node) writeFault(p memsim.PageID) {
+	d := n.dsm
+	clk := d.clocks[n.id]
+	t0 := clk.Now()
+	for {
+		target := n.nextHop(p)
+		if target == n.id {
+			n.mu.Lock()
+			if n.pages[p] == nil {
+				n.bootstrapOwned(p)
+				n.mu.Unlock()
+				return
+			}
+			n.mu.Unlock()
+			continue
+		}
+		n.mu.Lock()
+		n.stats.ProtocolMsgs++
+		n.mu.Unlock()
+		enc := amsg.GetEnc()
+		resp, err := d.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(target), kindWritePage, pageReq(enc, p))
+		enc.Free()
+		if err != nil {
+			panic(fmt.Sprintf("ivy: node %d cannot take ownership of page %d from node %d: %v", n.id, p, target, err))
+		}
+		if resp[0] != 1 {
+			hint := int(binary.LittleEndian.Uint64(resp[1:]))
+			if hint == n.id {
+				continue
+			}
+			n.mu.Lock()
+			n.entry(p).hint = hint
+			n.mu.Unlock()
+			continue
+		}
+		count := int(binary.LittleEndian.Uint32(resp[1:]))
+		members := make([]int, count)
+		for i := 0; i < count; i++ {
+			members[i] = int(binary.LittleEndian.Uint64(resp[5+8*i:]))
+		}
+		slices.Sort(members)
+		clk.AdvanceCat(vclock.CatMemory, d.params.CPU.PageCopyNs)
+		n.mu.Lock()
+		e := n.entry(p)
+		e.state = pOwned
+		e.data = resp[5+8*count:]
+		e.copyset = make(map[int]struct{})
+		e.hint = -1
+		e.pending = len(members) > 0
+		n.stats.PageFaults++
+		n.stats.HomeMigrations++ // ownership arrivals
+		n.mu.Unlock()
+		if rec := d.rec; rec != nil && rec.Enabled() {
+			rec.Record(n.id, perfmon.EvHomeMigrate, t0, vclock.Since(t0, clk.Now()), uint64(p), uint64(target))
+		}
+		if len(members) > 0 {
+			n.invalidateMembers(p, members)
+			n.mu.Lock()
+			e.pending = false
+			n.cond.Broadcast()
+			n.mu.Unlock()
+		}
+		return
+	}
+}
+
+// invalidateMembers synchronously drops every copyset member's read copy
+// (sorted order for determinism). Call without n.mu held; the entry's
+// pending flag must already exclude concurrent transfers.
+func (n *node) invalidateMembers(p memsim.PageID, members []int) {
+	d := n.dsm
+	clk := d.clocks[n.id]
+	t0 := clk.Now()
+	for _, m := range members {
+		enc := amsg.GetEnc()
+		req := enc.U64(uint64(p)).U64(uint64(n.id)).Bytes()
+		n.mu.Lock()
+		n.stats.ProtocolMsgs++
+		n.mu.Unlock()
+		if _, err := d.layer.CallErr(simnet.NodeID(n.id), simnet.NodeID(m), kindInvalidate, req); err != nil {
+			panic(fmt.Sprintf("ivy: node %d cannot invalidate page %d at node %d (a stale copy would survive): %v", n.id, p, m, err))
+		}
+		enc.Free()
+	}
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(n.id, perfmon.EvInvalidate, t0, vclock.Since(t0, clk.Now()), uint64(len(members)), uint64(p))
+	}
+}
+
+// readableFrame returns the page entry with a valid local copy, n.mu
+// HELD; the caller reads and unlocks.
+func (n *node) readableFrame(p memsim.PageID) *ipage {
+	for {
+		n.mu.Lock()
+		e := n.pages[p]
+		if e != nil && e.state != pHint {
+			return e
+		}
+		n.mu.Unlock()
+		n.readFault(p)
+	}
+}
+
+// writableFrame returns the owned page entry with an empty copyset, n.mu
+// HELD; the caller writes and unlocks. Running the invalidation round
+// before the write performs is the sequential-consistency guarantee.
+func (n *node) writableFrame(p memsim.PageID) *ipage {
+	for {
+		n.mu.Lock()
+		e := n.pages[p]
+		if e != nil && e.state == pOwned {
+			if len(e.copyset) > 0 {
+				n.invalRound(p, e)
+			}
+			return e
+		}
+		n.mu.Unlock()
+		n.writeFault(p)
+	}
+}
+
+// invalRound runs the owner-write invalidation: snapshot and clear the
+// copyset under the pending flag, drop every member's copy, resume. Call
+// with n.mu held; returns with n.mu held and the entry still owned.
+func (n *node) invalRound(p memsim.PageID, e *ipage) {
+	e.pending = true
+	members := make([]int, 0, len(e.copyset))
+	for m := range e.copyset {
+		members = append(members, m)
+	}
+	clear(e.copyset)
+	slices.Sort(members)
+	n.mu.Unlock()
+	n.invalidateMembers(p, members)
+	n.mu.Lock()
+	e.pending = false
+	n.cond.Broadcast()
+}
+
+// touchLocal charges the CPU-cache model for one local page reference and
+// returns whether it missed (the caller counts it under the mutex).
+func (n *node) touchLocal(p memsim.PageID) bool {
+	if !n.pcache.Touch(uint64(p)) {
+		n.dsm.clocks[n.id].AdvanceCat(vclock.CatMemory, n.dsm.params.Bus.MissCost())
+		return true
+	}
+	return false
+}
+
+func (d *DSM) access(nodeID int) *node {
+	if nodeID < 0 || nodeID >= len(d.nodes) {
+		panic(fmt.Sprintf("ivy: invalid node %d", nodeID))
+	}
+	return d.nodes[nodeID]
+}
+
+// Kind implements platform.Substrate.
+func (d *DSM) Kind() platform.Kind { return platform.SWDSM }
+
+// Nodes implements platform.Substrate.
+func (d *DSM) Nodes() int { return len(d.nodes) }
+
+// Clock implements platform.Substrate.
+func (d *DSM) Clock(node int) *vclock.Clock { return d.clocks[node] }
+
+// Space implements platform.Substrate.
+func (d *DSM) Space() *memsim.Space { return d.space }
+
+// Params implements platform.Substrate.
+func (d *DSM) Params() machine.Params { return d.params }
+
+// Layer exposes the active-message layer (for the coalesced-messaging
+// configuration and the integration tests).
+func (d *DSM) Layer() *amsg.Layer { return d.layer }
+
+// Caps implements platform.Substrate.
+func (d *DSM) Caps() platform.Caps {
+	return platform.Caps{
+		PageCaching:      true,
+		ConsistencyModel: "sequential",
+		Placement: []memsim.Policy{
+			memsim.Block, memsim.Cyclic, memsim.FirstTouch, memsim.Fixed,
+		},
+	}
+}
+
+// EngineName implements consengine.Engine.
+func (d *DSM) EngineName() string { return consengine.IVYName }
+
+// DeclaredModel implements consengine.Engine: synchronous write
+// invalidation makes every execution sequentially consistent.
+func (d *DSM) DeclaredModel() consengine.Model { return consengine.Sequential }
+
+// Alloc implements platform.Substrate.
+func (d *DSM) Alloc(size uint64, name string, pol memsim.Policy, fixedNode int) (memsim.Region, error) {
+	return d.space.Alloc(size, name, pol, fixedNode)
+}
+
+// Free implements platform.Substrate.
+func (d *DSM) Free(r memsim.Region) error { return d.space.Free(r) }
+
+// Compute implements platform.Substrate.
+func (d *DSM) Compute(node int, flops uint64) {
+	d.clocks[node].Advance(vclock.Duration(flops) * d.params.CPU.FlopNs)
+}
+
+// NodeStats implements platform.Substrate. HomeMigrations counts
+// ownership arrivals. Call only while the node's program is quiescent.
+func (d *DSM) NodeStats(node int) platform.Stats {
+	n := d.nodes[node]
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats implements platform.Substrate. Quiescent use only.
+func (d *DSM) ResetStats(node int) {
+	n := d.nodes[node]
+	n.mu.Lock()
+	n.stats = platform.Stats{}
+	n.mu.Unlock()
+}
+
+// SetRecorder implements platform.Substrate.
+func (d *DSM) SetRecorder(rec *perfmon.Recorder) {
+	d.rec = rec
+	d.layer.SetRecorder(rec)
+}
+
+// Close implements platform.Substrate.
+func (d *DSM) Close() { d.layer.Network().Close() }
+
+// ReadF64 implements platform.Substrate.
+func (d *DSM) ReadF64(nodeID int, a memsim.Addr) float64 {
+	n := d.access(nodeID)
+	d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs)
+	p := memsim.PageOf(a)
+	miss := n.touchLocal(p)
+	e := n.readableFrame(p)
+	v := memsim.GetF64(e.data, memsim.Offset(a))
+	n.stats.Reads++
+	if miss {
+		n.stats.CacheMisses++
+	}
+	n.mu.Unlock()
+	return v
+}
+
+// WriteF64 implements platform.Substrate.
+func (d *DSM) WriteF64(nodeID int, a memsim.Addr, v float64) {
+	n := d.access(nodeID)
+	d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs)
+	p := memsim.PageOf(a)
+	miss := n.touchLocal(p)
+	e := n.writableFrame(p)
+	memsim.PutF64(e.data, memsim.Offset(a), v)
+	n.stats.Writes++
+	if miss {
+		n.stats.CacheMisses++
+	}
+	n.mu.Unlock()
+}
+
+// ReadI64 implements platform.Substrate.
+func (d *DSM) ReadI64(nodeID int, a memsim.Addr) int64 {
+	n := d.access(nodeID)
+	d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs)
+	p := memsim.PageOf(a)
+	miss := n.touchLocal(p)
+	e := n.readableFrame(p)
+	v := memsim.GetI64(e.data, memsim.Offset(a))
+	n.stats.Reads++
+	if miss {
+		n.stats.CacheMisses++
+	}
+	n.mu.Unlock()
+	return v
+}
+
+// WriteI64 implements platform.Substrate.
+func (d *DSM) WriteI64(nodeID int, a memsim.Addr, v int64) {
+	n := d.access(nodeID)
+	d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs)
+	p := memsim.PageOf(a)
+	miss := n.touchLocal(p)
+	e := n.writableFrame(p)
+	memsim.PutI64(e.data, memsim.Offset(a), v)
+	n.stats.Writes++
+	if miss {
+		n.stats.CacheMisses++
+	}
+	n.mu.Unlock()
+}
+
+// ReadBytes implements platform.Substrate; the span may cross pages.
+func (d *DSM) ReadBytes(nodeID int, a memsim.Addr, buf []byte) {
+	n := d.access(nodeID)
+	for len(buf) > 0 {
+		p := memsim.PageOf(a)
+		off := memsim.Offset(a)
+		chunk := memsim.PageSize - off
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*
+			vclock.Duration(1+chunk/memsim.WordSize))
+		miss := n.touchLocal(p)
+		e := n.readableFrame(p)
+		copy(buf[:chunk], e.data[off:off+chunk])
+		n.stats.Reads++
+		if miss {
+			n.stats.CacheMisses++
+		}
+		n.mu.Unlock()
+		buf = buf[chunk:]
+		a += memsim.Addr(chunk)
+	}
+}
+
+// WriteBytes implements platform.Substrate; the span may cross pages.
+func (d *DSM) WriteBytes(nodeID int, a memsim.Addr, data []byte) {
+	n := d.access(nodeID)
+	for len(data) > 0 {
+		p := memsim.PageOf(a)
+		off := memsim.Offset(a)
+		chunk := memsim.PageSize - off
+		if chunk > len(data) {
+			chunk = len(data)
+		}
+		d.clocks[nodeID].AdvanceCat(vclock.CatMemory, d.params.CPU.AccessNs*
+			vclock.Duration(1+chunk/memsim.WordSize))
+		miss := n.touchLocal(p)
+		e := n.writableFrame(p)
+		copy(e.data[off:off+chunk], data[:chunk])
+		n.stats.Writes++
+		if miss {
+			n.stats.CacheMisses++
+		}
+		n.mu.Unlock()
+		data = data[chunk:]
+		a += memsim.Addr(chunk)
+	}
+}

@@ -1,0 +1,179 @@
+package ivy
+
+import (
+	"fmt"
+
+	"hamster/internal/amsg"
+	"hamster/internal/memsim"
+	"hamster/internal/perfmon"
+	"hamster/internal/vclock"
+)
+
+// Synchronization under IVY carries no consistency payload: memory is
+// coherent at every instant (writes invalidate synchronously), so locks
+// and barriers are pure ordering devices. They still pay the same
+// modeled message costs as the scope engine's (request to the home,
+// handler steal) so cross-engine comparisons isolate the protocols' data
+// paths, not different sync models.
+
+// lockState is one global lock, homed round-robin like the scope
+// engine's (JiaJia's static lock distribution).
+type lockState struct {
+	id   int
+	home int
+	vl   *vclock.VLock
+}
+
+// lockMsgBytes is the wire size of a lock request/grant.
+const lockMsgBytes = 16
+
+// NewLock implements platform.Substrate.
+func (d *DSM) NewLock() int {
+	d.lockMu.Lock()
+	defer d.lockMu.Unlock()
+	id := len(d.locks)
+	d.locks = append(d.locks, &lockState{
+		id:   id,
+		home: id % len(d.nodes),
+		vl:   vclock.NewVLock(),
+	})
+	return id
+}
+
+func (d *DSM) lock(id int) *lockState {
+	d.lockMu.Lock()
+	defer d.lockMu.Unlock()
+	if id < 0 || id >= len(d.locks) {
+		panic(fmt.Sprintf("ivy: unknown lock %d", id))
+	}
+	return d.locks[id]
+}
+
+// lockCost returns the modeled cost of one lock message from nodeID to
+// the lock's home, charging the home's handler steal as a side effect.
+func (d *DSM) lockCost(n *node, home int) vclock.Duration {
+	if home == n.id {
+		return amsg.LocalCallNs
+	}
+	d.clocks[home].Steal(d.params.Ethernet.HandlerNs)
+	n.mu.Lock()
+	n.stats.ProtocolMsgs++
+	n.mu.Unlock()
+	return d.params.Ethernet.MsgCost(lockMsgBytes)
+}
+
+// Acquire implements platform.Substrate. No invalidations: IVY copies
+// are never stale.
+func (d *DSM) Acquire(nodeID, lock int) {
+	n := d.access(nodeID)
+	st := d.lock(lock)
+	clk := d.clocks[nodeID]
+	t0 := clk.Now()
+	st.vl.Acquire(clk, d.lockCost(n, st.home), 0)
+	n.mu.Lock()
+	n.stats.LockAcquires++
+	n.mu.Unlock()
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvLockAcquire, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
+}
+
+// TryAcquire implements platform.Substrate.
+func (d *DSM) TryAcquire(nodeID, lock int) bool {
+	n := d.access(nodeID)
+	st := d.lock(lock)
+	clk := d.clocks[nodeID]
+	t0 := clk.Now()
+	if !st.vl.TryAcquire(clk, d.lockCost(n, st.home), 0) {
+		return false
+	}
+	n.mu.Lock()
+	n.stats.LockAcquires++
+	n.mu.Unlock()
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvLockAcquire, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
+	return true
+}
+
+// Release implements platform.Substrate. Nothing to flush: every write
+// already performed globally.
+func (d *DSM) Release(nodeID, lock int) {
+	n := d.access(nodeID)
+	st := d.lock(lock)
+	clk := d.clocks[nodeID]
+	t0 := clk.Now()
+	st.vl.Release(clk, d.lockCost(n, st.home))
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvLockRelease, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
+	}
+}
+
+// Barrier implements platform.Substrate: a pure rendezvous at manager
+// node 0 (no notice exchange).
+func (d *DSM) Barrier(nodeID int) {
+	n := d.access(nodeID)
+	clk := d.clocks[nodeID]
+	const manager = 0
+	t0 := clk.Now()
+	var arriveCost vclock.Duration
+	if nodeID != manager {
+		arriveCost = d.params.Ethernet.MsgCost(lockMsgBytes)
+		d.clocks[manager].Steal(d.params.Ethernet.HandlerNs)
+		n.mu.Lock()
+		n.stats.ProtocolMsgs++
+		n.mu.Unlock()
+	} else {
+		arriveCost = amsg.LocalCallNs
+	}
+	d.barrier.Arrive(clk, arriveCost, 0)
+	n.mu.Lock()
+	n.stats.BarrierCrossings++
+	n.mu.Unlock()
+	if rec := d.rec; rec != nil && rec.Enabled() {
+		rec.Record(nodeID, perfmon.EvBarrier, t0, vclock.Since(t0, clk.Now()), 0, 0)
+	}
+}
+
+// Fence implements platform.Substrate: a no-op — IVY is sequentially
+// consistent without it.
+func (d *DSM) Fence(nodeID int) {
+	d.access(nodeID) // validate the node id; nothing to do
+}
+
+// AbortSync poisons the barrier and every lock so no goroutine stays
+// blocked waiting for a failed peer (see swdsm.AbortSync).
+func (d *DSM) AbortSync(reason string) {
+	d.barrier.Abort(reason)
+	d.lockMu.Lock()
+	locks := append([]*lockState(nil), d.locks...)
+	d.lockMu.Unlock()
+	for _, st := range locks {
+		st.vl.Abort(reason)
+	}
+}
+
+// FlushInterval implements consengine.Composable: IVY writes are
+// globally visible when they perform, so an interval has no notices.
+func (d *DSM) FlushInterval(nodeID int) []memsim.PageID {
+	d.access(nodeID)
+	return nil
+}
+
+// InvalidatePages implements consengine.Composable: foreign notices drop
+// local read copies. IVY copies are never stale, so this is purely a
+// courtesy to the composition layer (the copy is refetched on next use);
+// owned pages are authoritative and kept.
+func (d *DSM) InvalidatePages(nodeID int, pages []memsim.PageID) {
+	n := d.access(nodeID)
+	n.mu.Lock()
+	for _, p := range pages {
+		if e := n.pages[p]; e != nil && e.state == pRead {
+			e.state = pHint
+			e.data = nil
+			e.gen++
+			n.stats.Invalidations++
+		}
+	}
+	n.mu.Unlock()
+}

@@ -31,7 +31,9 @@ import (
 	"fmt"
 	"sync"
 
+	"hamster/internal/consengine"
 	"hamster/internal/hybriddsm"
+	"hamster/internal/ivy"
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
 	"hamster/internal/notices"
@@ -77,6 +79,12 @@ type Config struct {
 	// Aggregation configures the software engine's protocol aggregation
 	// layer (see swdsm.Aggregation); the zero value is off.
 	Aggregation swdsm.Aggregation
+	// PageEngine selects the page-based engine's consistency protocol by
+	// consengine name: "" or "scope" (the default), "eager-rc", or "ivy".
+	// IVY composes cleanly with the unified synchronization layer — its
+	// FlushInterval is empty because writes perform globally as they
+	// happen — but not with Aggregation (scope-protocol machinery).
+	PageEngine string
 }
 
 // DSM is one composed cluster.
@@ -84,7 +92,7 @@ type DSM struct {
 	params machine.Params
 	space  *memsim.Space
 	clocks []*vclock.Clock
-	sw     *swdsm.DSM
+	sw     consengine.Composable // the page-based engine
 	hy     *hybriddsm.DSM
 	cfg    Config
 
@@ -121,10 +129,28 @@ func New(cfg Config) (*DSM, error) {
 	for i := range clocks {
 		clocks[i] = &vclock.Clock{}
 	}
-	sw, err := swdsm.New(swdsm.Config{
-		Nodes: cfg.Nodes, Params: params, Space: space, Clocks: clocks,
-		Aggregation: cfg.Aggregation,
-	})
+	pageEngine, err := consengine.NormalizeName(cfg.PageEngine)
+	if err != nil {
+		return nil, fmt.Errorf("multidsm: %w", err)
+	}
+	var sw consengine.Composable
+	if pageEngine == consengine.IVYName {
+		if cfg.Aggregation.Enabled() {
+			return nil, fmt.Errorf("multidsm: the ivy page engine does not support protocol aggregation: batched diff flush and write-notice piggybacking are scope-protocol machinery")
+		}
+		sw, err = ivy.New(ivy.Config{
+			Nodes: cfg.Nodes, Params: params, Space: space, Clocks: clocks,
+		})
+	} else {
+		sc := swdsm.Config{
+			Nodes: cfg.Nodes, Params: params, Space: space, Clocks: clocks,
+			Aggregation: cfg.Aggregation,
+		}
+		if pageEngine == consengine.EagerRCName {
+			sc.Protocol = swdsm.EagerRC
+		}
+		sw, err = swdsm.New(sc)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -170,11 +196,38 @@ func (d *DSM) Caps() platform.Caps {
 	return platform.Caps{
 		RemoteAccess:     true,
 		PageCaching:      true,
-		ConsistencyModel: "release",
+		ConsistencyModel: d.DeclaredModel().String(),
 		Placement: []memsim.Policy{
 			memsim.Block, memsim.Cyclic, memsim.FirstTouch, memsim.Fixed,
 		},
 	}
+}
+
+// EngineName implements consengine.Engine.
+func (d *DSM) EngineName() string {
+	return "multi(" + d.sw.EngineName() + "+hybrid)"
+}
+
+// DeclaredModel implements consengine.Engine. The composition is only as
+// strong as the engines an allocation can reach: when every route leads
+// to the page engine, its model holds for the whole system; once any
+// policy routes to the hybrid engine, the weakest of the two mechanisms
+// governs (the hybrid path is Release under the unified sync layer).
+func (d *DSM) DeclaredModel() consengine.Model {
+	pm := d.sw.DeclaredModel()
+	allSW := d.cfg.DefaultEngine == SW
+	for _, e := range d.cfg.PolicyRoutes {
+		if e != SW {
+			allSW = false
+		}
+	}
+	if allSW {
+		return pm
+	}
+	if pm.AtLeast(consengine.Release) {
+		return consengine.Release
+	}
+	return pm
 }
 
 // engineFor picks the engine serving a policy.

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"hamster/internal/amsg"
+	"hamster/internal/consengine"
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
 	"hamster/internal/notices"
@@ -103,6 +104,12 @@ type Config struct {
 	// aggregate.go). The zero value is off and bit-identical to the
 	// baseline protocol.
 	Aggregation Aggregation
+	// DropInvalidations deliberately breaks the protocol: acquire- and
+	// barrier-side invalidations are silently skipped, so stale copies
+	// survive synchronization. It exists ONLY as the conformance
+	// harness's negative control (a broken engine the litmus battery
+	// must catch); never set it outside tests.
+	DropInvalidations bool
 }
 
 // DSM is one software-DSM cluster.
@@ -117,6 +124,7 @@ type DSM struct {
 	migrateAfter int
 	protocol     Protocol
 	agg          Aggregation
+	dropInval    bool           // conformance-harness negative control
 	rcPending    *notices.Board // EagerRC: one global notice board
 	migration    *migrationState
 	vbMig        *vclock.VBarrier
@@ -323,6 +331,7 @@ func New(cfg Config) (*DSM, error) {
 	d.cacheCap = cap
 	d.protocol = cfg.Protocol
 	d.agg = cfg.Aggregation
+	d.dropInval = cfg.DropInvalidations
 	d.rcPending = notices.NewBoard()
 	d.migrateAfter = cfg.MigrateAfter
 	d.migration = newMigrationState()
@@ -391,6 +400,20 @@ func (d *DSM) Params() machine.Params { return d.params }
 // Layer exposes the active-message layer (for the integration tests and
 // the coalesced-messaging configuration).
 func (d *DSM) Layer() *amsg.Layer { return d.layer }
+
+// EngineName implements consengine.Engine: the protocol variant's name.
+func (d *DSM) EngineName() string { return d.protocol.String() }
+
+// DeclaredModel implements consengine.Engine: the model this protocol
+// claims for data-race-free programs — Scope for the default protocol,
+// Release for the eager variant (any acquire applies every notice). The
+// conformance harness in internal/conscheck verifies the claim.
+func (d *DSM) DeclaredModel() consengine.Model {
+	if d.protocol == EagerRC {
+		return consengine.Release
+	}
+	return consengine.Scope
+}
 
 // Caps implements platform.Substrate.
 func (d *DSM) Caps() platform.Caps {

@@ -151,6 +151,12 @@ func (d *DSM) Release(nodeID, lock int) {
 // locally dirty (false sharing across scopes) is flushed home first so no
 // modification is lost — the multiple-writer guarantee.
 func (n *node) invalidate(pages []memsim.PageID) {
+	if n.dsm.dropInval {
+		// Config.DropInvalidations: the deliberately broken engine the
+		// conformance harness's negative test must catch. Stale copies
+		// (and unflushed false-sharing diffs) survive synchronization.
+		return
+	}
 	n.bumpGen()
 	for _, p := range pages {
 		cp, ok := n.cache[p]

@@ -20,8 +20,13 @@
 #     readings and normalizing the ±15µs virtual-time wobble (all
 #     discrete fields exactly equal), including under a seeded 5%-drop
 #     fault campaign.
+#   - TestEngineDefaultIdentity: selecting no consistency engine must run
+#     the exact pre-engine-interface protocol — default construction and
+#     an explicit "scope" selection are bit-identical, and the committed
+#     BENCH_6.json scope rows replay with checksums and message counts
+#     exact (virtual times within the same 0.1%).
 set -eux
 
 cd "$(dirname "$0")/.."
 
-go test -run 'TestAggregationOffIdentity|TestWalltimeBaselineIdentity|TestParallelRunnerByteIdentity' ./internal/bench/
+go test -run 'TestAggregationOffIdentity|TestWalltimeBaselineIdentity|TestParallelRunnerByteIdentity|TestEngineDefaultIdentity' ./internal/bench/

@@ -50,6 +50,11 @@ go test -race -run 'TestCrashRecoveryKernels' ./internal/bench/
 sh scripts/benchcheck.sh
 go test -race -run 'TestAggregationEquivalence' ./internal/bench/
 
+# Consistency-engine conformance gate: the default engine must pass the
+# whole litmus battery under the race detector (the other engines and the
+# broken-engine negative control run in the same package's full suite).
+go test -race -run 'TestLitmusDefaultEngine|TestLitmusCatchesBrokenEngine' ./internal/conscheck/
+
 # Allocation gates: the pooled hot paths must not allocate in steady
 # state (page fetch and message send at exactly 0 allocs/op; diff flush
 # with zero marginal cost per page). Plain mode only — the race runtime
