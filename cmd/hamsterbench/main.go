@@ -11,6 +11,7 @@
 //	hamsterbench -json FILE -aggregate [-prefetch] [-parallel N]
 //	hamsterbench -json FILE -walltime [-parallel N]
 //	hamsterbench -json FILE -engines [-parallel N]
+//	hamsterbench -json FILE -scaling [-parallel N]
 //
 // With no selection flags, everything runs. -json instead runs the kernel
 // wall-clock benchmark (simulator throughput on the software DSM) and
@@ -43,6 +44,14 @@
 // kernel set at 2 and 4 nodes, recording virtual time, protocol
 // messages, page faults, invalidations, and ownership migrations per
 // cell; checksums must agree across engines for the same cell.
+//
+// -scaling switches -json to the scaling campaign (BENCH_7.json):
+// strong- and weak-scaling kernel cells for the scope and ivy engines on
+// the flat, rack, and fattree topology presets at 8, 16, 64, and 256
+// nodes. Above 8 nodes the software DSM switches to hierarchical
+// synchronization (tree barriers, distributed lock queues), so the
+// campaign exercises both regimes; the rendering calls out the cluster
+// size where IVY's migrating ownership overtakes home-based ScC.
 //
 // -parallel N runs independent benchmark cells on up to N goroutines
 // (0 = GOMAXPROCS, 1 = sequential). Each cell owns a private simulated
@@ -84,6 +93,7 @@ func main() {
 	par := flag.Int("parallel", 0, "run independent benchmark cells on up to N goroutines (0 = GOMAXPROCS, 1 = sequential); modeled results are identical at any setting")
 	wall := flag.Bool("walltime", false, "switch -json to the simulator wall-time suite: sequential vs parallel totals plus hot-path allocation benchmarks")
 	engines := flag.Bool("engines", false, "switch -json to the consistency-engine suite: every engine on the identical kernel set at 2 and 4 nodes")
+	scaling := flag.Bool("scaling", false, "switch -json to the scaling campaign: kernel suite x engines x topologies at 8/16/64/256 nodes")
 	flag.Parse()
 
 	// Flag validation happens before any benchmark runs: unknown -faults
@@ -143,6 +153,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *scaling {
+		if *jsonOut == "" {
+			fmt.Fprintln(os.Stderr, "-scaling requires -json: it selects the scaling campaign")
+			os.Exit(2)
+		}
+		if *engines || *wall || *aggregate || *ckptEvery > 0 || *faults != "" {
+			fmt.Fprintln(os.Stderr, "-scaling, -engines, -walltime, -aggregate, -checkpoint, and -faults are separate -json benchmarks; pass one of them")
+			os.Exit(2)
+		}
+	}
 	var plan *simnet.FaultPlan
 	var seed int64 // stays 0 when unperturbed: no fault plan, no jitter
 	if *faults != "" {
@@ -176,7 +196,19 @@ func main() {
 		}
 		var env envelope
 		var render string
-		if *engines {
+		if *scaling {
+			rows, err := bench.ScalingSuite(*par)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
+				os.Exit(1)
+			}
+			env = envelope{
+				Schema:      "hamster/scaling/v7",
+				Description: "scaling campaign: strong- and weak-scaling kernel cells for the scope and ivy engines on the flat, rack, and fattree topology presets at 8/16/64/256 nodes (swdsm; hierarchical tree barriers and distributed lock queues engage above 8 nodes); checksums agree across engines and fabrics per cell",
+				Results:     rows,
+			}
+			render = bench.RenderScaling(rows)
+		} else if *engines {
 			rows, err := bench.EngineSuiteParallel(*par)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "engines: %v\n", err)

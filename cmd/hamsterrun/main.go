@@ -9,7 +9,7 @@
 //	           [-trace FILE] [-timebreakdown]
 //	           [-faults PROFILE] [-faultseed SEED]
 //	           [-checkpoint N] [-incremental] [-recover]
-//	           [-aggregate] [-prefetch] [-engine NAME]
+//	           [-aggregate] [-prefetch] [-engine NAME] [-topology NAME]
 //
 // A -config file (see internal/cluster for the format) overrides the
 // -platform/-nodes flags, mirroring how the original framework switched
@@ -25,7 +25,10 @@
 // -engine selects the software DSM's consistency engine (scope, eager-rc,
 // or ivy); the ivy write-invalidate engine has no barrier epochs or diff
 // traffic to hook, so it composes with neither -checkpoint/-recover nor
-// -aggregate. All flag combinations are validated before anything boots.
+// -aggregate. -topology selects the software DSM's switch fabric (flat,
+// rack, or fattree); above 8 nodes the DSM also switches to hierarchical
+// synchronization (tree barriers, distributed lock queues). All flag
+// combinations are validated before anything boots.
 package main
 
 import (
@@ -63,6 +66,7 @@ func main() {
 	aggregate := flag.Bool("aggregate", false, "enable protocol aggregation: batched diff flush + write-notice piggybacking (software DSM only)")
 	prefetch := flag.Bool("prefetch", false, "enable adaptive sequential page prefetch (requires -aggregate)")
 	engine := flag.String("engine", "", "software DSM consistency engine: "+strings.Join(hamster.EngineNames(), ", "))
+	topology := flag.String("topology", "", "software DSM switch fabric: "+strings.Join(hamster.TopologyNames(), ", "))
 	flag.Parse()
 
 	cfg := hamster.Config{Nodes: *nodes}
@@ -181,6 +185,27 @@ func main() {
 			}
 		}
 		cfg.Engine = *engine
+	}
+	if *nodes <= 0 || cfg.Nodes <= 0 {
+		fmt.Fprintf(os.Stderr, "-nodes must be >= 1, got %d\n", cfg.Nodes)
+		os.Exit(2)
+	}
+	if *topology != "" {
+		valid := false
+		for _, n := range hamster.TopologyNames() {
+			if *topology == n {
+				valid = true
+			}
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "unknown -topology %q (valid: %s)\n", *topology, strings.Join(hamster.TopologyNames(), ", "))
+			os.Exit(2)
+		}
+		if cfg.Platform != hamster.SWDSM {
+			fmt.Fprintf(os.Stderr, "-topology requires the software DSM (got platform %v): it shapes the DSM's switched interconnect\n", cfg.Platform)
+			os.Exit(2)
+		}
+		cfg.Topology = *topology
 	}
 
 	if *ckptEvery > 0 {

@@ -47,6 +47,53 @@ func Example() {
 	// Output: pi = 3.141592654
 }
 
+// ExampleNew boots a sixteen-node software-DSM cluster with a non-default
+// consistency engine and switch fabric: the IVY write-invalidate engine on
+// the oversubscribed rack topology. Sixteen nodes is above the
+// hierarchical-synchronization threshold, so the barriers below run on the
+// topology-aligned reduction tree rather than a centralized manager. Each
+// node writes its partial sum to its own slot and node 0 reduces the slots
+// in a fixed order, so the printed value is deterministic.
+func ExampleNew() {
+	rt, err := hamster.New(hamster.Config{
+		Platform: hamster.SWDSM,
+		Nodes:    16,
+		Engine:   "ivy",
+		Topology: "rack",
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	const intervals = 100_000
+	rt.Run(func(e *hamster.Env) {
+		part, err := e.Mem.Alloc(hamster.PageSize, hamster.AllocOpts{
+			Name: "partials", Policy: hamster.Fixed, Collective: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		h := 1.0 / intervals
+		sum := 0.0
+		for i := e.ID(); i < intervals; i += e.N() {
+			x := h * (float64(i) + 0.5)
+			sum += 4.0 / (1.0 + x*x)
+		}
+		e.Compute(6 * intervals / uint64(e.N()))
+		e.WriteF64(part.Base+hamster.Addr(8*e.ID()), sum*h)
+		e.Sync.Barrier()
+		if e.ID() == 0 {
+			pi := 0.0
+			for n := 0; n < e.N(); n++ {
+				pi += e.ReadF64(part.Base + hamster.Addr(8*n))
+			}
+			fmt.Printf("pi = %.9f\n", pi)
+		}
+	})
+	// Output: pi = 3.141592654
+}
+
 // Example_consistencyCheck runs the §6 formal consistency verifier over a
 // deliberately racy program.
 func Example_consistencyCheck() {

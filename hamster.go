@@ -52,6 +52,7 @@ import (
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
 	"hamster/internal/platform"
+	"hamster/internal/simnet"
 	"hamster/internal/swdsm"
 	"hamster/internal/vclock"
 )
@@ -179,6 +180,12 @@ func New(cfg Config) (*Runtime, error) { return core.New(cfg) }
 // (write-invalidate with distributed dynamic ownership, sequential
 // consistency).
 func EngineNames() []string { return consengine.Names() }
+
+// TopologyNames lists the simulated switch-fabric presets accepted by
+// Config.Topology: "flat" (the all-to-all legacy network), "rack"
+// (top-of-rack switches with oversubscribed uplinks), and "fattree"
+// (three switch tiers with full bisection bandwidth).
+func TopologyNames() []string { return simnet.TopologyNames() }
 
 // DefaultParams returns the cost model calibrated to the paper's testbed
 // (four dual-Xeon nodes, SCI + switched Fast Ethernet).

@@ -96,11 +96,11 @@ func New(net *simnet.Network, link machine.Link) *Layer {
 		net:     net,
 		link:    link,
 		stats:   make([]CallStats, net.Size()),
-		policy:  RetryPolicy{}.withDefaults(link),
 		callSeq: make([]atomic.Uint64, net.Size()),
 		svc:     make([]svcTable, net.Size()),
 		down:    make([]atomic.Bool, net.Size()),
 	}
+	l.policy = l.fitPolicy(RetryPolicy{})
 	empty := make(map[Kind][]Handler)
 	l.handlers.Store(&empty)
 	return l
@@ -187,9 +187,11 @@ func (l *Layer) CallErr(from, to NodeID, kind Kind, req []byte) ([]byte, error) 
 	}
 
 	// Fault-free fast path: one indivisible round trip.
-	// Request travel: sender software + wire.
-	caller.AdvanceCat(vclock.CatNetwork, l.link.SendSWNs+l.link.LatencyNs+
-		vclock.Duration(len(req))*l.link.NsPerByte)
+	// Request travel: sender software + wire (topology-dependent: extra
+	// hop latency and oversubscribed uplink bytes when the pair spans
+	// racks; WireNs is the legacy expression on the flat fabric).
+	caller.AdvanceCat(vclock.CatNetwork, l.link.SendSWNs+
+		l.net.WireNs(from, to, len(req)))
 
 	// Handler executes "at" the target: the target absorbs the interrupt
 	// cost, the caller's timeline includes the service time.
@@ -203,8 +205,8 @@ func (l *Layer) CallErr(from, to NodeID, kind Kind, req []byte) ([]byte, error) 
 	}
 
 	// Response travel back.
-	caller.AdvanceCat(vclock.CatNetwork, l.link.LatencyNs+
-		vclock.Duration(len(resp))*l.link.NsPerByte+l.link.RecvSWNs)
+	caller.AdvanceCat(vclock.CatNetwork, l.net.WireNs(to, from, len(resp))+
+		l.link.RecvSWNs)
 
 	l.count(from, to, len(req), len(resp))
 	return resp, nil
@@ -241,8 +243,10 @@ func (l *Layer) NotifyErr(from, to NodeID, kind Kind, req []byte) error {
 		_, err := l.callReliable(from, to, kind, h, req, true)
 		return err
 	}
+	// Posted send: no latency term (the write is pipelined), but the
+	// payload still serializes onto the — possibly oversubscribed — path.
 	caller.AdvanceCat(vclock.CatNetwork, l.link.SendSWNs+
-		vclock.Duration(len(req))*l.link.NsPerByte)
+		l.net.PayloadNs(from, to, len(req)))
 	_, extra := h(from, req)
 	service := l.link.HandlerNs + extra
 	target := l.net.Clock(to)

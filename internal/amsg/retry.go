@@ -100,7 +100,20 @@ func (p RetryPolicy) withDefaults(link machine.Link) RetryPolicy {
 // SetRetryPolicy replaces the layer's retry policy; zero fields keep
 // their link-derived defaults. Call it at startup, before traffic.
 func (l *Layer) SetRetryPolicy(p RetryPolicy) {
-	l.policy = p.withDefaults(l.link)
+	l.policy = l.fitPolicy(p)
+}
+
+// fitPolicy fills defaults and, when the Timeout itself was defaulted,
+// widens it by the topology's worst-case round-trip of extra hop latency
+// so cross-pod calls do not look like losses to the retransmission timer.
+// An explicitly configured Timeout is honored verbatim.
+func (l *Layer) fitPolicy(p RetryPolicy) RetryPolicy {
+	widen := p.Timeout == 0
+	p = p.withDefaults(l.link)
+	if widen {
+		p.Timeout += 2 * l.net.Topology().MaxExtraLatencyNs()
+	}
+	return p
 }
 
 // RetryPolicyInUse returns the effective (default-filled) policy.
@@ -180,7 +193,7 @@ func (l *Layer) callReliable(from, to NodeID, kind Kind, h Handler, req []byte, 
 		// Send software and request serialization are spent whether or
 		// not the wire delivers the packet.
 		caller.AdvanceCat(vclock.CatNetwork,
-			l.net.ScaledSW(from, l.link.SendSWNs)+vclock.Duration(len(req))*l.link.NsPerByte)
+			l.net.ScaledSW(from, l.link.SendSWNs)+l.net.PayloadNs(from, to, len(req)))
 		sendT := caller.Now()
 
 		lost := l.net.LinkLost(from, to, sendT)
@@ -221,10 +234,9 @@ func (l *Layer) callReliable(from, to NodeID, kind Kind, h Handler, req []byte, 
 				// Clean round trip: the caller's timeline absorbs the
 				// request wire, the service time, and the response travel
 				// — exactly the fault-free Call charges.
-				caller.AdvanceCat(vclock.CatNetwork, l.link.LatencyNs)
+				caller.AdvanceCat(vclock.CatNetwork, l.net.WireNs(from, to, 0))
 				caller.AdvanceCat(vclock.CatProtocol, service)
-				caller.AdvanceCat(vclock.CatNetwork, l.link.LatencyNs+
-					vclock.Duration(len(resp))*l.link.NsPerByte+
+				caller.AdvanceCat(vclock.CatNetwork, l.net.WireNs(to, from, len(resp))+
 					l.net.ScaledSW(from, l.link.RecvSWNs))
 			}
 			// One-way: the ack is absorbed by the NIC; a clean posted

@@ -1,0 +1,264 @@
+package bench
+
+// BENCH_7 — the rack-scale scaling campaign (ROADMAP item 1). The kernel
+// suite runs on both page-protocol families (home-based scope
+// consistency vs IVY write-invalidate) at 8/16/64/256 nodes across
+// topology presets, in two modes:
+//
+//   - strong: the problem size is fixed, so per-node work shrinks as the
+//     cluster grows and synchronization/communication dominates;
+//   - weak: the problem grows with the cluster, so per-node work is
+//     constant and the curves isolate the protocols' scaling overheads.
+//
+// The headline result is the ScC/IVY crossover: at small scale the
+// home-based scope protocol wins (deferred diffs, cheap notices), but
+// its barrier notice exchange and home-directed diff flushes concentrate
+// traffic, while IVY's ownership migrates to the writers — so as the
+// cluster and the topology penalty grow, write-invalidate catches up and
+// overtakes on kernels whose sharing is migratory. RenderScaling calls
+// the crossover out explicitly.
+//
+// Determinism: scope-engine cells are bit-reproducible. The IVY engine's
+// message counts (and therefore virtual times) are schedule-dependent
+// under contention (documented in internal/ivy), and above
+// hsync.Threshold nodes the distributed lock queues add the same caveat
+// for both engines; checksums are exact in every cell and are
+// cross-checked between engines here.
+
+import (
+	"fmt"
+	"time"
+
+	"hamster/internal/apps"
+	"hamster/internal/consengine"
+	"hamster/internal/ivy"
+	"hamster/internal/memsim"
+	"hamster/internal/platform"
+	"hamster/internal/simnet"
+	"hamster/internal/swdsm"
+	"hamster/internal/vclock"
+)
+
+// ScalingResult is one (kernel, mode, engine, topology, nodes) cell.
+type ScalingResult struct {
+	Kernel   string `json:"kernel"`
+	Mode     string `json:"mode"` // "strong" or "weak"
+	Engine   string `json:"engine"`
+	Topology string `json:"topology"`
+	Nodes    int    `json:"nodes"`
+	// Problem is the kernel's size parameter for this cell (weak cells
+	// grow it with the cluster).
+	Problem       int     `json:"problem"`
+	WallNs        int64   `json:"wall_ns"`
+	VirtualNs     uint64  `json:"virtual_ns"`
+	Msgs          uint64  `json:"protocol_msgs"`
+	PageFaults    uint64  `json:"page_faults"`
+	Invalidations uint64  `json:"invalidations"`
+	Check         float64 `json:"check"`
+}
+
+// ScalingNodeCounts is the cluster-size axis of the campaign.
+var ScalingNodeCounts = []int{8, 16, 64, 256}
+
+// scalingTopologies is the topology axis: the legacy flat fabric as the
+// baseline, the oversubscribed rack fabric as the stress case, and the
+// full-bisection fat tree between them.
+var scalingTopologies = []string{simnet.TopoFlat, simnet.TopoRack, simnet.TopoFatTree}
+
+// scalingEngines is the protocol axis: the two page-protocol families.
+var scalingEngines = []string{consengine.ScopeName, consengine.IVYName}
+
+// scalingKernel is one workload in the campaign; size maps a cluster
+// size to the kernel's problem parameter.
+type scalingKernel struct {
+	name string
+	mode string
+	size func(nodes int) int
+	run  func(n int) apps.Kernel
+}
+
+func scalingKernels() []scalingKernel {
+	return []scalingKernel{
+		// Strong scaling: fixed totals, shrinking per-node shares.
+		{"sor-opt", "strong", func(int) int { return 256 },
+			func(n int) apps.Kernel { return func(m apps.Machine) apps.Result { return apps.SOR(m, n, 2, true) } }},
+		{"matmult", "strong", func(int) int { return 128 },
+			func(n int) apps.Kernel { return func(m apps.Machine) apps.Result { return apps.MatMult(m, n) } }},
+		// Weak scaling: per-node share held constant.
+		{"sor-opt", "weak", func(nodes int) int { return 4 * nodes },
+			func(n int) apps.Kernel { return func(m apps.Machine) apps.Result { return apps.SOR(m, n, 2, true) } }},
+		{"stream", "weak", func(nodes int) int { return 256 * nodes },
+			func(n int) apps.Kernel {
+				return func(m apps.Machine) apps.Result { return apps.Stream(m, n, 2, memsim.Block) }
+			}},
+	}
+}
+
+// BuildEngineTopo is BuildEngine with a topology: a bare software-DSM
+// cluster running the named consistency engine over the named switch
+// fabric.
+func BuildEngineTopo(name string, nodes int, topology string) (consengine.Engine, error) {
+	eng, err := consengine.NormalizeName(name)
+	if err != nil {
+		return nil, err
+	}
+	topo, err := simnet.TopologyPreset(topology)
+	if err != nil {
+		return nil, err
+	}
+	if eng == consengine.IVYName {
+		return ivy.New(ivy.Config{Nodes: nodes, Topology: topo})
+	}
+	cfg := swdsm.Config{Nodes: nodes, Topology: topo}
+	if eng == consengine.EagerRCName {
+		cfg.Protocol = swdsm.EagerRC
+	}
+	return swdsm.New(cfg)
+}
+
+// scalingRun executes one cell on a private cluster.
+func scalingRun(engine, topology string, nodes int, kernel apps.Kernel) (vclock.Duration, float64, platform.Stats, error) {
+	d, err := BuildEngineTopo(engine, nodes, topology)
+	if err != nil {
+		return 0, 0, platform.Stats{}, err
+	}
+	defer d.Close()
+	res := apps.RunOnSubstrate(d, kernel)
+	var st platform.Stats
+	for i := 0; i < nodes; i++ {
+		s := d.NodeStats(i)
+		st.ProtocolMsgs += s.ProtocolMsgs
+		st.PageFaults += s.PageFaults
+		st.Invalidations += s.Invalidations
+	}
+	return apps.MaxTotal(res), res[0].Check, st, nil
+}
+
+// ScalingSuite measures the full campaign with up to `parallel` cells
+// concurrent (each cell owns a private cluster, see runCells). Returns
+// an error if any cell fails or any checksum disagrees across engines
+// and topologies within the same (kernel, mode, nodes) group — protocols
+// and fabrics change costs, never results.
+func ScalingSuite(parallel int) ([]ScalingResult, error) {
+	type cell struct {
+		k     scalingKernel
+		topo  string
+		eng   string
+		nodes int
+	}
+	var cells []cell
+	for _, k := range scalingKernels() {
+		for _, nodes := range ScalingNodeCounts {
+			for _, topo := range scalingTopologies {
+				for _, eng := range scalingEngines {
+					cells = append(cells, cell{k, topo, eng, nodes})
+				}
+			}
+		}
+	}
+	rows, err := runCells(parallel, len(cells), func(i int) (ScalingResult, error) {
+		c := cells[i]
+		size := c.k.size(c.nodes)
+		start := time.Now()
+		virt, check, st, err := scalingRun(c.eng, c.topo, c.nodes, c.k.run(size))
+		wall := time.Since(start)
+		if err != nil {
+			return ScalingResult{}, fmt.Errorf("bench: scaling %s/%s %s@%s/%d: %w",
+				c.k.name, c.k.mode, c.eng, c.topo, c.nodes, err)
+		}
+		return ScalingResult{
+			Kernel:        c.k.name,
+			Mode:          c.k.mode,
+			Engine:        c.eng,
+			Topology:      c.topo,
+			Nodes:         c.nodes,
+			Problem:       size,
+			WallNs:        wall.Nanoseconds(),
+			VirtualNs:     uint64(virt),
+			Msgs:          st.ProtocolMsgs,
+			PageFaults:    st.PageFaults,
+			Invalidations: st.Invalidations,
+			Check:         check,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Checksum agreement within each (kernel, mode, nodes) group: the
+	// engine and the fabric must not move the answer.
+	ref := map[string]float64{}
+	for _, r := range rows {
+		key := fmt.Sprintf("%s/%s/%d", r.Kernel, r.Mode, r.Nodes)
+		if r.Engine == consengine.ScopeName && r.Topology == simnet.TopoFlat {
+			ref[key] = r.Check
+		}
+	}
+	for _, r := range rows {
+		key := fmt.Sprintf("%s/%s/%d", r.Kernel, r.Mode, r.Nodes)
+		want, ok := ref[key]
+		if !ok {
+			return nil, fmt.Errorf("bench: no scope/flat reference for %s", key)
+		}
+		if r.Check != want {
+			return nil, fmt.Errorf("bench: %s@%s moved the %s checksum: %v vs scope/flat's %v",
+				r.Engine, r.Topology, key, r.Check, want)
+		}
+	}
+	return rows, nil
+}
+
+// RenderScaling prints the campaign as per-kernel scaling tables plus
+// the ScC/IVY crossover summary.
+func RenderScaling(rows []ScalingResult) string {
+	s := "Scaling campaign (BENCH_7: kernel suite × engines × topologies × cluster sizes)\n"
+	s += "virtual times; strong = fixed problem, weak = problem grows with nodes\n\n"
+	s += fmt.Sprintf("  %-10s %-7s %-9s %-8s %5s %8s %14s %10s %9s\n",
+		"kernel", "mode", "engine", "topology", "nodes", "problem", "virtual", "msgs", "faults")
+	for _, r := range rows {
+		s += fmt.Sprintf("  %-10s %-7s %-9s %-8s %5d %8d %14v %10d %9d\n",
+			r.Kernel, r.Mode, r.Engine, r.Topology, r.Nodes, r.Problem,
+			vclock.Duration(r.VirtualNs), r.Msgs, r.PageFaults)
+	}
+	s += "\n" + RenderCrossover(rows)
+	return s
+}
+
+// RenderCrossover reports, per (kernel, mode, topology), the cluster
+// size from which IVY's virtual time beats the scope engine's at every
+// measured scale — the point where home-based ScC stops winning. A lead
+// that evaporates at larger sizes (ivy marginally ahead at 8 nodes,
+// behind at 256) is not a crossover: the question is who wins as the
+// cluster grows, so the scan looks for the last lead change.
+func RenderCrossover(rows []ScalingResult) string {
+	virt := map[string]uint64{}
+	for _, r := range rows {
+		virt[fmt.Sprintf("%s/%s/%s/%s/%d", r.Kernel, r.Mode, r.Engine, r.Topology, r.Nodes)] = r.VirtualNs
+	}
+	s := "ScC vs IVY crossover (cluster size from which write-invalidate stays ahead):\n"
+	for _, k := range scalingKernels() {
+		for _, topo := range scalingTopologies {
+			cross := 0
+			for _, nodes := range ScalingNodeCounts {
+				sc := virt[fmt.Sprintf("%s/%s/%s/%s/%d", k.name, k.mode, consengine.ScopeName, topo, nodes)]
+				iv := virt[fmt.Sprintf("%s/%s/%s/%s/%d", k.name, k.mode, consengine.IVYName, topo, nodes)]
+				if sc == 0 || iv == 0 {
+					continue
+				}
+				if iv < sc {
+					if cross == 0 {
+						cross = nodes
+					}
+				} else {
+					cross = 0
+				}
+			}
+			if cross > 0 {
+				s += fmt.Sprintf("  %-10s %-7s %-8s ivy overtakes scope at %d nodes\n", k.name, k.mode, topo, cross)
+			} else {
+				s += fmt.Sprintf("  %-10s %-7s %-8s scope holds the lead through %d nodes\n",
+					k.name, k.mode, topo, ScalingNodeCounts[len(ScalingNodeCounts)-1])
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package bench
+
+// Scaling-campaign gates:
+//
+//   - TestTopologyFlatIdentity (run by scripts/benchcheck.sh): the
+//     topology-aware fabric's flat preset must be bit-identical to the
+//     pre-topology network on both measurement paths — the bare
+//     substrate the engine suite (BENCH_6) uses and the full core
+//     services the kernelwall/aggregation suites (BENCH_2/BENCH_4) use.
+//     On a plain build (how benchcheck.sh runs it) checksums, virtual
+//     times, and message counts are bit-exact on the scope engine: the
+//     topology layer must be invisible until a non-flat preset is asked
+//     for. Under -race, virtual times relax to 0.5% — the race
+//     scheduler's pre-existing stolen-charge attribution wobble (see
+//     race_off.go, TestEngineDefaultIdentity) moves them by tens of
+//     microseconds for reasons unrelated to topology. The ivy engine
+//     pins checksums only: its probable-owner chain lengths depend on
+//     request arrival order under contention (see DESIGN §5f), so
+//     virtual time and message counts differ between any two runs,
+//     topology or not.
+//   - TestHierSyncKernels64 / TestHierSyncFaults64 (run under -race by
+//     scripts/check.sh): above hsync.Threshold the substrates switch to
+//     tree barriers and distributed lock queues; kernels at 64 nodes
+//     must still produce the scope/flat reference checksum on every
+//     engine and topology, including under a seeded lossy-ethernet
+//     fault campaign with retransmissions.
+
+import (
+	"math"
+	"testing"
+
+	"hamster"
+	"hamster/internal/apps"
+	"hamster/internal/consengine"
+	"hamster/internal/simnet"
+	"hamster/internal/vclock"
+	"hamster/models/jiajia"
+)
+
+// virtEqual compares two virtual times under the identity pin: bit-exact
+// on a plain build, within 0.5% under -race (the race scheduler's
+// stolen-charge attribution wobble; see race_off.go).
+func virtEqual(a, b vclock.Duration) bool {
+	if !raceEnabled {
+		return a == b
+	}
+	return math.Abs(float64(a)-float64(b)) <= float64(a)*0.005
+}
+
+func TestTopologyFlatIdentity(t *testing.T) {
+	// Bare-substrate path (the BENCH_6 measurement path): default
+	// construction (zero Topology) vs the explicit flat preset, for both
+	// page-protocol families.
+	for _, eng := range []string{consengine.ScopeName, consengine.IVYName} {
+		for _, c := range engineKernels() {
+			_, defVirt, defCheck, defStats, err := engineRun(eng, 4, c.kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flatVirt, flatCheck, flatStats, err := scalingRun(eng, simnet.TopoFlat, 4, c.kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if defCheck != flatCheck {
+				t.Errorf("%s/%s: default != explicit flat: check %v/%v",
+					eng, c.name, defCheck, flatCheck)
+			}
+			// Message counts and virtual times are pinned on scope only:
+			// ivy's forwarding-chain lengths are schedule-dependent, so
+			// two runs of the *same* configuration already differ there.
+			if eng == consengine.ScopeName {
+				if defStats.ProtocolMsgs != flatStats.ProtocolMsgs {
+					t.Errorf("%s/%s: default != explicit flat: msgs %d/%d",
+						eng, c.name, defStats.ProtocolMsgs, flatStats.ProtocolMsgs)
+				}
+				if !virtEqual(defVirt, flatVirt) {
+					t.Errorf("%s/%s: default != explicit flat: virtual %v/%v",
+						eng, c.name, defVirt, flatVirt)
+				}
+			}
+		}
+	}
+
+	// Core-services path (the BENCH_2/BENCH_4 measurement path): a
+	// Config with no Topology vs Topology "flat" must boot the identical
+	// cluster: checksums bit-exact, virtual time under the same
+	// plain-exact / race-tolerant pin (the full core path carries the
+	// same scheduling-order wobble under -race; see
+	// TestCrashRecoveryKernels).
+	kernel := smallAggKernels()[0].kernel
+	run := func(topology string) (hamster.Duration, float64) {
+		sys, err := jiajia.Boot(hamster.Config{Platform: hamster.SWDSM, Nodes: 4, Topology: topology})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Shutdown()
+		res := apps.RunOnJia(sys, kernel)
+		return apps.MaxTotal(res), res[0].Check
+	}
+	defVirt, defCheck := run("")
+	flatVirt, flatCheck := run(simnet.TopoFlat)
+	if defCheck != flatCheck {
+		t.Errorf("core path: default != explicit flat: check %v/%v", defCheck, flatCheck)
+	}
+	if !virtEqual(defVirt, flatVirt) {
+		t.Errorf("core path: default != explicit flat: virtual %v/%v", defVirt, flatVirt)
+	}
+}
+
+// hierKernel is small enough to run at 64 nodes under -race but still
+// crosses pages on every node (sor over a 256x256 grid, two sweeps).
+func hierKernel(m apps.Machine) apps.Result { return apps.SOR(m, 256, 2, true) }
+
+func TestHierSyncKernels64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-node kernels on every engine and topology")
+	}
+	// The scope/flat cell is the reference; every other (engine,
+	// topology) pair must agree bit-for-bit on the checksum even though
+	// tree barriers and distributed lock queues re-route every
+	// synchronization step.
+	_, want, _, err := scalingRun(consengine.ScopeName, simnet.TopoFlat, 64, hierKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []string{consengine.ScopeName, consengine.IVYName} {
+		for _, topo := range simnet.TopologyNames() {
+			virt, check, _, err := scalingRun(eng, topo, 64, hierKernel)
+			if err != nil {
+				t.Fatalf("%s@%s: %v", eng, topo, err)
+			}
+			if check != want {
+				t.Errorf("%s@%s: checksum %v, want %v", eng, topo, check, want)
+			}
+			if virt == 0 {
+				t.Errorf("%s@%s: zero virtual time", eng, topo)
+			}
+		}
+	}
+}
+
+func TestHierSyncFaults64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-node fault campaign")
+	}
+	// Hierarchical synchronization must survive a lossy wire: same
+	// checksum with 1% of messages dropped and retransmitted as with a
+	// clean network. The fault plan only names nodes 0 and 1, so it is
+	// cluster-size independent.
+	run := func(faults string) float64 {
+		sys, err := jiajia.Boot(hamster.Config{Platform: hamster.SWDSM, Nodes: 64, Topology: simnet.TopoRack})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Shutdown()
+		if faults != "" {
+			plan, err := simnet.FaultProfile(faults, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Runtime().SetFaults(plan)
+		}
+		res := apps.RunOnJia(sys, hierKernel)
+		return res[0].Check
+	}
+	clean := run("")
+	lossy := run("lossy-ethernet")
+	if clean != lossy {
+		t.Errorf("lossy-ethernet moved the checksum: %v vs clean %v", lossy, clean)
+	}
+}

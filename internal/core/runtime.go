@@ -59,6 +59,15 @@ type Config struct {
 	// aggregation, home migration, and the cache-page cap are rejected
 	// with it rather than silently ignored.
 	Engine string
+	// Topology names the simulated switch fabric: "" or "flat" (the
+	// all-to-all legacy network, bit-identical to the pre-topology
+	// fabric), "rack" (top-of-rack switches, 4:1 oversubscribed uplinks),
+	// or "fattree" (three switch tiers, full bisection bandwidth). See
+	// simnet.TopologyPreset. Software DSM only — the SMP bus and the
+	// hybrid SAN have no switch fabric to shape. Above hsync.Threshold
+	// nodes the DSM also switches to tree barriers and distributed lock
+	// queues aligned with the topology.
+	Topology string
 	// RequireModel, when non-empty, names the weakest consistency model
 	// the program needs ("sequential", "processor", "release", "scope",
 	// "entry"). New fails with a descriptive error when the selected
@@ -150,6 +159,13 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Engine != "" && cfg.Platform != platform.SWDSM {
 		return nil, fmt.Errorf("core: Config.Engine %q selects a software DSM consistency engine; platform %v has a fixed hardware protocol", cfg.Engine, cfg.Platform)
 	}
+	topo, err := simnet.TopologyPreset(cfg.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if !topo.IsFlat() && cfg.Platform != platform.SWDSM {
+		return nil, fmt.Errorf("core: Config.Topology %q shapes the software DSM's switched interconnect; platform %v has no switch fabric (the SMP bus and the hybrid SAN are not topology-aware)", cfg.Topology, cfg.Platform)
+	}
 	if engine == consengine.IVYName {
 		switch {
 		case cfg.CheckpointEvery > 0:
@@ -173,9 +189,9 @@ func New(cfg Config) (*Runtime, error) {
 			for i := range clocks {
 				clocks[i] = &vclock.Clock{}
 			}
-			net := simnet.New(eff.Ethernet, clocks)
+			net := simnet.NewTopo(eff.Ethernet, clocks, topo)
 			layer := amsg.New(net, eff.Ethernet)
-			sub, err := buildEngine(cfg, engine, eff, layer)
+			sub, err := buildEngine(cfg, engine, eff, layer, topo)
 			if err != nil {
 				return nil, err
 			}
@@ -183,12 +199,12 @@ func New(cfg Config) (*Runtime, error) {
 			rt.msgs = net
 			rt.am = layer
 		} else {
-			sub, err := buildEngine(cfg, engine, eff, nil)
+			sub, err := buildEngine(cfg, engine, eff, nil, topo)
 			if err != nil {
 				return nil, err
 			}
 			rt.sub = sub
-			rt.msgs = simnet.New(eff.Ethernet, substrateClocks(sub))
+			rt.msgs = simnet.NewTopo(eff.Ethernet, substrateClocks(sub), topo)
 			rt.am = layerOf(sub)
 		}
 	case platform.HybridDSM:
@@ -238,15 +254,16 @@ func New(cfg Config) (*Runtime, error) {
 // messages share it. The default path hands swdsm.New the exact
 // configuration the pre-engine code did, keeping default runs
 // bit-identical (gated by TestEngineDefaultIdentity and benchcheck.sh).
-func buildEngine(cfg Config, engine string, eff machine.Params, layer *amsg.Layer) (platform.Substrate, error) {
+func buildEngine(cfg Config, engine string, eff machine.Params, layer *amsg.Layer, topo simnet.Topology) (platform.Substrate, error) {
 	if engine == consengine.IVYName {
-		return ivy.New(ivy.Config{Nodes: cfg.Nodes, Params: eff, Layer: layer})
+		return ivy.New(ivy.Config{Nodes: cfg.Nodes, Params: eff, Layer: layer, Topology: topo})
 	}
 	sc := swdsm.Config{
 		Nodes: cfg.Nodes, Params: eff,
 		CachePages: cfg.SWDSMCachePages, Layer: layer,
 		MigrateAfter: cfg.SWDSMMigrateAfter,
 		Aggregation:  cfg.SWDSMAggregation,
+		Topology:     topo,
 	}
 	if engine == consengine.EagerRCName {
 		sc.Protocol = swdsm.EagerRC

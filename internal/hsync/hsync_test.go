@@ -1,0 +1,188 @@
+package hsync
+
+import (
+	"sync"
+	"testing"
+
+	"hamster/internal/machine"
+	"hamster/internal/simnet"
+	"hamster/internal/vclock"
+)
+
+// unitMsg prices every hop at 1 so PathCost and Request costs count hops.
+func unitMsg(_, _, _ int) vclock.Duration { return 1 }
+
+func TestTreeShapeFlat(t *testing.T) {
+	tr := NewTree(64, simnet.Topology{})
+	if tr.Parent(0) != -1 || tr.Depth(0) != 0 {
+		t.Fatalf("root: parent %d depth %d", tr.Parent(0), tr.Depth(0))
+	}
+	// Arity-8 heap: children of 0 are 1..8, children of 1 are 9..16.
+	if tr.Parent(8) != 0 || tr.Parent(9) != 1 || tr.Parent(16) != 1 || tr.Parent(17) != 2 {
+		t.Fatalf("flat heap parents wrong: %d %d %d %d",
+			tr.Parent(8), tr.Parent(9), tr.Parent(16), tr.Parent(17))
+	}
+	for i := 1; i < 64; i++ {
+		if tr.Depth(i) != tr.Depth(tr.Parent(i))+1 {
+			t.Fatalf("node %d: depth %d, parent depth %d", i, tr.Depth(i), tr.Depth(tr.Parent(i)))
+		}
+	}
+}
+
+func TestTreeShapeRackAndFatTree(t *testing.T) {
+	rack, _ := simnet.TopologyPreset(simnet.TopoRack)
+	tr := NewTree(64, rack)
+	// Rack members report to the rack leader, leaders to node 0.
+	if tr.Parent(13) != 8 || tr.Parent(8) != 0 || tr.Parent(63) != 56 || tr.Parent(56) != 0 {
+		t.Fatalf("rack parents wrong: %d %d %d %d",
+			tr.Parent(13), tr.Parent(8), tr.Parent(63), tr.Parent(56))
+	}
+	if tr.Depth(13) != 2 || tr.Depth(8) != 1 {
+		t.Fatalf("rack depths wrong: %d %d", tr.Depth(13), tr.Depth(8))
+	}
+
+	fat, _ := simnet.TopologyPreset(simnet.TopoFatTree)
+	ft := NewTree(256, fat)
+	// Pods of 4 racks * 8 nodes: node 100 is rack 12 (leader 96), pod 3
+	// (leader 96 — rack 12 is pod 3's first rack), so 96 reports to 0.
+	if ft.Parent(100) != 96 || ft.Parent(96) != 0 {
+		t.Fatalf("fattree parents wrong: %d %d", ft.Parent(100), ft.Parent(96))
+	}
+	// Node 140: rack 17 (leader 136), pod 4 (leader 128), then root.
+	if ft.Parent(140) != 136 || ft.Parent(136) != 128 || ft.Parent(128) != 0 {
+		t.Fatalf("fattree chain wrong: %d %d %d",
+			ft.Parent(140), ft.Parent(136), ft.Parent(128))
+	}
+	if ft.Depth(140) != 3 {
+		t.Fatalf("fattree depth(140) = %d, want 3", ft.Depth(140))
+	}
+}
+
+func TestTreePathCost(t *testing.T) {
+	fat, _ := simnet.TopologyPreset(simnet.TopoFatTree)
+	ft := NewTree(256, fat)
+	// Per-hop unit cost: PathCost == Depth.
+	for _, n := range []int{0, 1, 8, 100, 140, 255} {
+		if got, want := ft.PathCost(n, 16, unitMsg), vclock.Duration(ft.Depth(n)); got != want {
+			t.Errorf("PathCost(%d) = %v, want depth %v", n, got, want)
+		}
+	}
+	// With the real topology cost the member→leader edge is same-rack
+	// (cheap) and the leader edges cross racks/pods (expensive), so a
+	// deep node's path must cost strictly more than its leader's.
+	link := machine.Link{LatencyNs: 1000, NsPerByte: 10, SendSWNs: 100, RecvSWNs: 200}
+	msg := func(a, b, bytes int) vclock.Duration { return fat.MsgCost(link, a, b, bytes) }
+	if ft.PathCost(140, 16, msg) <= ft.PathCost(136, 16, msg) {
+		t.Error("member path must cost more than its rack leader's")
+	}
+}
+
+func TestDLockChainCompression(t *testing.T) {
+	dl := NewDLock(vclock.NewVLock(), 16, 3)
+	// First request from 5: one hop to the home (3), then 5 holds.
+	prev, cost, hops := dl.Request(5, 8, unitMsg, nil, 0)
+	if prev != 3 || hops != 1 || cost != 1 {
+		t.Fatalf("first request: prev %d cost %v hops %d", prev, cost, hops)
+	}
+	if dl.Holder() != 5 {
+		t.Fatalf("holder = %d, want 5", dl.Holder())
+	}
+	// Node 7 still hints at the stale home: 7→3→5, two hops, and the walk
+	// repoints both onto 7.
+	if dl.ChainLen(7) != 2 {
+		t.Fatalf("ChainLen(7) = %d, want 2", dl.ChainLen(7))
+	}
+	prev, _, hops = dl.Request(7, 8, unitMsg, nil, 0)
+	if prev != 5 || hops != 2 {
+		t.Fatalf("stale-hint request: prev %d hops %d", prev, hops)
+	}
+	// Path compression: 3 now points straight at 7.
+	if dl.ChainLen(3) != 1 {
+		t.Fatalf("after compression ChainLen(3) = %d, want 1", dl.ChainLen(3))
+	}
+	// Re-request by the holder is free.
+	prev, cost, hops = dl.Request(7, 8, unitMsg, nil, 0)
+	if prev != 7 || cost != 0 || hops != 0 {
+		t.Fatalf("holder re-request: prev %d cost %v hops %d", prev, cost, hops)
+	}
+}
+
+func TestDLockStealChargesForwarders(t *testing.T) {
+	dl := NewDLock(vclock.NewVLock(), 8, 0)
+	dl.Request(1, 8, unitMsg, nil, 0) // holder: 1, node 2 still hints 0
+	var stolen []int
+	steal := func(node int, d vclock.Duration) {
+		if d != 50 {
+			t.Fatalf("steal %v, want 50", d)
+		}
+		stolen = append(stolen, node)
+	}
+	// 2 → 0 (forwarder, stolen) → 1 (predecessor, stolen).
+	dl.Request(2, 8, unitMsg, steal, 50)
+	if len(stolen) != 2 || stolen[0] != 0 || stolen[1] != 1 {
+		t.Fatalf("stolen = %v, want [0 1]", stolen)
+	}
+}
+
+func TestDLockProbeDoesNotMutate(t *testing.T) {
+	dl := NewDLock(vclock.NewVLock(), 8, 0)
+	dl.Request(3, 8, unitMsg, nil, 0)
+	prev, cost := dl.Probe(5, 8, unitMsg)
+	if prev != 3 || cost != 2 { // 5→0→3
+		t.Fatalf("probe: prev %d cost %v", prev, cost)
+	}
+	if dl.Holder() != 3 || dl.ChainLen(5) != 2 {
+		t.Fatal("Probe mutated the chain")
+	}
+	dl.Commit(5)
+	if dl.Holder() != 5 || dl.ChainLen(3) != 1 {
+		t.Fatal("Commit did not claim the token")
+	}
+}
+
+// TestDLockMutualExclusion64 drives 64 goroutine nodes through a shared
+// DLock+VLock critical section and checks mutual exclusion plus hint-
+// chain sanity. Run under -race by check.sh.
+func TestDLockMutualExclusion64(t *testing.T) {
+	const nodes = 64
+	const rounds = 20
+	vl := vclock.NewVLock()
+	dl := NewDLock(vl, nodes, 0)
+	clocks := make([]*vclock.Clock, nodes)
+	for i := range clocks {
+		clocks[i] = &vclock.Clock{}
+	}
+	var inside int32
+	var insideMu sync.Mutex
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				prev, cost, _ := dl.Request(n, 8, unitMsg, nil, 0)
+				grant := vclock.Duration(0)
+				if prev != n {
+					grant = 1
+				}
+				vl.Acquire(clocks[n], cost, grant)
+				insideMu.Lock()
+				inside++
+				if inside != 1 {
+					t.Errorf("mutual exclusion violated: %d inside", inside)
+				}
+				inside--
+				insideMu.Unlock()
+				vl.Release(clocks[n], 0)
+			}
+		}(n)
+	}
+	wg.Wait()
+	// The chain stays bounded: any node reaches the holder without the
+	// cycle guard tripping (walk panics on a cycle).
+	for n := 0; n < nodes; n++ {
+		if l := dl.ChainLen(n); l < 0 || l > nodes {
+			t.Fatalf("ChainLen(%d) = %d", n, l)
+		}
+	}
+}

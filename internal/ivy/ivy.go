@@ -38,6 +38,7 @@ import (
 
 	"hamster/internal/amsg"
 	"hamster/internal/consengine"
+	"hamster/internal/hsync"
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
 	"hamster/internal/perfmon"
@@ -70,6 +71,11 @@ type Config struct {
 	// Clocks optionally supplies shared per-node clocks (multi-DSM
 	// composition). Length must equal Nodes. Ignored when Layer is set.
 	Clocks []*vclock.Clock
+	// Topology places the nodes in a switch fabric (see simnet.Topology);
+	// the zero value is the flat legacy network. Ignored when Layer is
+	// set — the layer's network already has a topology, which the DSM
+	// adopts for its synchronization cost arithmetic.
+	Topology simnet.Topology
 }
 
 // pstate is the coherence state of a page at one node.
@@ -108,6 +114,14 @@ type DSM struct {
 	clocks []*vclock.Clock
 	layer  *amsg.Layer
 	nodes  []*node
+
+	// topo is the adopted network topology; hier switches locks and the
+	// barrier to the hierarchical primitives above hsync.Threshold nodes
+	// — the same probable-owner machinery the page protocol already uses,
+	// applied to lock tokens (see internal/hsync).
+	topo simnet.Topology
+	hier bool
+	tree *hsync.Tree
 
 	lockMu sync.Mutex
 	locks  []*lockState
@@ -171,8 +185,13 @@ func New(cfg Config) (*DSM, error) {
 			d.clocks[i] = cfg.Layer.Network().Clock(simnet.NodeID(i))
 		}
 	} else {
-		net := simnet.New(params.Ethernet, d.clocks)
+		net := simnet.NewTopo(params.Ethernet, d.clocks, cfg.Topology)
 		d.layer = amsg.New(net, params.Ethernet)
+	}
+	d.topo = d.layer.Network().Topology()
+	d.hier = cfg.Nodes > hsync.Threshold
+	if d.hier {
+		d.tree = hsync.NewTree(cfg.Nodes, d.topo)
 	}
 	for i := range d.nodes {
 		n := &node{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hamster/internal/amsg"
+	"hamster/internal/hsync"
 	"hamster/internal/memsim"
 	"hamster/internal/perfmon"
 	"hamster/internal/vclock"
@@ -22,6 +23,11 @@ type lockState struct {
 	id   int
 	home int
 	vl   *vclock.VLock
+	// dl replaces the single-home path above hsync.Threshold nodes: the
+	// token migrates to the acquirer along probable-holder hint chains,
+	// exactly like this engine's probable-owner page forwarding. nil
+	// below the threshold.
+	dl *hsync.DLock
 }
 
 // lockMsgBytes is the wire size of a lock request/grant.
@@ -32,13 +38,25 @@ func (d *DSM) NewLock() int {
 	d.lockMu.Lock()
 	defer d.lockMu.Unlock()
 	id := len(d.locks)
-	d.locks = append(d.locks, &lockState{
+	st := &lockState{
 		id:   id,
 		home: id % len(d.nodes),
 		vl:   vclock.NewVLock(),
-	})
+	}
+	if d.hier {
+		st.dl = hsync.NewDLock(st.vl, len(d.nodes), st.home)
+	}
+	d.locks = append(d.locks, st)
 	return id
 }
+
+// msgCost prices one protocol message between two specific nodes under
+// the adopted topology (flat reduces to the uniform Ethernet.MsgCost).
+func (d *DSM) msgCost(from, to, bytes int) vclock.Duration {
+	return d.topo.MsgCost(d.params.Ethernet, from, to, bytes)
+}
+
+func (d *DSM) stealAt(node int, dur vclock.Duration) { d.clocks[node].Steal(dur) }
 
 func (d *DSM) lock(id int) *lockState {
 	d.lockMu.Lock()
@@ -59,7 +77,24 @@ func (d *DSM) lockCost(n *node, home int) vclock.Duration {
 	n.mu.Lock()
 	n.stats.ProtocolMsgs++
 	n.mu.Unlock()
-	return d.params.Ethernet.MsgCost(lockMsgBytes)
+	return d.msgCost(n.id, home, lockMsgBytes)
+}
+
+// dlockRequest routes a distributed-lock request along the probable-
+// holder chain (see hsync.DLock) and charges the token grant from the
+// predecessor. Returns the cost to pass to VLock.Acquire as reqCost and
+// the grant cost the acquirer pays after the request lands.
+func (d *DSM) dlockRequest(n *node, st *lockState) (reqCost, grantCost vclock.Duration) {
+	prev, fwd, hops := st.dl.Request(n.id, lockMsgBytes, d.msgCost, d.stealAt, d.params.Ethernet.HandlerNs)
+	if prev == n.id {
+		return amsg.LocalCallNs, 0
+	}
+	grantCost = d.msgCost(prev, n.id, lockMsgBytes)
+	d.stealAt(prev, d.params.Ethernet.HandlerNs)
+	n.mu.Lock()
+	n.stats.ProtocolMsgs += uint64(hops) + 1
+	n.mu.Unlock()
+	return fwd, grantCost
 }
 
 // Acquire implements platform.Substrate. No invalidations: IVY copies
@@ -69,7 +104,12 @@ func (d *DSM) Acquire(nodeID, lock int) {
 	st := d.lock(lock)
 	clk := d.clocks[nodeID]
 	t0 := clk.Now()
-	st.vl.Acquire(clk, d.lockCost(n, st.home), 0)
+	if st.dl != nil {
+		reqCost, grantCost := d.dlockRequest(n, st)
+		st.vl.Acquire(clk, reqCost, grantCost)
+	} else {
+		st.vl.Acquire(clk, d.lockCost(n, st.home), 0)
+	}
 	n.mu.Lock()
 	n.stats.LockAcquires++
 	n.mu.Unlock()
@@ -84,7 +124,26 @@ func (d *DSM) TryAcquire(nodeID, lock int) bool {
 	st := d.lock(lock)
 	clk := d.clocks[nodeID]
 	t0 := clk.Now()
-	if !st.vl.TryAcquire(clk, d.lockCost(n, st.home), 0) {
+	if st.dl != nil {
+		// Probe prices the chain without claiming the token; a failed try
+		// must leave the probable-holder state untouched.
+		prev, fwd := st.dl.Probe(nodeID, lockMsgBytes, d.msgCost)
+		reqCost, grantCost := vclock.Duration(amsg.LocalCallNs), vclock.Duration(0)
+		if prev != nodeID {
+			reqCost = fwd
+			grantCost = d.msgCost(prev, nodeID, lockMsgBytes)
+		}
+		if !st.vl.TryAcquire(clk, reqCost, grantCost) {
+			return false
+		}
+		st.dl.Commit(nodeID)
+		if prev != nodeID {
+			d.stealAt(prev, d.params.Ethernet.HandlerNs)
+			n.mu.Lock()
+			n.stats.ProtocolMsgs += 2
+			n.mu.Unlock()
+		}
+	} else if !st.vl.TryAcquire(clk, d.lockCost(n, st.home), 0) {
 		return false
 	}
 	n.mu.Lock()
@@ -103,7 +162,13 @@ func (d *DSM) Release(nodeID, lock int) {
 	st := d.lock(lock)
 	clk := d.clocks[nodeID]
 	t0 := clk.Now()
-	st.vl.Release(clk, d.lockCost(n, st.home))
+	if st.dl != nil {
+		// The token stays with the releaser; the next acquirer's grant
+		// pays the handoff.
+		st.vl.Release(clk, amsg.LocalCallNs)
+	} else {
+		st.vl.Release(clk, d.lockCost(n, st.home))
+	}
 	if rec := d.rec; rec != nil && rec.Enabled() {
 		rec.Record(nodeID, perfmon.EvLockRelease, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
 	}
@@ -116,17 +181,28 @@ func (d *DSM) Barrier(nodeID int) {
 	clk := d.clocks[nodeID]
 	const manager = 0
 	t0 := clk.Now()
-	var arriveCost vclock.Duration
-	if nodeID != manager {
-		arriveCost = d.params.Ethernet.MsgCost(lockMsgBytes)
+	var arriveCost, releaseCost vclock.Duration
+	switch {
+	case nodeID == manager:
+		arriveCost = amsg.LocalCallNs
+	case d.hier:
+		// Tree barrier: the arrival climbs the reduction tree (full-path
+		// latency on the arriver's timeline, one interrupt at its direct
+		// parent) and the release wave comes back down the same path.
+		arriveCost = d.tree.PathCost(nodeID, lockMsgBytes, d.msgCost)
+		releaseCost = arriveCost
+		d.stealAt(d.tree.Parent(nodeID), d.params.Ethernet.HandlerNs)
+		n.mu.Lock()
+		n.stats.ProtocolMsgs += 2
+		n.mu.Unlock()
+	default:
+		arriveCost = d.msgCost(nodeID, manager, lockMsgBytes)
 		d.clocks[manager].Steal(d.params.Ethernet.HandlerNs)
 		n.mu.Lock()
 		n.stats.ProtocolMsgs++
 		n.mu.Unlock()
-	} else {
-		arriveCost = amsg.LocalCallNs
 	}
-	d.barrier.Arrive(clk, arriveCost, 0)
+	d.barrier.Arrive(clk, arriveCost, releaseCost)
 	n.mu.Lock()
 	n.stats.BarrierCrossings++
 	n.mu.Unlock()

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"hamster/internal/consengine"
+	"hamster/internal/hsync"
 	"hamster/internal/hybriddsm"
 	"hamster/internal/ivy"
 	"hamster/internal/machine"
@@ -39,6 +40,7 @@ import (
 	"hamster/internal/notices"
 	"hamster/internal/perfmon"
 	"hamster/internal/platform"
+	"hamster/internal/simnet"
 	"hamster/internal/swdsm"
 	"hamster/internal/vclock"
 )
@@ -85,6 +87,12 @@ type Config struct {
 	// FlushInterval is empty because writes perform globally as they
 	// happen — but not with Aggregation (scope-protocol machinery).
 	PageEngine string
+	// Topology places the nodes in a switch fabric (see simnet.Topology);
+	// it shapes the page engine's Ethernet-side message costs and, above
+	// hsync.Threshold nodes, aligns the unified sync layer's reduction
+	// tree with the racks. The SAN carrying the sync tokens itself stays
+	// uniform (SyncMsgNs per hop).
+	Topology simnet.Topology
 }
 
 // DSM is one composed cluster.
@@ -99,6 +107,12 @@ type DSM struct {
 	routeMu sync.RWMutex
 	routes  map[memsim.PageID]Engine
 
+	// hier switches the unified sync layer to tree barriers and
+	// distributed lock queues above hsync.Threshold nodes; tree is
+	// rack-aligned when the topology has racks.
+	hier bool
+	tree *hsync.Tree
+
 	lockMu sync.Mutex
 	locks  []*mixLock
 
@@ -112,6 +126,7 @@ type DSM struct {
 type mixLock struct {
 	vl      *vclock.VLock
 	pending *notices.Board
+	dl      *hsync.DLock // distributed token queue; nil below hsync.Threshold
 }
 
 // New builds a composed cluster: one address space, one clock per node,
@@ -140,11 +155,13 @@ func New(cfg Config) (*DSM, error) {
 		}
 		sw, err = ivy.New(ivy.Config{
 			Nodes: cfg.Nodes, Params: params, Space: space, Clocks: clocks,
+			Topology: cfg.Topology,
 		})
 	} else {
 		sc := swdsm.Config{
 			Nodes: cfg.Nodes, Params: params, Space: space, Clocks: clocks,
 			Aggregation: cfg.Aggregation,
+			Topology:    cfg.Topology,
 		}
 		if pageEngine == consengine.EagerRCName {
 			sc.Protocol = swdsm.EagerRC
@@ -161,7 +178,7 @@ func New(cfg Config) (*DSM, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DSM{
+	d := &DSM{
 		params:   params,
 		space:    space,
 		clocks:   clocks,
@@ -172,7 +189,12 @@ func New(cfg Config) (*DSM, error) {
 		vb:       vclock.NewVBarrier(cfg.Nodes),
 		exchange: notices.NewEpochExchange(cfg.Nodes),
 		epochs:   make([]uint64, cfg.Nodes),
-	}, nil
+	}
+	d.hier = cfg.Nodes > hsync.Threshold
+	if d.hier {
+		d.tree = hsync.NewTree(cfg.Nodes, cfg.Topology.Normalize())
+	}
+	return d, nil
 }
 
 // Kind implements platform.Substrate. The composition presents itself as
@@ -377,8 +399,31 @@ func (d *DSM) NewLock() int {
 	d.lockMu.Lock()
 	defer d.lockMu.Unlock()
 	id := len(d.locks)
-	d.locks = append(d.locks, &mixLock{vl: vclock.NewVLock(), pending: notices.NewBoard()})
+	st := &mixLock{vl: vclock.NewVLock(), pending: notices.NewBoard()}
+	if d.hier {
+		st.dl = hsync.NewDLock(st.vl, len(d.clocks), id%len(d.clocks))
+	}
+	d.locks = append(d.locks, st)
 	return id
+}
+
+// sanMsg prices one SAN sync message regardless of endpoints: the SAN is
+// a uniform fabric, so hierarchy buys queue decentralization here, not
+// cheaper hops.
+func (d *DSM) sanMsg(_, _, _ int) vclock.Duration { return d.params.SAN.SyncMsgNs }
+
+// lockCosts returns the request and grant costs of one unified-lock
+// acquire: the flat SAN round trip below the threshold, the distributed
+// token queue's chain cost above it.
+func (d *DSM) lockCosts(node int, st *mixLock) (reqCost, grantCost vclock.Duration) {
+	if st.dl == nil {
+		return d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs
+	}
+	prev, fwd, _ := st.dl.Request(node, 0, d.sanMsg, nil, 0)
+	if prev == node {
+		return 0, 0
+	}
+	return fwd, d.params.SAN.SyncMsgNs
 }
 
 func (d *DSM) lock(id int) *mixLock {
@@ -411,7 +456,8 @@ func (d *DSM) Acquire(node, lock int) {
 	st := d.lock(lock)
 	clk := d.clocks[node]
 	t0 := clk.Now()
-	st.vl.Acquire(clk, d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
+	reqCost, grantCost := d.lockCosts(node, st)
+	st.vl.Acquire(clk, reqCost, grantCost)
 	d.invalidateBoth(node, st.pending.Take(node))
 	if rec := d.rec; rec != nil && rec.Enabled() {
 		rec.Record(node, perfmon.EvLockAcquire, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
@@ -423,8 +469,20 @@ func (d *DSM) TryAcquire(node, lock int) bool {
 	st := d.lock(lock)
 	clk := d.clocks[node]
 	t0 := clk.Now()
-	if !st.vl.TryAcquire(clk, d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs) {
+	reqCost, grantCost := vclock.Duration(d.params.SAN.SyncMsgNs), vclock.Duration(d.params.SAN.SyncMsgNs)
+	if st.dl != nil {
+		prev, fwd := st.dl.Probe(node, 0, d.sanMsg)
+		if prev == node {
+			reqCost, grantCost = 0, 0
+		} else {
+			reqCost = fwd
+		}
+	}
+	if !st.vl.TryAcquire(clk, reqCost, grantCost) {
 		return false
+	}
+	if st.dl != nil {
+		st.dl.Commit(node)
 	}
 	d.invalidateBoth(node, st.pending.Take(node))
 	if rec := d.rec; rec != nil && rec.Enabled() {
@@ -443,7 +501,13 @@ func (d *DSM) Release(node, lock int) {
 	if rec := d.rec; rec != nil && rec.Enabled() && len(notes) > 0 {
 		rec.Record(node, perfmon.EvWriteNotice, clk.Now(), 0, uint64(len(notes)), uint64(lock))
 	}
-	st.vl.Release(clk, d.params.SAN.SyncMsgNs)
+	if st.dl != nil {
+		// The token stays with the releaser; the next acquirer's grant
+		// pays the handoff.
+		st.vl.Release(clk, 0)
+	} else {
+		st.vl.Release(clk, d.params.SAN.SyncMsgNs)
+	}
 	if rec := d.rec; rec != nil && rec.Enabled() {
 		rec.Record(node, perfmon.EvLockRelease, t0, vclock.Since(t0, clk.Now()), uint64(lock), 0)
 	}
@@ -461,7 +525,14 @@ func (d *DSM) Barrier(node int) {
 	if rec := d.rec; rec != nil && rec.Enabled() && len(notes) > 0 {
 		rec.Record(node, perfmon.EvWriteNotice, clk.Now(), 0, uint64(len(notes)), ^uint64(0))
 	}
-	d.vb.Arrive(clk, d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
+	if d.hier && node != 0 {
+		// Tree barrier over the SAN: arrival and release each traverse
+		// the node's tree path instead of a direct manager exchange.
+		pathCost := d.tree.PathCost(node, 0, d.sanMsg)
+		d.vb.Arrive(clk, pathCost, pathCost)
+	} else {
+		d.vb.Arrive(clk, d.params.SAN.SyncMsgNs, d.params.SAN.SyncMsgNs)
+	}
 	d.invalidateBoth(node, d.exchange.CollectOthers(epoch, node))
 
 	d.lockMu.Lock()

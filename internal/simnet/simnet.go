@@ -115,6 +115,12 @@ type Network struct {
 	nodes []*endpoint
 	stats Stats
 
+	// topo places nodes in the switch fabric (see topology.go). Stored
+	// normalized; topoFlat caches IsFlat so the per-message fast path
+	// keeps the legacy arithmetic without a method call.
+	topo     Topology
+	topoFlat bool
+
 	// fs is the installed fault plan, denormalized into an immutable
 	// faultState and swapped atomically by SetFaults. Never nil — the
 	// zero plan is installed at construction — so every per-message
@@ -157,12 +163,26 @@ type endpoint struct {
 	closed bool
 }
 
-// New creates a network of len(clocks) nodes over the given link profile.
-// Each node's costs are charged to the corresponding clock.
+// New creates a network of len(clocks) nodes over the given link profile
+// and the flat legacy topology. Each node's costs are charged to the
+// corresponding clock.
 func New(link machine.Link, clocks []*vclock.Clock) *Network {
+	return NewTopo(link, clocks, Topology{})
+}
+
+// NewTopo creates a network whose message costs depend on where the two
+// endpoints sit in the given topology. A flat (or zero) topology is
+// bit-identical to New.
+func NewTopo(link machine.Link, clocks []*vclock.Clock, topo Topology) *Network {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	topo = topo.Normalize()
 	n := &Network{
-		link:  link,
-		nodes: make([]*endpoint, len(clocks)),
+		link:     link,
+		nodes:    make([]*endpoint, len(clocks)),
+		topo:     topo,
+		topoFlat: topo.IsFlat(),
 	}
 	for i, c := range clocks {
 		ep := &endpoint{clock: c}
@@ -222,9 +242,14 @@ func (n *Network) Send(from, to NodeID, kind Kind, tag uint32, payload []byte) {
 	t0 := src.clock.Now()
 	src.clock.AdvanceCat(vclock.CatNetwork, fs.scaledSW(from, n.link.SendSWNs))
 	sendT := src.clock.Now()
-	arrive := sendT +
-		vclock.Time(n.link.LatencyNs) +
-		vclock.Time(uint64(len(payload))*uint64(n.link.NsPerByte))
+	var arrive vclock.Time
+	if n.topoFlat {
+		arrive = sendT +
+			vclock.Time(n.link.LatencyNs) +
+			vclock.Time(uint64(len(payload))*uint64(n.link.NsPerByte))
+	} else {
+		arrive = sendT + vclock.Time(n.WireNs(from, to, len(payload)))
+	}
 	if fs.plan.JitterNs > 0 {
 		arrive += vclock.Time(fs.roll(from, to, saltJitter) * float64(fs.plan.JitterNs))
 	}

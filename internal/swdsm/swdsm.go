@@ -27,6 +27,7 @@ import (
 
 	"hamster/internal/amsg"
 	"hamster/internal/consengine"
+	"hamster/internal/hsync"
 	"hamster/internal/machine"
 	"hamster/internal/memsim"
 	"hamster/internal/notices"
@@ -84,6 +85,11 @@ type Config struct {
 	// coalesced messaging). When nil the DSM builds a private network —
 	// the "native JiaJia" configuration.
 	Layer *amsg.Layer
+	// Topology places the nodes in a switch fabric (see simnet.Topology);
+	// the zero value is the flat legacy network. Ignored when Layer is
+	// set — the layer's network already has a topology, which the DSM
+	// adopts for its own synchronization cost arithmetic.
+	Topology simnet.Topology
 	// Space optionally supplies a shared global address space (multi-DSM
 	// composition, §6). When nil the DSM owns a private space.
 	Space *memsim.Space
@@ -119,6 +125,13 @@ type DSM struct {
 	clocks []*vclock.Clock
 	layer  *amsg.Layer
 	nodes  []*node
+
+	// topo is the adopted network topology; hier switches locks and
+	// barriers to the hierarchical primitives (tree barriers, migrating
+	// distributed lock queues) when the cluster exceeds hsync.Threshold.
+	topo simnet.Topology
+	hier bool
+	tree *hsync.Tree
 
 	cacheCap     int
 	migrateAfter int
@@ -303,8 +316,13 @@ func New(cfg Config) (*DSM, error) {
 			d.clocks[i] = cfg.Layer.Network().Clock(simnet.NodeID(i))
 		}
 	} else {
-		net := simnet.New(params.Ethernet, d.clocks)
+		net := simnet.NewTopo(params.Ethernet, d.clocks, cfg.Topology)
 		d.layer = amsg.New(net, params.Ethernet)
+	}
+	d.topo = d.layer.Network().Topology()
+	d.hier = cfg.Nodes > hsync.Threshold
+	if d.hier {
+		d.tree = hsync.NewTree(cfg.Nodes, d.topo)
 	}
 	cap := cfg.CachePages
 	if cap <= 0 {

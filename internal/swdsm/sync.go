@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"hamster/internal/amsg"
+	"hamster/internal/hsync"
 	"hamster/internal/memsim"
 	"hamster/internal/notices"
 	"hamster/internal/perfmon"
@@ -23,6 +24,11 @@ type lockState struct {
 	home    int
 	vl      *vclock.VLock
 	pending *notices.Board
+	// dl replaces the single-home request path above hsync.Threshold
+	// nodes: the token migrates to the acquirer along probable-holder
+	// hint chains (IVY's probable-owner machinery applied to locks), so
+	// no node serializes every acquire. nil below the threshold.
+	dl *hsync.DLock
 }
 
 // NewLock implements platform.Substrate. Locks are distributed across
@@ -31,14 +37,27 @@ func (d *DSM) NewLock() int {
 	d.lockMu.Lock()
 	defer d.lockMu.Unlock()
 	id := len(d.locks)
-	d.locks = append(d.locks, &lockState{
+	st := &lockState{
 		id:      id,
 		home:    id % len(d.nodes),
 		vl:      vclock.NewVLock(),
 		pending: notices.NewBoard(),
-	})
+	}
+	if d.hier {
+		st.dl = hsync.NewDLock(st.vl, len(d.nodes), st.home)
+	}
+	d.locks = append(d.locks, st)
 	return id
 }
+
+// msgCost prices one protocol message between two specific nodes under
+// the adopted topology (the flat preset reduces to the uniform
+// Ethernet.MsgCost the pre-topology protocol charged).
+func (d *DSM) msgCost(from, to, bytes int) vclock.Duration {
+	return d.topo.MsgCost(d.params.Ethernet, from, to, bytes)
+}
+
+func (d *DSM) stealAt(node int, dur vclock.Duration) { d.clocks[node].Steal(dur) }
 
 func (d *DSM) lock(id int) *lockState {
 	d.lockMu.Lock()
@@ -61,12 +80,27 @@ func (d *DSM) Acquire(nodeID, lock int) {
 	clk := d.clocks[nodeID]
 	t0 := clk.Now()
 
+	prev := st.home
 	var reqCost vclock.Duration
-	if st.home != nodeID {
-		reqCost = d.params.Ethernet.MsgCost(noticeMsgBytes(0))
+	switch {
+	case st.dl != nil:
+		// Distributed queue: the request forwards along the
+		// probable-holder chain to the current tail; every hop is one
+		// message on the acquirer's timeline and one stolen interrupt at
+		// the forwarder.
+		p, fwd, hops := st.dl.Request(nodeID, noticeMsgBytes(0), d.msgCost, d.stealAt, d.params.Ethernet.HandlerNs)
+		prev = p
+		if prev == nodeID {
+			reqCost = amsg.LocalCallNs
+		} else {
+			reqCost = fwd
+			n.stats.ProtocolMsgs += uint64(hops)
+		}
+	case st.home != nodeID:
+		reqCost = d.msgCost(nodeID, st.home, noticeMsgBytes(0))
 		d.clocks[st.home].Steal(d.params.Ethernet.HandlerNs)
 		n.stats.ProtocolMsgs++
-	} else {
+	default:
 		reqCost = amsg.LocalCallNs
 	}
 	st.vl.Acquire(clk, reqCost, 0)
@@ -81,14 +115,23 @@ func (d *DSM) Acquire(nodeID, lock int) {
 		pages = d.rcPending.TakeInto(nodeID, pages)
 	}
 	n.noticeScratch = pages
-	if st.home != nodeID {
+	if st.dl != nil {
+		if prev != nodeID {
+			// The token grant from the predecessor carries the pending
+			// write notices: one message, priced for where the two nodes
+			// sit, with the predecessor paying the grant interrupt.
+			clk.AdvanceCat(vclock.CatNetwork, d.msgCost(prev, nodeID, noticeMsgBytes(len(pages))))
+			d.stealAt(prev, d.params.Ethernet.HandlerNs)
+			n.stats.ProtocolMsgs++
+		}
+	} else if st.home != nodeID {
 		if d.agg.Batch {
 			// Piggybacked: the notice list rides the grant reply, so only
 			// its payload bytes cost anything — the baseline's separate
 			// notice message disappears.
 			clk.AdvanceCat(vclock.CatNetwork, d.piggybackNoticeCost(len(pages)))
 		} else {
-			clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+			clk.AdvanceCat(vclock.CatNetwork, d.msgCost(nodeID, st.home, noticeMsgBytes(len(pages))))
 			n.stats.ProtocolMsgs++
 		}
 	}
@@ -117,8 +160,20 @@ func (d *DSM) Release(nodeID, lock int) {
 		// were invented to avoid).
 		d.rcPending.AddForOthers(nodeID, len(d.nodes), pages)
 		if len(pages) > 0 {
-			clk.AdvanceCat(vclock.CatNetwork, vclock.Duration(len(d.nodes)-1)*
-				d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+			if d.hier {
+				// Per-pair pricing: a cross-rack peer costs more than a
+				// rack neighbor.
+				var sum vclock.Duration
+				for m := range d.nodes {
+					if m != nodeID {
+						sum += d.msgCost(nodeID, m, noticeMsgBytes(len(pages)))
+					}
+				}
+				clk.AdvanceCat(vclock.CatNetwork, sum)
+			} else {
+				clk.AdvanceCat(vclock.CatNetwork, vclock.Duration(len(d.nodes)-1)*
+					d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+			}
 			n.stats.ProtocolMsgs += uint64(len(d.nodes) - 1)
 			for m := range d.nodes {
 				if m != nodeID {
@@ -134,11 +189,17 @@ func (d *DSM) Release(nodeID, lock int) {
 	}
 
 	var relCost vclock.Duration
-	if st.home != nodeID {
-		relCost = d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages)))
+	switch {
+	case st.dl != nil:
+		// Distributed queue: release keeps the token local — the next
+		// acquirer's grant pays the handoff — so releasing costs only the
+		// local bookkeeping call.
+		relCost = amsg.LocalCallNs
+	case st.home != nodeID:
+		relCost = d.msgCost(nodeID, st.home, noticeMsgBytes(len(pages)))
 		d.clocks[st.home].Steal(d.params.Ethernet.HandlerNs)
 		n.stats.ProtocolMsgs++
-	} else {
+	default:
 		relCost = amsg.LocalCallNs
 	}
 	st.vl.Release(clk, relCost)
@@ -280,12 +341,22 @@ func (d *DSM) Barrier(nodeID int) {
 	}
 
 	var arriveCost vclock.Duration
-	if nodeID != manager {
-		arriveCost = d.params.Ethernet.MsgCost(noticeMsgBytes(len(mine)))
+	switch {
+	case nodeID == manager:
+		arriveCost = amsg.LocalCallNs
+	case d.hier:
+		// Tree barrier: the arrival message climbs the reduction tree —
+		// its full path bounds when the root can release — but only the
+		// direct parent takes the arrival interrupt; ancestors see one
+		// aggregated message per subtree instead of one per node, which
+		// is what removes the manager incast at 64–256 nodes.
+		arriveCost = d.tree.PathCost(nodeID, noticeMsgBytes(len(mine)), d.msgCost)
+		d.stealAt(d.tree.Parent(nodeID), d.params.Ethernet.HandlerNs)
+		n.stats.ProtocolMsgs++
+	default:
+		arriveCost = d.msgCost(nodeID, manager, noticeMsgBytes(len(mine)))
 		d.clocks[manager].Steal(d.params.Ethernet.HandlerNs)
 		n.stats.ProtocolMsgs++
-	} else {
-		arriveCost = amsg.LocalCallNs
 	}
 	b.vb.Arrive(clk, arriveCost, 0)
 
@@ -293,12 +364,18 @@ func (d *DSM) Barrier(nodeID int) {
 	others := b.exchange.CollectOthers(epoch, nodeID)
 
 	if nodeID != manager {
-		if d.agg.Batch {
+		switch {
+		case d.hier:
+			// The release wave carries the merged notices back down the
+			// tree; each node pays its root path once.
+			clk.AdvanceCat(vclock.CatNetwork, d.tree.PathCost(nodeID, noticeMsgBytes(len(others)), d.msgCost))
+			n.stats.ProtocolMsgs++
+		case d.agg.Batch:
 			// Piggybacked: the merged notices ride the barrier-release
 			// broadcast the manager sends anyway (see Acquire).
 			clk.AdvanceCat(vclock.CatNetwork, d.piggybackNoticeCost(len(others)))
-		} else {
-			clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(others))))
+		default:
+			clk.AdvanceCat(vclock.CatNetwork, d.msgCost(nodeID, manager, noticeMsgBytes(len(others))))
 			n.stats.ProtocolMsgs++
 		}
 	}
@@ -324,7 +401,7 @@ func (d *DSM) Barrier(nodeID int) {
 	// quiescent window in which the winning nodes retarget page homes.
 	if d.migrateAfter > 0 {
 		d.migration.depositWishes(epoch, nodeID, n.migrationWishes())
-		arrive := d.params.Ethernet.MsgCost(16)
+		arrive := d.msgCost(nodeID, manager, 16)
 		if nodeID == manager {
 			arrive = amsg.LocalCallNs
 		} else {
@@ -384,27 +461,49 @@ func (d *DSM) TryAcquire(nodeID, lock int) bool {
 	clk := d.clocks[nodeID]
 	t0 := clk.Now()
 
+	prev := st.home
 	var reqCost vclock.Duration
-	if st.home != nodeID {
-		reqCost = d.params.Ethernet.MsgCost(noticeMsgBytes(0))
+	switch {
+	case st.dl != nil:
+		// Probe prices the forwarding chain without claiming the token —
+		// a failed try must leave the probable-holder state untouched.
+		p, fwd := st.dl.Probe(nodeID, noticeMsgBytes(0), d.msgCost)
+		prev = p
+		if prev == nodeID {
+			reqCost = amsg.LocalCallNs
+		} else {
+			reqCost = fwd
+			n.stats.ProtocolMsgs++
+		}
+	case st.home != nodeID:
+		reqCost = d.msgCost(nodeID, st.home, noticeMsgBytes(0))
 		d.clocks[st.home].Steal(d.params.Ethernet.HandlerNs)
 		n.stats.ProtocolMsgs++
-	} else {
+	default:
 		reqCost = amsg.LocalCallNs
 	}
 	if !st.vl.TryAcquire(clk, reqCost, 0) {
 		return false
+	}
+	if st.dl != nil {
+		st.dl.Commit(nodeID)
 	}
 	pages := st.pending.TakeInto(nodeID, n.noticeScratch[:0])
 	if d.protocol == EagerRC {
 		pages = d.rcPending.TakeInto(nodeID, pages)
 	}
 	n.noticeScratch = pages
-	if st.home != nodeID {
+	if st.dl != nil {
+		if prev != nodeID {
+			clk.AdvanceCat(vclock.CatNetwork, d.msgCost(prev, nodeID, noticeMsgBytes(len(pages))))
+			d.stealAt(prev, d.params.Ethernet.HandlerNs)
+			n.stats.ProtocolMsgs++
+		}
+	} else if st.home != nodeID {
 		if d.agg.Batch {
 			clk.AdvanceCat(vclock.CatNetwork, d.piggybackNoticeCost(len(pages)))
 		} else {
-			clk.AdvanceCat(vclock.CatNetwork, d.params.Ethernet.MsgCost(noticeMsgBytes(len(pages))))
+			clk.AdvanceCat(vclock.CatNetwork, d.msgCost(nodeID, st.home, noticeMsgBytes(len(pages))))
 			n.stats.ProtocolMsgs++
 		}
 	}

@@ -25,8 +25,12 @@
 #     an explicit "scope" selection are bit-identical, and the committed
 #     BENCH_6.json scope rows replay with checksums and message counts
 #     exact (virtual times within the same 0.1%).
+#   - TestTopologyFlatIdentity: the topology-aware fabric's flat preset
+#     must be bit-identical to the pre-topology network on both the bare
+#     substrate (BENCH_6) and core-services (BENCH_2/BENCH_4) measurement
+#     paths — checksums, virtual times, and message counts exactly equal.
 set -eux
 
 cd "$(dirname "$0")/.."
 
-go test -run 'TestAggregationOffIdentity|TestWalltimeBaselineIdentity|TestParallelRunnerByteIdentity|TestEngineDefaultIdentity' ./internal/bench/
+go test -run 'TestAggregationOffIdentity|TestWalltimeBaselineIdentity|TestParallelRunnerByteIdentity|TestEngineDefaultIdentity|TestTopologyFlatIdentity' ./internal/bench/

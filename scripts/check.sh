@@ -32,6 +32,16 @@ for dir in internal/*/; do
     fi
 done
 
+# ARCHITECTURE.md gate: the system map must only name internal packages
+# that actually exist — a renamed or deleted package must take its
+# documentation with it.
+for pkg in $(grep -o 'internal/[a-z0-9]*' ARCHITECTURE.md | sort -u); do
+    if [ ! -d "$pkg" ]; then
+        echo "ARCHITECTURE.md names nonexistent package $pkg" >&2
+        exit 1
+    fi
+done
+
 # The attribution invariant is the load-bearing contract of the perfmon
 # subsystem; run it by name under the race detector so a failure is
 # unmistakable before the full suite starts.
@@ -49,6 +59,15 @@ go test -race -run 'TestCrashRecoveryKernels' ./internal/bench/
 # gate), and aggregation on must never move a checksum on any substrate.
 sh scripts/benchcheck.sh
 go test -race -run 'TestAggregationEquivalence' ./internal/bench/
+
+# Hierarchical-synchronization gate: at 64 nodes the substrates switch
+# to tree barriers and distributed lock queues; kernels must keep the
+# scope/flat reference checksum on every engine and topology, including
+# under a seeded lossy-wire fault campaign — run under the race detector
+# because the lock queues' hint chains are touched from every node
+# goroutine.
+go test -race -run 'TestHierSyncKernels64|TestHierSyncFaults64' ./internal/bench/
+go test -race -run 'TestDLockMutualExclusion64' ./internal/hsync/
 
 # Consistency-engine conformance gate: the default engine must pass the
 # whole litmus battery under the race detector (the other engines and the
