@@ -12,6 +12,7 @@
 //	hamsterbench -json FILE -walltime [-parallel N]
 //	hamsterbench -json FILE -engines [-parallel N]
 //	hamsterbench -json FILE -scaling [-parallel N]
+//	hamsterbench -json FILE -serve [-parallel N]
 //
 // With no selection flags, everything runs. -json instead runs the kernel
 // wall-clock benchmark (simulator throughput on the software DSM) and
@@ -52,6 +53,16 @@
 // synchronization (tree barriers, distributed lock queues), so the
 // campaign exercises both regimes; the rendering calls out the cluster
 // size where IVY's migrating ownership overtakes home-based ScC.
+//
+// -serve switches -json to the serve campaign (BENCH_8.json): the
+// server-shaped workloads of internal/serve — sharded KV store, event
+// pipeline, sync/replication log — under the deterministic open-loop
+// load generator, across substrates, consistency engines, cluster
+// sizes, and Zipf skews. One headline cell multiplexes a two-million
+// client-session population; one cell crashes a node mid-traffic on a
+// 5%-drop wire and recovers it through the cluster orchestrator. Serve
+// rows carry no wall or virtual readings, so the JSON is byte-identical
+// at any -parallel setting.
 //
 // -parallel N runs independent benchmark cells on up to N goroutines
 // (0 = GOMAXPROCS, 1 = sequential). Each cell owns a private simulated
@@ -94,6 +105,7 @@ func main() {
 	wall := flag.Bool("walltime", false, "switch -json to the simulator wall-time suite: sequential vs parallel totals plus hot-path allocation benchmarks")
 	engines := flag.Bool("engines", false, "switch -json to the consistency-engine suite: every engine on the identical kernel set at 2 and 4 nodes")
 	scaling := flag.Bool("scaling", false, "switch -json to the scaling campaign: kernel suite x engines x topologies at 8/16/64/256 nodes")
+	serveFlag := flag.Bool("serve", false, "switch -json to the serve campaign: server workloads x substrates x engines x skew, with the 2M-session headline and crash-recovery cells")
 	flag.Parse()
 
 	// Flag validation happens before any benchmark runs: unknown -faults
@@ -163,6 +175,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *serveFlag {
+		if *jsonOut == "" {
+			fmt.Fprintln(os.Stderr, "-serve requires -json: it selects the serve campaign")
+			os.Exit(2)
+		}
+		if *scaling || *engines || *wall || *aggregate || *ckptEvery > 0 || *faults != "" {
+			fmt.Fprintln(os.Stderr, "-serve, -scaling, -engines, -walltime, -aggregate, -checkpoint, and -faults are separate -json benchmarks; pass one of them")
+			os.Exit(2)
+		}
+	}
 	var plan *simnet.FaultPlan
 	var seed int64 // stays 0 when unperturbed: no fault plan, no jitter
 	if *faults != "" {
@@ -196,7 +218,19 @@ func main() {
 		}
 		var env envelope
 		var render string
-		if *scaling {
+		if *serveFlag {
+			rows, err := bench.ServeSuite(*par)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				os.Exit(1)
+			}
+			env = envelope{
+				Schema:      "hamster/serve/v8",
+				Description: "serve campaign: server-shaped workloads (sharded KV store, event pipeline, sync/replication log) under a deterministic open-loop load generator with Zipfian key popularity, across substrates (smp, hybriddsm), consistency engines (scope, eager-rc, ivy), cluster sizes (4/16/64), and skews (0, 0.99); includes a 2M-session headline cell and a crash-recovery cell on a 5%-drop wire; rows carry no wall/virtual readings and replay byte-identically at any -parallel setting",
+				Results:     rows,
+			}
+			render = bench.RenderServe(rows)
+		} else if *scaling {
 			rows, err := bench.ScalingSuite(*par)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "scaling: %v\n", err)

@@ -10,6 +10,7 @@
 //	           [-faults PROFILE] [-faultseed SEED]
 //	           [-checkpoint N] [-incremental] [-recover]
 //	           [-aggregate] [-prefetch] [-engine NAME] [-topology NAME]
+//	hamsterrun -serve kv|pipeline|synclog [-clients N] [-zipf S] [...]
 //
 // A -config file (see internal/cluster for the format) overrides the
 // -platform/-nodes flags, mirroring how the original framework switched
@@ -29,6 +30,16 @@
 // rack, or fattree); above 8 nodes the DSM also switches to hierarchical
 // synchronization (tree barriers, distributed lock queues). All flag
 // combinations are validated before anything boots.
+//
+// -serve replaces -bench with a server-shaped workload from
+// internal/serve (kv, pipeline, or synclog) under the deterministic
+// open-loop load generator. -clients sizes the simulated client-session
+// population; -zipf sets the key-popularity skew (0 = uniform, 0.99 =
+// the standard serving-benchmark hot-key skew). Both require -serve.
+// -serve composes with -engine, -topology, -monitor (per-shard hot-page
+// and latch-contention report rows), -faults, and — for the mid-traffic
+// crash-recovery scenario — -checkpoint/-recover; it rejects -verify,
+// -timeline, and -trace.
 package main
 
 import (
@@ -42,6 +53,7 @@ import (
 	"hamster/internal/cluster"
 	"hamster/internal/core"
 	"hamster/internal/perfmon"
+	"hamster/internal/serve"
 	"hamster/internal/simnet"
 	"hamster/models/jiajia"
 )
@@ -67,7 +79,12 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "enable adaptive sequential page prefetch (requires -aggregate)")
 	engine := flag.String("engine", "", "software DSM consistency engine: "+strings.Join(hamster.EngineNames(), ", "))
 	topology := flag.String("topology", "", "software DSM switch fabric: "+strings.Join(hamster.TopologyNames(), ", "))
+	serveW := flag.String("serve", "", "run a server workload instead of -bench: "+strings.Join(serve.Workloads, ", "))
+	clients := flag.Int("clients", 0, "simulated client-session population for -serve (0 = workload default)")
+	zipf := flag.Float64("zipf", 0, "Zipfian key-popularity skew for -serve (0 = uniform)")
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	cfg := hamster.Config{Nodes: *nodes}
 	switch *plat {
@@ -96,10 +113,21 @@ func main() {
 		cfg = fileCfg.RuntimeConfig()
 	}
 
-	kernel, desc, err := pickKernel(*benchName, *n, *iters)
+	scfg, err := serveOptions(*serveW, *clients, *zipf, cfg.Nodes, explicit)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	serveActive := *serveW != ""
+
+	var kernel apps.Kernel
+	var desc string
+	if !serveActive {
+		kernel, desc, err = pickKernel(*benchName, *n, *iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	// Everything the flags can get wrong is rejected here, before any node
@@ -208,6 +236,23 @@ func main() {
 		cfg.Topology = *topology
 	}
 
+	if serveActive {
+		if *verify || *timeline || *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "-serve drives the fabric from the load generator; -verify, -timeline, and -trace are not supported with it")
+			os.Exit(2)
+		}
+		if *ckptEvery > 0 {
+			if *monitor || *timeBreak {
+				fmt.Fprintln(os.Stderr, "-monitor and -timebreakdown are not supported with -serve -checkpoint: the recovery orchestrator releases the runtime before reporting")
+				os.Exit(2)
+			}
+			runServeRecoverable(scfg, cfg, plan, *ckptEvery, *ckptInc, *recoverNodes, *faults, *faultSeed, haveFaults)
+			return
+		}
+		runServe(scfg, cfg, plan, haveFaults, *faults, *faultSeed, *monitor, *timeBreak)
+		return
+	}
+
 	if *ckptEvery > 0 {
 		runRecoverable(cfg, plan, kernel, desc, *ckptEvery, *ckptInc, *recoverNodes, *monitor, *timeBreak, *faults, *faultSeed, haveFaults)
 		return
@@ -306,6 +351,111 @@ func main() {
 
 func maxP(rs []apps.Result, sel func(apps.Timings) hamster.Duration) hamster.Duration {
 	return apps.MaxPhase(rs, sel)
+}
+
+// serveOptions validates the -serve flag family before anything boots
+// and builds the workload configuration, defaults filled. explicit
+// reports which flags were given on the command line; with -serve unset
+// it rejects the satellites (-clients, -zipf) that would silently do
+// nothing.
+func serveOptions(workload string, clients int, zipf float64, nodes int, explicit map[string]bool) (serve.Config, error) {
+	if workload == "" {
+		if explicit["clients"] {
+			return serve.Config{}, fmt.Errorf("-clients requires -serve: it sizes a server workload's client-session population")
+		}
+		if explicit["zipf"] {
+			return serve.Config{}, fmt.Errorf("-zipf requires -serve: it shapes a server workload's key popularity")
+		}
+		return serve.Config{}, nil
+	}
+	if explicit["bench"] {
+		return serve.Config{}, fmt.Errorf("-serve %s replaces the kernel benchmark; it cannot be combined with -bench", workload)
+	}
+	if explicit["clients"] && clients < 1 {
+		return serve.Config{}, fmt.Errorf("-clients must be >= 1, got %d", clients)
+	}
+	if zipf < 0 {
+		return serve.Config{}, fmt.Errorf("-zipf must be >= 0 (0 = uniform key popularity), got %v", zipf)
+	}
+	scfg := serve.Config{Workload: workload, ZipfSkew: zipf}
+	if explicit["clients"] {
+		scfg.Sessions = uint64(clients)
+	}
+	scfg = scfg.WithDefaults(nodes)
+	if err := scfg.Validate(nodes); err != nil {
+		return serve.Config{}, err
+	}
+	return scfg, nil
+}
+
+// runServe drives a server workload through the core services: boot the
+// runtime, inject any fault plan, run the load-generator fabric, print
+// the report.
+func runServe(scfg serve.Config, cfg hamster.Config, plan simnet.FaultPlan,
+	haveFaults bool, faults string, faultSeed int64, monitor, timeBreak bool) {
+	rt, err := hamster.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+	fmt.Printf("serving %s workload on %v with %d nodes (%d client sessions, zipf %.2f)\n",
+		scfg.Workload, cfg.Platform, cfg.Nodes, scfg.Sessions, scfg.ZipfSkew)
+	if cfg.Engine != "" {
+		fmt.Printf("consistency engine %q\n", cfg.Engine)
+	}
+	if haveFaults {
+		rt.SetFaults(plan)
+		fmt.Printf("fault campaign %q, seed %d\n", faults, faultSeed)
+	}
+	rep, err := serve.RunOnRuntime(scfg, rt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\nrun aborted: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(rep.Render())
+	if monitor {
+		fmt.Println()
+		fmt.Print(core.ClusterReport(rt))
+	}
+	if timeBreak {
+		fmt.Println()
+		fmt.Print(perfmon.Summary(rt.TimeBreakdowns()))
+	}
+}
+
+// runServeRecoverable executes the serve workload under the cluster
+// orchestrator: coordinated snapshots every N barriers, planned crashes
+// rolled back to the last snapshot and the victim re-admitted.
+func runServeRecoverable(scfg serve.Config, cfg hamster.Config, plan simnet.FaultPlan,
+	every int, incremental, recoverNodes bool, faults string, faultSeed int64, haveFaults bool) {
+	cfg.CheckpointEvery = every
+	cfg.CheckpointIncremental = incremental
+	plan.Recover = recoverNodes
+	mode := "full"
+	if incremental {
+		mode = "incremental"
+	}
+	fmt.Printf("serving %s workload on %v with %d nodes (core services, %s checkpoint every %d barriers)\n",
+		scfg.Workload, cfg.Platform, cfg.Nodes, mode, every)
+	if haveFaults {
+		fmt.Printf("fault campaign %q, seed %d", faults, faultSeed)
+		if recoverNodes {
+			fmt.Print(", crash recovery on")
+		}
+		fmt.Println()
+	}
+	rep, recoveries, err := serve.RunRecoverable(scfg, cfg, plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "\nrun aborted: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(rep.Render())
+	if recoverNodes {
+		fmt.Printf("recoveries %d\n", recoveries)
+	}
 }
 
 // runRecoverable executes the kernel through the core services with

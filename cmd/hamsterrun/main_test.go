@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every invalid -serve/-clients/-zipf combination must be rejected
+// before any node boots, with an error descriptive enough to fix the
+// command line from.
+func TestServeOptionsRejects(t *testing.T) {
+	cases := []struct {
+		name     string
+		workload string
+		clients  int
+		zipf     float64
+		nodes    int
+		explicit []string
+		want     string
+	}{
+		{"clients without serve", "", 1000, 0, 4, []string{"clients"}, "-clients requires -serve"},
+		{"zipf without serve", "", 0, 0.99, 4, []string{"zipf"}, "-zipf requires -serve"},
+		{"serve with explicit bench", "kv", 0, 0, 4, []string{"serve", "bench"}, "cannot be combined with -bench"},
+		{"zero clients", "kv", 0, 0, 4, []string{"serve", "clients"}, "-clients must be >= 1"},
+		{"negative clients", "kv", -5, 0, 4, []string{"serve", "clients"}, "-clients must be >= 1"},
+		{"negative zipf", "kv", 0, -0.5, 4, []string{"serve", "zipf"}, "-zipf must be >= 0"},
+		{"unknown workload", "webscale", 0, 0, 4, []string{"serve"}, "unknown workload"},
+		{"one node", "kv", 0, 0, 1, []string{"serve"}, "at least 2 nodes"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			explicit := map[string]bool{}
+			for _, f := range c.explicit {
+				explicit[f] = true
+			}
+			_, err := serveOptions(c.workload, c.clients, c.zipf, c.nodes, explicit)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+// Valid combinations pass pre-boot validation and come back with
+// defaults filled: the explicit client population sticks, an omitted
+// one falls back to the workload default.
+func TestServeOptionsAccepts(t *testing.T) {
+	cfg, err := serveOptions("kv", 250_000, 0.99, 4, map[string]bool{"serve": true, "clients": true, "zipf": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sessions != 250_000 || cfg.ZipfSkew != 0.99 {
+		t.Fatalf("explicit -clients/-zipf not honored: sessions %d, skew %v", cfg.Sessions, cfg.ZipfSkew)
+	}
+	if cfg.Windows == 0 || cfg.RingSlots == 0 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+
+	cfg, err = serveOptions("pipeline", 0, 0, 4, map[string]bool{"serve": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sessions == 0 {
+		t.Fatal("omitted -clients did not fall back to the workload default")
+	}
+
+	// No -serve and no satellites: inert zero config, no error.
+	cfg, err = serveOptions("", 0, 0, 4, map[string]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workload != "" {
+		t.Fatalf("inactive serve path produced a workload: %+v", cfg)
+	}
+}

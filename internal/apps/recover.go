@@ -25,6 +25,18 @@ func (m *jiaMachine) RegisterCheckpointable(name string, save func() []byte, res
 	return m.j.Env().RegisterCheckpointable(name, save, restore)
 }
 
+// AddReportSection forwards workload report sections to the monitor
+// (core.Env.AddReportSection). Kernels probe for the method the same
+// way they probe Checkpointer; bindings over bare substrates simply
+// lack it.
+func (m *envMachine) AddReportSection(title string, render func() string) {
+	m.e.AddReportSection(title, render)
+}
+
+func (m *jiaMachine) AddReportSection(title string, render func() string) {
+	m.j.Env().AddReportSection(title, render)
+}
+
 // progress returns a phase counter registered with the machine's
 // checkpoint service when it has one: snapshots capture the counter, and
 // on a resumed run it starts at the captured value, letting the kernel

@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"fmt"
+
+	"hamster"
+	"hamster/internal/checkpoint"
+	"hamster/internal/consengine"
+	"hamster/internal/hybriddsm"
+	"hamster/internal/platform"
+	"hamster/internal/serve"
+	"hamster/internal/simnet"
+	"hamster/internal/smp"
+)
+
+// The serve campaign (BENCH_8): server-shaped workloads from
+// internal/serve — the sharded KV store, the event pipeline, and the
+// sync/replication log — driven by the deterministic open-loop load
+// generator across substrates, consistency engines, cluster sizes, and
+// key-popularity skews. One headline cell multiplexes a two-million
+// client-session population; one cell crashes a node mid-traffic on a
+// lossy wire and recovers it through the cluster orchestrator.
+//
+// Unlike the other campaigns, serve rows carry NO wall or virtual
+// times: every reported quantity (latency quantiles, busy horizon,
+// throughput, counters, checksums) is a pure function of the cell's
+// seed and configuration, so the emitted JSON is byte-identical at any
+// cell parallelism and across crash recovery — pinned by
+// TestServeParallelByteIdentity in scripts/benchcheck.sh.
+
+// ServeResult is one campaign cell.
+type ServeResult struct {
+	Workload string `json:"workload"`
+	// Platform is a bare substrate ("smp", "hybriddsm") or a
+	// consistency-engine cluster ("scope", "eager-rc", "ivy").
+	Platform string  `json:"platform"`
+	Nodes    int     `json:"nodes"`
+	Zipf     float64 `json:"zipf"`
+	// Sessions is the configured client-session population;
+	// SessionsTouched how many distinct sessions issued at least one op.
+	Sessions        uint64 `json:"sessions"`
+	SessionsTouched uint64 `json:"sessions_touched"`
+	Ops             uint64 `json:"ops"`
+	Stalls          uint64 `json:"stall_events"`
+
+	OfferedPerSec  float64 `json:"offered_per_sec"`
+	AchievedPerSec float64 `json:"achieved_per_sec"`
+	MeanNs         uint64  `json:"latency_mean_ns"`
+	P50Ns          uint64  `json:"latency_p50_ns"`
+	P95Ns          uint64  `json:"latency_p95_ns"`
+	P99Ns          uint64  `json:"latency_p99_ns"`
+	HorizonNs      uint64  `json:"horizon_ns"`
+	MaxBusyNs      uint64  `json:"max_busy_ns"`
+
+	// Checksum is the order-independent store digest, hex-rendered so
+	// JSON consumers cannot lose low bits to float conversion.
+	Checksum string `json:"checksum"`
+
+	// Faulted cells run through the core services under a lossy-wire
+	// fault plan with a planned mid-traffic crash; Recoveries counts the
+	// crash-recovery cycles the run needed.
+	Faulted    bool `json:"faulted,omitempty"`
+	Recoveries int  `json:"recoveries,omitempty"`
+}
+
+// serveCell is one cell's full specification.
+type serveCell struct {
+	workload string
+	platform string
+	nodes    int
+	cfg      serve.Config
+	faulted  bool
+}
+
+// serveCellConfig builds the standard per-cell serve config. Every cell
+// shares the seed and horizon so rows differ only along the declared
+// axes.
+func serveCellConfig(workload string, zipf float64) serve.Config {
+	return serve.Config{
+		Workload: workload,
+		Seed:     1009,
+		Windows:  16,
+		Sessions: 200_000,
+		ZipfSkew: zipf,
+	}
+}
+
+// serveHeadlineConfig is the headline cell: a two-million client-session
+// population at a 600 ns mean aggregate gap over an 80 ms horizon —
+// about two million ops, enough offered load to saturate the hottest
+// shard's home node, so offered and achieved throughput visibly diverge.
+func serveHeadlineConfig() serve.Config {
+	return serve.Config{
+		Workload:  serve.WorkloadKV,
+		Seed:      1009,
+		Windows:   160,
+		WindowNs:  500_000,
+		MeanGapNs: 600,
+		Sessions:  2_000_000,
+		ZipfSkew:  0.99,
+	}
+}
+
+// serveCells enumerates the campaign.
+func serveCells() []serveCell {
+	var cells []serveCell
+	// Substrate axis: the KV store on hardware-coherent and hybrid
+	// machines, uniform and skewed.
+	for _, sub := range []string{"smp", "hybriddsm"} {
+		for _, nodes := range []int{4, 16} {
+			for _, zipf := range []float64{0, 0.99} {
+				cells = append(cells, serveCell{serve.WorkloadKV, sub, nodes,
+					serveCellConfig(serve.WorkloadKV, zipf), false})
+			}
+		}
+	}
+	// Engine axis: the KV store on every consistency engine.
+	for _, eng := range []string{consengine.ScopeName, consengine.EagerRCName, consengine.IVYName} {
+		for _, nodes := range []int{4, 16} {
+			for _, zipf := range []float64{0, 0.99} {
+				cells = append(cells, serveCell{serve.WorkloadKV, eng, nodes,
+					serveCellConfig(serve.WorkloadKV, zipf), false})
+			}
+		}
+	}
+	// Scale-out: 64 nodes under skew on the two page-protocol families.
+	for _, eng := range []string{consengine.ScopeName, consengine.IVYName} {
+		cells = append(cells, serveCell{serve.WorkloadKV, eng, 64,
+			serveCellConfig(serve.WorkloadKV, 0.99), false})
+	}
+	// The other workloads on the two protocol families.
+	for _, w := range []string{serve.WorkloadPipeline, serve.WorkloadSyncLog} {
+		for _, eng := range []string{consengine.ScopeName, consengine.IVYName} {
+			for _, nodes := range []int{4, 16} {
+				cells = append(cells, serveCell{w, eng, nodes,
+					serveCellConfig(w, 0.99), false})
+			}
+		}
+	}
+	// Headline: millions of sessions, saturating offered load.
+	cells = append(cells, serveCell{serve.WorkloadKV, consengine.ScopeName, 16,
+		serveHeadlineConfig(), false})
+	// Faulted: the 4-node skewed KV cell rerun through the core services
+	// on a 5%-drop wire with a planned mid-traffic crash of node 1,
+	// recovered through cluster.RunRecoverable. Its checksum must equal
+	// the matching unfaulted scope cell's.
+	cells = append(cells, serveCell{serve.WorkloadKV, consengine.ScopeName, 4,
+		serveCellConfig(serve.WorkloadKV, 0.99), true})
+	return cells
+}
+
+// serveBuild constructs the cell's platform.
+func serveBuild(platformName string, nodes int) (platform.Substrate, error) {
+	switch platformName {
+	case "smp":
+		return smp.New(smp.Config{CPUs: nodes})
+	case "hybriddsm":
+		return hybriddsm.New(hybriddsm.Config{Nodes: nodes})
+	default:
+		return BuildEngineTopo(platformName, nodes, simnet.TopoFlat)
+	}
+}
+
+// serveFaultPlan is the faulted cell's plan: a lossy wire plus a planned
+// crash of node 1 at 1.5 virtual ms — mid-traffic, several rounds in.
+func serveFaultPlan() simnet.FaultPlan {
+	return simnet.FaultPlan{
+		NodeFaults: []simnet.NodeFault{{Node: 1, CrashAt: 1_500_000}},
+		DropProb:   0.05,
+		Recover:    true,
+		Seed:       3,
+	}
+}
+
+// serveRunCell executes one cell.
+func serveRunCell(c serveCell) (ServeResult, error) {
+	var rep *serve.Report
+	var recoveries int
+	if c.faulted {
+		hcfg := hamster.Config{
+			Platform:        platform.SWDSM,
+			Nodes:           c.nodes,
+			CheckpointEvery: 4,
+			CheckpointSink:  checkpoint.NewMemorySink(64),
+		}
+		var err error
+		rep, recoveries, err = serve.RunRecoverable(c.cfg, hcfg, serveFaultPlan())
+		if err != nil {
+			return ServeResult{}, fmt.Errorf("bench: serve faulted cell %s/%d: %w", c.workload, c.nodes, err)
+		}
+		if recoveries < 1 {
+			return ServeResult{}, fmt.Errorf("bench: serve faulted cell %s/%d: planned crash needed no recovery", c.workload, c.nodes)
+		}
+	} else {
+		sub, err := serveBuild(c.platform, c.nodes)
+		if err != nil {
+			return ServeResult{}, fmt.Errorf("bench: serve %s/%s/%d: %w", c.workload, c.platform, c.nodes, err)
+		}
+		defer sub.Close()
+		rep, err = serve.RunOnSubstrate(c.cfg, sub)
+		if err != nil {
+			return ServeResult{}, fmt.Errorf("bench: serve %s/%s/%d: %w", c.workload, c.platform, c.nodes, err)
+		}
+	}
+	return ServeResult{
+		Workload:        c.workload,
+		Platform:        c.platform,
+		Nodes:           c.nodes,
+		Zipf:            c.cfg.ZipfSkew,
+		Sessions:        rep.Cfg.Sessions,
+		SessionsTouched: rep.Sessions,
+		Ops:             rep.Applied,
+		Stalls:          rep.Stalled,
+		OfferedPerSec:   rep.OfferedPerSec,
+		AchievedPerSec:  rep.AchievedPerSec,
+		MeanNs:          rep.MeanNs,
+		P50Ns:           rep.P50Ns,
+		P95Ns:           rep.P95Ns,
+		P99Ns:           rep.P99Ns,
+		HorizonNs:       rep.HorizonNs,
+		MaxBusyNs:       rep.MaxBusyNs,
+		Checksum:        fmt.Sprintf("%#016x", rep.Checksum),
+		Faulted:         c.faulted,
+		Recoveries:      recoveries,
+	}, nil
+}
+
+// ServeSuite measures the serve campaign with up to `parallel` cells
+// concurrent. After the run it cross-checks determinism's observable
+// half: within each (workload, nodes, zipf, horizon) group the checksum
+// must be identical on every platform, and the faulted recoverable cell
+// must land on its unfaulted twin's checksum exactly.
+func ServeSuite(parallel int) ([]ServeResult, error) {
+	cells := serveCells()
+	rows, err := runCells(parallel, len(cells), func(i int) (ServeResult, error) {
+		return serveRunCell(cells[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Group key: everything that legitimately changes the op stream.
+	key := func(r ServeResult) string {
+		return fmt.Sprintf("%s/%d/%.2f/%d/%d", r.Workload, r.Nodes, r.Zipf, r.HorizonNs, r.Sessions)
+	}
+	ref := map[string]string{}
+	for _, r := range rows {
+		k := key(r)
+		if want, ok := ref[k]; !ok {
+			ref[k] = r.Checksum
+		} else if r.Checksum != want {
+			return nil, fmt.Errorf("bench: serve %s on %s moved the checksum: %s, want %s",
+				k, r.Platform, r.Checksum, want)
+		}
+	}
+	for _, r := range rows {
+		if r.Faulted && r.Checksum != ref[key(r)] {
+			return nil, fmt.Errorf("bench: serve faulted cell diverged from its unfaulted twin: %s vs %s",
+				r.Checksum, ref[key(r)])
+		}
+	}
+	return rows, nil
+}
+
+// RenderServe prints the campaign as a substrate × engine table plus
+// the headline saturation and recovery callouts.
+func RenderServe(rows []ServeResult) string {
+	s := "Serve campaign (BENCH_8: server workloads × substrates × engines × skew)\n"
+	s += "open-loop load, virtual-time latency; no wall readings — every column replays bit-identically\n\n"
+	s += fmt.Sprintf("  %-9s %-10s %5s %5s %9s %9s %11s %11s %8s %8s %8s\n",
+		"workload", "platform", "nodes", "zipf", "ops", "stalls", "offered/s", "achieved/s", "p50", "p95", "p99")
+	for _, r := range rows {
+		flag := " "
+		if r.Faulted {
+			flag = "F"
+		}
+		s += fmt.Sprintf("  %-9s %-10s %5d %5.2f %9d %9d %11.0f %11.0f %8d %8d %8d %s\n",
+			r.Workload, r.Platform, r.Nodes, r.Zipf, r.Ops, r.Stalls,
+			r.OfferedPerSec, r.AchievedPerSec, r.P50Ns, r.P95Ns, r.P99Ns, flag)
+	}
+	for _, r := range rows {
+		if r.Sessions >= 1_000_000 {
+			s += fmt.Sprintf("\n  headline: %s on %s/%d multiplexed a %d-session population (%d distinct sessions issued traffic);\n"+
+				"  offered %.1fM ops/s vs achieved %.1fM ops/s — the hot shard's home node saturates (busy %d ns over a %d ns horizon)\n",
+				r.Workload, r.Platform, r.Nodes, r.Sessions, r.SessionsTouched,
+				r.OfferedPerSec/1e6, r.AchievedPerSec/1e6, r.MaxBusyNs, r.HorizonNs)
+		}
+		if r.Faulted {
+			s += fmt.Sprintf("\n  recovery: the faulted cell (5%% drops, node 1 crashed mid-traffic) recovered %d time(s)\n"+
+				"  through the cluster orchestrator and landed on the unfaulted checksum %s exactly\n",
+				r.Recoveries, r.Checksum)
+		}
+	}
+	return s
+}

@@ -60,6 +60,11 @@ type Env struct {
 	// in registration order. Touched only from this node's goroutine.
 	ckptSaves []func() []byte
 
+	// reportSections holds workload-registered report extensions, in
+	// registration order. Touched only from this node's goroutine;
+	// rendered at quiescence by Monitor.Report.
+	reportSections []reportSection
+
 	// The service modules.
 	Mem     *MemMgr
 	Cons    *ConsMgr
@@ -210,3 +215,19 @@ func (e *Env) Elapsed(since vclock.Time) vclock.Duration {
 
 // Runtime returns the owning runtime.
 func (e *Env) Runtime() *Runtime { return e.rt }
+
+// reportSection is one workload-registered extension of the node's
+// monitoring report.
+type reportSection struct {
+	title  string
+	render func() string
+}
+
+// AddReportSection registers a workload-specific section appended to
+// this node's Monitor.Report output. The render callback runs at
+// quiescence (report time), so it may read state the workload is still
+// mutating during the run. Call only from this node's goroutine, like
+// checkpoint registration.
+func (e *Env) AddReportSection(title string, render func() string) {
+	e.reportSections = append(e.reportSections, reportSection{title: title, render: render})
+}

@@ -116,6 +116,12 @@ func (m *Monitor) Report() string {
 				c, uint64(v), 100*float64(v)/float64(total))
 		}
 	}
+	for _, sec := range m.e.reportSections {
+		if sec.title != "" {
+			fmt.Fprintf(&b, "  %s:\n", sec.title)
+		}
+		b.WriteString(sec.render())
+	}
 	return b.String()
 }
 

@@ -96,7 +96,7 @@ func eventCategory(k EventKind) string {
 		return "network"
 	case EvLockAcquire, EvLockRelease, EvBarrier:
 		return "sync"
-	case EvService:
+	case EvService, EvServeOp:
 		return "service"
 	default:
 		return "other"

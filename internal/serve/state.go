@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The checkpoint blob is a committed round-boundary snapshot of one
+// node's generator and fabric state. commit() runs at registration,
+// after warmup, and at the end of every apply phase — never mid-phase —
+// so whatever barrier a checkpoint seals at, the blob describes the
+// start of the round in progress. The route and ingest phases are
+// idempotent re-executions from that boundary (the streams re-draw the
+// identical arrivals, cursor writes are absolute, slot writes are
+// positional), which is the whole recovery argument.
+
+func putU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+type blobReader struct {
+	b   []byte
+	bad bool
+}
+
+func (r *blobReader) u64() uint64 {
+	if len(r.b) < 8 {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+// commit serializes the live round-boundary state into st.blob. Skipped
+// entirely when no checkpoint service captured the registration — bare
+// substrate runs pay nothing.
+func (st *nodeState) commit() {
+	if !st.ckpt {
+		return
+	}
+	b := make([]byte, 0, 64+8*(4*st.n+st.n*st.n+2*st.l.shards+len(st.sessBits))+st.pendBytes())
+	b = putU64(b, uint64(st.round))
+	var inited uint64
+	if st.inited {
+		inited = 1
+	}
+	b = putU64(b, inited)
+	as, an := st.arr.State()
+	b = putU64(b, as)
+	b = putU64(b, an)
+	b = putU64(b, st.dec.State())
+	for _, v := range st.written {
+		b = putU64(b, v)
+	}
+	for _, v := range st.consumed {
+		b = putU64(b, v)
+	}
+	for _, v := range st.pmirror {
+		b = putU64(b, v)
+	}
+	for _, row := range st.wmirror {
+		for _, v := range row {
+			b = putU64(b, v)
+		}
+	}
+	for _, q := range st.pendq {
+		b = putU64(b, uint64(len(q)))
+		for _, o := range q {
+			b = putU64(b, o.key)
+			b = putU64(b, uint64(o.kind))
+			b = putU64(b, o.arrival)
+			b = putU64(b, o.session)
+		}
+	}
+	b = putU64(b, st.routed)
+	b = putU64(b, st.applied)
+	b = putU64(b, st.stalled)
+	for _, v := range st.sessBits {
+		b = putU64(b, v)
+	}
+	b = st.hist.Encode(b)
+	b = putU64(b, st.nextFree)
+	b = putU64(b, st.opDigest)
+	b = putU64(b, st.loserDigest)
+	b = putU64(b, st.loserCur)
+	b = putU64(b, st.lockWaitNs)
+	for _, v := range st.shardOps {
+		b = putU64(b, v)
+	}
+	for _, v := range st.shardSvcNs {
+		b = putU64(b, v)
+	}
+	var sweep uint64 // shards <= LockTableSize, so one word of flags
+	for s, d := range st.sweep {
+		if d {
+			sweep |= 1 << uint(s)
+		}
+	}
+	b = putU64(b, sweep)
+	st.blob = b
+}
+
+func (st *nodeState) pendBytes() int {
+	total := 8 * st.n
+	for _, q := range st.pendq {
+		total += 32 * len(q)
+	}
+	return total
+}
+
+// restore rebuilds the live state from a sealed blob.
+func (st *nodeState) restore(b []byte) {
+	r := &blobReader{b: b}
+	st.round = int64(r.u64())
+	st.inited = r.u64() != 0
+	as := r.u64()
+	an := r.u64()
+	st.arr.SetState(as, an)
+	st.dec.SetState(r.u64())
+	for i := range st.written {
+		st.written[i] = r.u64()
+	}
+	for i := range st.consumed {
+		st.consumed[i] = r.u64()
+	}
+	for i := range st.pmirror {
+		st.pmirror[i] = r.u64()
+	}
+	for i := range st.wmirror {
+		for j := range st.wmirror[i] {
+			st.wmirror[i][j] = r.u64()
+		}
+	}
+	for c := range st.pendq {
+		count := int(r.u64())
+		st.pendq[c] = st.pendq[c][:0]
+		for k := 0; k < count && !r.bad; k++ {
+			st.pendq[c] = append(st.pendq[c], op{
+				key:     r.u64(),
+				kind:    int64(r.u64()),
+				arrival: r.u64(),
+				session: r.u64(),
+			})
+		}
+	}
+	st.routed = r.u64()
+	st.applied = r.u64()
+	st.stalled = r.u64()
+	for i := range st.sessBits {
+		st.sessBits[i] = r.u64()
+	}
+	rest, ok := st.hist.Decode(r.b)
+	if !ok {
+		r.bad = true
+	}
+	r.b = rest
+	st.nextFree = r.u64()
+	st.opDigest = r.u64()
+	st.loserDigest = r.u64()
+	st.loserCur = r.u64()
+	st.lockWaitNs = r.u64()
+	for i := range st.shardOps {
+		st.shardOps[i] = r.u64()
+	}
+	for i := range st.shardSvcNs {
+		st.shardSvcNs[i] = r.u64()
+	}
+	sweep := r.u64()
+	for s := range st.sweep {
+		st.sweep[s] = sweep&(1<<uint(s)) != 0
+	}
+	if r.bad {
+		panic(fmt.Sprintf("serve: node %d: corrupt checkpoint blob (%d bytes)", st.id, len(b)))
+	}
+	st.blob = b
+}

@@ -29,8 +29,12 @@
 #     must be bit-identical to the pre-topology network on both the bare
 #     substrate (BENCH_6) and core-services (BENCH_2/BENCH_4) measurement
 #     paths — checksums, virtual times, and message counts exactly equal.
+#   - TestServeParallelByteIdentity: the serve campaign carries no wall
+#     or virtual readings at all, so its cell-parallel JSON must equal
+#     -parallel 1 byte for byte with ZERO normalization, and the
+#     committed BENCH_8.json results must replay field for field.
 set -eux
 
 cd "$(dirname "$0")/.."
 
-go test -run 'TestAggregationOffIdentity|TestWalltimeBaselineIdentity|TestParallelRunnerByteIdentity|TestEngineDefaultIdentity|TestTopologyFlatIdentity' ./internal/bench/
+go test -run 'TestAggregationOffIdentity|TestWalltimeBaselineIdentity|TestParallelRunnerByteIdentity|TestEngineDefaultIdentity|TestTopologyFlatIdentity|TestServeParallelByteIdentity' ./internal/bench/

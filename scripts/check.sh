@@ -74,6 +74,13 @@ go test -race -run 'TestDLockMutualExclusion64' ./internal/hsync/
 # broken-engine negative control run in the same package's full suite).
 go test -race -run 'TestLitmusDefaultEngine|TestLitmusCatchesBrokenEngine' ./internal/conscheck/
 
+# Serve-conformance gate: the server workloads (sharded KV, pipeline,
+# sync log) must produce the identical checksum AND identical latency
+# quantiles on every substrate and every consistency engine — the serve
+# fabric's portability contract. Run under the race detector because the
+# SPSC rings and shard latches are touched from every node goroutine.
+go test -race -run 'TestServeEngineConformance' ./internal/serve/
+
 # Allocation gates: the pooled hot paths must not allocate in steady
 # state (page fetch and message send at exactly 0 allocs/op; diff flush
 # with zero marginal cost per page). Plain mode only — the race runtime
