@@ -10,6 +10,7 @@
 //	hamsterbench -json FILE -checkpoint N [-incremental] [-parallel N]
 //	hamsterbench -json FILE -aggregate [-prefetch] [-parallel N]
 //	hamsterbench -json FILE -walltime [-parallel N]
+//	hamsterbench -json FILE -walltime -pnodes
 //	hamsterbench -json FILE -engines [-parallel N]
 //	hamsterbench -json FILE -scaling [-parallel N]
 //	hamsterbench -json FILE -serve [-parallel N]
@@ -39,6 +40,17 @@
 // kernel wall-clock set and the aggregation matrix run once sequentially
 // and once cell-parallel, recording both suite totals plus allocs/op and
 // B/op on the pooled hot paths (page fetch, message send, diff flush).
+//
+// -walltime -pnodes switches to the parallel-node suite (BENCH_9.json):
+// each cell — the 64- and 256-node scope-engine scaling shapes plus a
+// user-messaging neighbor exchange — runs once under the free-running
+// reference scheduler and once under the conservative lookahead gate
+// (hamsterrun -pnodes), recording both walls and verifying the gate
+// reproduced the reference's modeled results.
+//
+// -cpuprofile FILE collects a CPU profile for the whole invocation;
+// -memprofile FILE writes a heap snapshot at clean exit. Inspect either
+// with "go tool pprof FILE" (see DESIGN.md §5i for the workflow).
 //
 // -engines switches -json to the consistency-engine suite (BENCH_6.json):
 // every selectable engine (scope, eager-rc, ivy) runs the identical
@@ -82,6 +94,7 @@ import (
 
 	"hamster/internal/apicount"
 	"hamster/internal/bench"
+	"hamster/internal/prof"
 	"hamster/internal/simnet"
 )
 
@@ -103,6 +116,9 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "also enable adaptive sequential prefetch in the aggregation benchmark (requires -aggregate)")
 	par := flag.Int("parallel", 0, "run independent benchmark cells on up to N goroutines (0 = GOMAXPROCS, 1 = sequential); modeled results are identical at any setting")
 	wall := flag.Bool("walltime", false, "switch -json to the simulator wall-time suite: sequential vs parallel totals plus hot-path allocation benchmarks")
+	pnodes := flag.Bool("pnodes", false, "switch -walltime to the parallel-node suite: per-cell walls under the free-running scheduler vs the conservative lookahead gate")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at clean exit to this file")
 	engines := flag.Bool("engines", false, "switch -json to the consistency-engine suite: every engine on the identical kernel set at 2 and 4 nodes")
 	scaling := flag.Bool("scaling", false, "switch -json to the scaling campaign: kernel suite x engines x topologies at 8/16/64/256 nodes")
 	serveFlag := flag.Bool("serve", false, "switch -json to the serve campaign: server workloads x substrates x engines x skew, with the 2M-session headline and crash-recovery cells")
@@ -144,6 +160,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-walltime, -aggregate, -checkpoint, and -faults are separate -json benchmarks; pass one of them")
 			os.Exit(2)
 		}
+	}
+	if *pnodes && !*wall {
+		fmt.Fprintln(os.Stderr, "-pnodes requires -walltime: it selects the parallel-node wall-time suite")
+		os.Exit(2)
 	}
 	if *aggregate {
 		if *jsonOut == "" {
@@ -195,6 +215,17 @@ func main() {
 		}
 		plan, seed = &p, *faultSeed
 	}
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer func() {
+		stopCPU()
+		if err := prof.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if *jsonOut != "" {
 		// The envelope of every BENCH_*.json names the knobs that shaped
@@ -254,6 +285,18 @@ func main() {
 				Results:     rows,
 			}
 			render = bench.RenderEngines(rows)
+		} else if *wall && *pnodes {
+			rep, err := bench.PWalltime()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pwalltime: %v\n", err)
+				os.Exit(1)
+			}
+			env = envelope{
+				Schema:      "hamster/pwalltime/v9",
+				Description: "parallel-node wall time: each cell (64- and 256-node scope-engine scaling shapes through the core services, plus a user-messaging neighbor exchange) run under the free-running reference scheduler and under the conservative lookahead gate (Config.ParallelNodes), with per-cell and suite walls; modeled results verified identical across schedulers (checksums exact, virtual exact for the messaging cell, ±1% hierarchical-sync schedule wobble for the at-scale DSM kernels); wall speedup depends on host_cores — both schedulers need real cores to diverge",
+				Results:     rep,
+			}
+			render = bench.RenderPWalltime(rep)
 		} else if *wall {
 			rep, err := bench.Walltime(*par)
 			if err != nil {

@@ -6,10 +6,11 @@
 //
 //	hamsterrun [-config FILE] [-platform smp|hybrid-dsm|software-dsm]
 //	           [-nodes N] [-bench NAME] [-n SIZE] [-iters I] [-monitor]
-//	           [-trace FILE] [-timebreakdown]
+//	           [-trace FILE] [-timebreakdown] [-pnodes]
 //	           [-faults PROFILE] [-faultseed SEED]
 //	           [-checkpoint N] [-incremental] [-recover]
 //	           [-aggregate] [-prefetch] [-engine NAME] [-topology NAME]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //	hamsterrun -serve kv|pipeline|synclog [-clients N] [-zipf S] [...]
 //
 // A -config file (see internal/cluster for the format) overrides the
@@ -30,6 +31,17 @@
 // rack, or fattree); above 8 nodes the DSM also switches to hierarchical
 // synchronization (tree barriers, distributed lock queues). All flag
 // combinations are validated before anything boots.
+//
+// -pnodes runs node goroutines truly concurrently behind the
+// conservative lookahead gate (internal/vclock.Engine): queued-message
+// delivery waits until no earlier-timestamped arrival can still be
+// produced, so virtual times, checksums, and perfmon streams are
+// identical to the default free-running scheduler (DESIGN.md §5i). It
+// is incompatible with the thread-model platforms (Threaded mode).
+//
+// -cpuprofile FILE collects a CPU profile for the whole run;
+// -memprofile FILE writes a heap snapshot at clean exit. Inspect either
+// with "go tool pprof FILE" (see DESIGN.md §5i for the workflow).
 //
 // -serve replaces -bench with a server-shaped workload from
 // internal/serve (kv, pipeline, or synclog) under the deterministic
@@ -53,6 +65,7 @@ import (
 	"hamster/internal/cluster"
 	"hamster/internal/core"
 	"hamster/internal/perfmon"
+	"hamster/internal/prof"
 	"hamster/internal/serve"
 	"hamster/internal/simnet"
 	"hamster/models/jiajia"
@@ -79,6 +92,9 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "enable adaptive sequential page prefetch (requires -aggregate)")
 	engine := flag.String("engine", "", "software DSM consistency engine: "+strings.Join(hamster.EngineNames(), ", "))
 	topology := flag.String("topology", "", "software DSM switch fabric: "+strings.Join(hamster.TopologyNames(), ", "))
+	pnodes := flag.Bool("pnodes", false, "run node goroutines concurrently behind the conservative lookahead gate (results identical to the sequential scheduler)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at clean exit to this file")
 	serveW := flag.String("serve", "", "run a server workload instead of -bench: "+strings.Join(serve.Workloads, ", "))
 	clients := flag.Int("clients", 0, "simulated client-session population for -serve (0 = workload default)")
 	zipf := flag.Float64("zipf", 0, "Zipfian key-popularity skew for -serve (0 = uniform)")
@@ -235,6 +251,25 @@ func main() {
 		}
 		cfg.Topology = *topology
 	}
+	if *pnodes {
+		if cfg.Threaded {
+			fmt.Fprintln(os.Stderr, "-pnodes is incompatible with Threaded mode: co-located tasks can send while their node blocks in a receive, which breaks the conservative engine's blocked-receiver horizon bound")
+			os.Exit(2)
+		}
+		cfg.ParallelNodes = true
+		fmt.Println("parallel node execution: conservative lookahead gate on")
+	}
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer func() {
+		stopCPU()
+		if err := prof.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if serveActive {
 		if *verify || *timeline || *traceOut != "" {

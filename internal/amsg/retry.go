@@ -165,6 +165,11 @@ func (t *svcTable) forget(k callKey) {
 func (l *Layer) MarkDown(node NodeID) {
 	l.down[node].Store(true)
 	l.anyDown.Store(true)
+	// A fail-stopped peer must also stop bounding the conservative
+	// delivery horizon (no-op when the network is ungated): the fault
+	// plan eats its outbound traffic, so its frozen clock says nothing
+	// about what survivors can still receive.
+	l.net.MarkNodeDown(node)
 }
 
 // NodeDown reports whether MarkDown has been called for a node.

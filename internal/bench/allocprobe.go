@@ -52,10 +52,84 @@ func messageSendProbe() (op func(), close func()) {
 	clocks := []*vclock.Clock{{}, {}}
 	net := simnet.New(machine.Default().Ethernet, clocks)
 	payload := make([]byte, 64)
-	any := func(*simnet.Message) bool { return true }
 	op = func() {
 		net.Send(0, 1, 1, 0, payload)
-		if m := net.TryRecv(1, any); m != nil {
+		if m := net.TryRecv(1, simnet.AnyKind, nil); m != nil {
+			m.Free()
+		}
+	}
+	return op, net.Close
+}
+
+// gatedExchangeProbe drives the conservatively gated message path: a
+// 2-node network with the lookahead engine enabled, both nodes owned by
+// the probe's goroutine. Node 0 sends, node 1's clock is advanced past
+// the horizon, and the gated Recv path (engine session, safety check,
+// indexed dequeue) delivers. One op certifies the gating hot path —
+// horizon evaluation included, since the first safety check runs the
+// fast clock scan — allocation-free.
+func gatedExchangeProbe() (op func(), close func()) {
+	clocks := []*vclock.Clock{{}, {}}
+	link := machine.Default().Ethernet
+	net := simnet.New(link, clocks)
+	net.EnableGate()
+	payload := make([]byte, 64)
+	op = func() {
+		net.Send(0, 1, 1, 0, payload)
+		// Push the sender's clock past the arrival so delivery is safe on
+		// the fast path (clock + lookahead ≥ arrival).
+		clocks[0].Advance(2 * vclock.Duration(link.LatencyNs+64*link.NsPerByte))
+		if m := net.TryRecv(1, simnet.AnyKind, nil); m == nil {
+			panic("gatedExchangeProbe: delivery not safe")
+		} else {
+			m.Free()
+		}
+	}
+	return op, net.Close
+}
+
+// horizonProbe exercises the engine's slow-path horizon bound — the
+// Dijkstra activation pass over receive-waiting peers — at a 64-node
+// cluster, certifying that repeated evaluation reuses the engine's
+// scratch and allocates nothing.
+func horizonProbe() (op func(), close func()) {
+	const nodes = 64
+	clocks := make([]*vclock.Clock, nodes)
+	for i := range clocks {
+		clocks[i] = &vclock.Clock{}
+	}
+	net := simnet.New(machine.Default().Ethernet, clocks)
+	g := net.EnableGate()
+	g.GateBegin()
+	for p := 2; p < nodes; p++ {
+		g.GateRecvWait(p) // a cluster mostly blocked in Recv
+	}
+	g.GateEnd()
+	op = func() {
+		g.Horizon(0)
+	}
+	return op, net.Close
+}
+
+// deepQueueProbe drives one send/receive of a "hot" message kind while a
+// backlog of `backlog` messages of a different kind sits in the same
+// endpoint's queue. The per-(node, kind) bucket index means the receive
+// scans only its own kind's bucket, so the op's cost — and its zero
+// allocations — must be independent of the cold backlog's depth; the
+// paired microbenchmark (BenchmarkDeepQueueRecv) reports both depths so
+// a regression to the old full-queue match scan is visible as a
+// depth-proportional slowdown.
+func deepQueueProbe(backlog int) (op func(), close func()) {
+	clocks := []*vclock.Clock{{}, {}}
+	net := simnet.New(machine.Default().Ethernet, clocks)
+	payload := make([]byte, 64)
+	const hot, cold = simnet.Kind(1), simnet.Kind(2)
+	for i := 0; i < backlog; i++ {
+		net.Send(0, 1, cold, uint32(i), payload)
+	}
+	op = func() {
+		net.Send(0, 1, hot, 0, payload)
+		if m := net.TryRecv(1, hot, nil); m != nil {
 			m.Free()
 		}
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -79,6 +80,33 @@ func TestDiffFlushMarginalZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestGatedExchangeZeroAlloc pins the conservatively gated message path
+// — engine session, fast-path safety check, indexed dequeue, queue-min
+// maintenance — at zero steady-state heap allocations.
+func TestGatedExchangeZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	op, close := gatedExchangeProbe()
+	defer close()
+	warm(op, 8)
+	if avg := testing.AllocsPerRun(50, op); avg != 0 {
+		t.Errorf("gated send/recv allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestHorizonEvalZeroAlloc pins the engine's slow-path horizon bound —
+// the Dijkstra activation pass over 62 receive-waiting peers at a
+// 64-node cluster — at zero steady-state heap allocations: repeated
+// evaluation must reuse the engine's scratch vectors.
+func TestHorizonEvalZeroAlloc(t *testing.T) {
+	skipUnderRace(t)
+	op, close := horizonProbe()
+	defer close()
+	warm(op, 8)
+	if avg := testing.AllocsPerRun(50, op); avg != 0 {
+		t.Errorf("horizon evaluation allocates %.2f objects/op, want 0", avg)
+	}
+}
+
 // Microbenchmarks for the same ops (run with -bench . -benchmem).
 
 func BenchmarkPageFetch(b *testing.B) {
@@ -111,6 +139,44 @@ func BenchmarkDiffFlush(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		})
+	}
+}
+
+func BenchmarkGatedExchange(b *testing.B) {
+	op, close := gatedExchangeProbe()
+	defer close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+}
+
+func BenchmarkHorizonEval(b *testing.B) {
+	op, close := horizonProbe()
+	defer close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+}
+
+// BenchmarkDeepQueueRecv shows the per-(node, kind) bucket index: the
+// hot-kind receive must cost the same whether the endpoint's queue holds
+// zero or 512 cold-kind messages (the old single-queue match scan was
+// linear in the full backlog).
+func BenchmarkDeepQueueRecv(b *testing.B) {
+	for _, backlog := range []int{0, 512} {
+		b.Run(fmt.Sprintf("backlog=%d", backlog), func(b *testing.B) {
+			op, close := deepQueueProbe(backlog)
 			defer close()
 			b.ReportAllocs()
 			b.ResetTimer()

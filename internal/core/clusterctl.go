@@ -65,8 +65,8 @@ func (c *ClusterCtl) Send(to int, tag uint32, payload []byte) {
 // its payload and sender. Returns ok=false if the runtime is closed.
 func (c *ClusterCtl) Recv(tag uint32) (payload []byte, from int, ok bool) {
 	c.e.charge(ModCluster)
-	m := c.e.rt.msgs.Recv(toNodeID(c.e.id), func(m *msgT) bool {
-		return m.Kind == kindUserMsg && m.Tag == tag
+	m := c.e.rt.msgs.Recv(toNodeID(c.e.id), kindUserMsg, func(m *msgT) bool {
+		return m.Tag == tag
 	})
 	if m == nil {
 		return nil, 0, false
@@ -79,9 +79,7 @@ func (c *ClusterCtl) Recv(tag uint32) (payload []byte, from int, ok bool) {
 // RecvAny blocks until any user message arrives.
 func (c *ClusterCtl) RecvAny() (payload []byte, tag uint32, from int, ok bool) {
 	c.e.charge(ModCluster)
-	m := c.e.rt.msgs.Recv(toNodeID(c.e.id), func(m *msgT) bool {
-		return m.Kind == kindUserMsg
-	})
+	m := c.e.rt.msgs.Recv(toNodeID(c.e.id), kindUserMsg, nil)
 	if m == nil {
 		return nil, 0, 0, false
 	}
@@ -93,8 +91,8 @@ func (c *ClusterCtl) RecvAny() (payload []byte, tag uint32, from int, ok bool) {
 // TryRecv is the non-blocking variant of Recv.
 func (c *ClusterCtl) TryRecv(tag uint32) (payload []byte, from int, ok bool) {
 	c.e.charge(ModCluster)
-	m := c.e.rt.msgs.TryRecv(toNodeID(c.e.id), func(m *msgT) bool {
-		return m.Kind == kindUserMsg && m.Tag == tag
+	m := c.e.rt.msgs.TryRecv(toNodeID(c.e.id), kindUserMsg, func(m *msgT) bool {
+		return m.Tag == tag
 	})
 	if m == nil {
 		return nil, 0, false

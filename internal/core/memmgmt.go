@@ -62,9 +62,7 @@ func (m *MemMgr) Distribute(r memsim.Region) {
 // AcceptRegion receives a region distributed by another node.
 func (m *MemMgr) AcceptRegion() (memsim.Region, bool) {
 	m.e.charge(ModMem)
-	msg := m.e.rt.msgs.Recv(toNodeID(m.e.id), func(ms *msgT) bool {
-		return ms.Kind == kindRegionAnnounce
-	})
+	msg := m.e.rt.msgs.Recv(toNodeID(m.e.id), kindRegionAnnounce, nil)
 	if msg == nil {
 		return memsim.Region{}, false
 	}

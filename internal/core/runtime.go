@@ -49,6 +49,18 @@ type Config struct {
 	// models): substrate access is then serialized per node, modeling
 	// threads time-sharing one CPU.
 	Threaded bool
+	// ParallelNodes gates queued-message delivery on a conservative
+	// lookahead engine (vclock.Engine over the user-messaging network):
+	// a node consumes a message only once no peer can still produce an
+	// earlier virtual arrival, making delivery order a pure function of
+	// virtual time — Chandy–Misra–Bryant-style conservative parallel
+	// execution — instead of relying on receive-filter discipline. Off,
+	// the free-running scheduler is the sequential reference path; the
+	// two are pinned identical on virtual times, checksums, stats, and
+	// perfmon streams by the bench identity gates. Incompatible with
+	// Threaded: co-located tasks can send mid-receive, which breaks the
+	// engine's blocked-receiver bound.
+	ParallelNodes bool
 
 	// Engine selects the software DSM's consistency engine: "" or "scope"
 	// (the default home-based scope-consistency protocol), "eager-rc"
@@ -166,6 +178,9 @@ func New(cfg Config) (*Runtime, error) {
 	if !topo.IsFlat() && cfg.Platform != platform.SWDSM {
 		return nil, fmt.Errorf("core: Config.Topology %q shapes the software DSM's switched interconnect; platform %v has no switch fabric (the SMP bus and the hybrid SAN are not topology-aware)", cfg.Topology, cfg.Platform)
 	}
+	if cfg.ParallelNodes && cfg.Threaded {
+		return nil, fmt.Errorf("core: ParallelNodes is incompatible with Threaded: co-located tasks can send while their node blocks in a receive, which breaks the conservative engine's blocked-receiver horizon bound")
+	}
 	if engine == consengine.IVYName {
 		switch {
 		case cfg.CheckpointEvery > 0:
@@ -238,6 +253,15 @@ func New(cfg Config) (*Runtime, error) {
 			return nil, fmt.Errorf("core: Config.RequireModel %q: engine %s declares %v consistency, weaker than %v — select a stronger engine (e.g. Engine: %q for sequential)",
 				cfg.RequireModel, name, native, want, consengine.IVYName)
 		}
+	}
+	if cfg.ParallelNodes {
+		// Installed before any node goroutine exists, so the gate pointer
+		// is published by goroutine creation. Only the user-messaging
+		// network carries queued traffic — active-message calls execute
+		// handlers synchronously on the caller's goroutine and charge the
+		// target with commutative stolen cycles, which need no ordering
+		// (see DESIGN §5i) — so that is the fabric the engine gates.
+		rt.msgs.EnableGate()
 	}
 	rt.attachRecorder(cfg.PerfEventCap)
 	if cfg.CheckpointEvery > 0 {
@@ -399,9 +423,18 @@ func (rt *Runtime) Run(fn func(e *Env)) {
 	var panicMu sync.Mutex
 	var firstPanic any
 	for _, e := range rt.envs {
+		// A fresh run revives nodes a previous Run retired from the
+		// conservative gate's horizon (no-op when ungated).
+		rt.msgs.SetNodeRetired(toNodeID(e.id), false)
+	}
+	for _, e := range rt.envs {
 		wg.Add(1)
 		go func(e *Env) {
 			defer wg.Done()
+			// Runs before the panic handler on unwind: either way this
+			// node will never send again, so it stops bounding peers'
+			// delivery horizons (no-op when ungated).
+			defer rt.msgs.SetNodeRetired(toNodeID(e.id), true)
 			defer func() {
 				if r := recover(); r != nil {
 					panicMu.Lock()

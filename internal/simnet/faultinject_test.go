@@ -24,7 +24,7 @@ func TestZeroFaultPlanIdentity(t *testing.T) {
 		var o obs
 		for i := 0; i < 50; i++ {
 			n.Send(0, 1, UserKindBase, uint32(i), []byte{byte(i), byte(i >> 4)})
-			m := n.Recv(1, nil)
+			m := n.Recv(1, AnyKind, nil)
 			o.arrivals = append(o.arrivals, m.ArriveAt)
 			o.payloads = append(o.payloads, m.Payload...)
 		}
@@ -61,7 +61,7 @@ func TestDropDeterministic(t *testing.T) {
 			n.Send(0, 1, UserKindBase, uint32(i), []byte{1})
 		}
 		delivered = make(map[uint32]bool)
-		for m := n.TryRecv(1, nil); m != nil; m = n.TryRecv(1, nil) {
+		for m := n.TryRecv(1, AnyKind, nil); m != nil; m = n.TryRecv(1, AnyKind, nil) {
 			delivered[m.Tag] = true
 		}
 		return delivered, n.Drops()
@@ -174,7 +174,7 @@ func TestSlowFactorScalesSoftwareOnly(t *testing.T) {
 	if got := clocks[0].Now(); got != 100 {
 		t.Fatalf("sender clock = %d, want 100 (unscaled)", got)
 	}
-	m := n.Recv(1, nil)
+	m := n.Recv(1, AnyKind, nil)
 	if m.ArriveAt != 100+1000+10 {
 		t.Fatalf("arrival = %d, want 1110 (wire is never scaled)", m.ArriveAt)
 	}

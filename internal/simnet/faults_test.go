@@ -17,7 +17,7 @@ func TestJitterDeterministicAndBounded(t *testing.T) {
 		var arrivals []vclock.Time
 		for i := 0; i < 64; i++ {
 			n.Send(0, 1, UserKindBase, uint32(i), []byte{byte(i)})
-			m := n.Recv(1, nil)
+			m := n.Recv(1, AnyKind, nil)
 			arrivals = append(arrivals, m.ArriveAt)
 		}
 		return arrivals
@@ -36,7 +36,7 @@ func TestJitterDeterministicAndBounded(t *testing.T) {
 		var arrivals []vclock.Time
 		for i := 0; i < 64; i++ {
 			n.Send(0, 1, UserKindBase, uint32(i), []byte{byte(i)})
-			m := n.Recv(1, nil)
+			m := n.Recv(1, AnyKind, nil)
 			arrivals = append(arrivals, m.ArriveAt)
 		}
 		return arrivals
@@ -74,7 +74,7 @@ func TestJitterSingleMessageBound(t *testing.T) {
 		n, _ := testNet(2)
 		n.SetFaults(FaultPlan{JitterNs: 300, Seed: seed})
 		n.Send(0, 1, UserKindBase, 0, []byte{1})
-		m := n.Recv(1, nil)
+		m := n.Recv(1, AnyKind, nil)
 		// Unjittered arrival: 100 (send SW) + 1000 (latency) + 10 (byte).
 		d := int64(m.ArriveAt) - 1110
 		if d < 0 || d >= 300 {
@@ -126,7 +126,7 @@ func TestSetFaultsMidTraffic(t *testing.T) {
 			// Plans may reorder and duplicate, so count distinct tags.
 			got := make(map[uint32]bool)
 			for len(got) < perPair {
-				m := n.Recv(to, nil)
+				m := n.Recv(to, AnyKind, nil)
 				if m == nil {
 					t.Errorf("pair %d: network closed early", to)
 					return

@@ -20,12 +20,21 @@
 //     protocol processing (SIGIO in JiaJia) without requiring the target
 //     goroutine to poll.
 //
+// Delivery on the queued fabric can additionally be gated by a
+// conservative lookahead engine (EnableGate → vclock.Engine): a receiver
+// then consumes a message only once no peer can still produce an earlier
+// virtual arrival, making delivery order a pure function of virtual time
+// — Chandy–Misra–Bryant-style conservative parallel simulation. See
+// internal/vclock's engine for the model and the safety argument.
+//
 // Wall-time engineering: the per-message path is contention-free when no
 // fault plan is active. The installed plan lives behind one atomic
 // pointer (an immutable faultState), per-node counters are plain atomics,
 // and Message structs recycle through a pool (consumers that know a
-// message is dead hand it back with Free). The only mutex a fault-free
-// Send/Recv pair touches is the receiver endpoint's own queue lock.
+// message is dead hand it back with Free). Pending messages are indexed
+// per (receiver, kind), so a receive filtering on one kind never rescans
+// another kind's backlog. The only mutex a fault-free ungated Send/Recv
+// pair touches is the receiver endpoint's own queue lock.
 package simnet
 
 import (
@@ -43,10 +52,15 @@ type NodeID int
 
 // Kind classifies a message for dispatch. Kinds below 1024 are reserved
 // for internal protocol layers; user messaging uses kinds >= 1024.
+// The all-ones value is reserved as the AnyKind receive wildcard.
 type Kind uint16
 
 // UserKindBase is the first Kind available to applications.
 const UserKindBase Kind = 1024
+
+// AnyKind makes Recv/TryRecv consider every pending kind instead of one
+// kind's bucket. Not a valid kind to send with.
+const AnyKind = ^Kind(0)
 
 // Message is one unit of communication.
 type Message struct {
@@ -121,6 +135,11 @@ type Network struct {
 	topo     Topology
 	topoFlat bool
 
+	// gate, when non-nil, is the conservative lookahead engine every
+	// queued delivery must clear. Installed by EnableGate before any
+	// traffic, then read without synchronization (immutable thereafter).
+	gate *vclock.Engine
+
 	// fs is the installed fault plan, denormalized into an immutable
 	// faultState and swapped atomically by SetFaults. Never nil — the
 	// zero plan is installed at construction — so every per-message
@@ -154,13 +173,99 @@ func (s *Stats) add(bytes int) {
 	s.bytes.Add(uint64(bytes))
 }
 
+// endpoint is one node's receive side. Pending messages are bucketed by
+// kind so a filtered receive scans only its own kind's backlog; delivery
+// order is unaffected because selection is by (ArriveAt, seq), which is
+// position-independent, and seq is assigned from one per-endpoint
+// counter across all buckets (ties are impossible, so even the
+// unordered bucket-map iteration of an AnyKind scan has a unique
+// minimum).
 type endpoint struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*Message
-	nextSq uint64
-	clock  *vclock.Clock
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buckets map[Kind][]*Message
+	pending int
+	nextSq  uint64
+	clock   *vclock.Clock
+	closed  bool
+
+	// Gate-only bookkeeping (set up by EnableGate; skipped entirely on
+	// ungated networks so the reference path pays nothing): minArrive
+	// mirrors minArrivalLocked as a lock-free atomic — infArrive when the
+	// queue is empty — so the engine can probe ANY node's earliest queued
+	// arrival without touching its queue lock, including the node whose
+	// own receive is being gated. Writers update it under mu; the engine
+	// reads it under its own lock, so a probe sees either the value
+	// before or after a concurrent enqueue — and an enqueue always kicks
+	// the engine afterwards, so staleness only delays, never admits.
+	gated     bool
+	minArrive atomic.Uint64
+}
+
+// infArrive is minArrive's empty-queue sentinel.
+const infArrive = ^uint64(0)
+
+// scanLocked finds the earliest (ArriveAt, seq) message matching the
+// filter, in one kind's bucket or across all of them for AnyKind.
+// Returns the bucket kind and index, or idx -1. Requires mu.
+func (ep *endpoint) scanLocked(kind Kind, match func(*Message) bool) (Kind, int) {
+	var best *Message
+	bk, bi := kind, -1
+	if kind != AnyKind {
+		for i, m := range ep.buckets[kind] {
+			if match != nil && !match(m) {
+				continue
+			}
+			if best == nil || less(m, best) {
+				best, bi = m, i
+			}
+		}
+		return bk, bi
+	}
+	for k, q := range ep.buckets {
+		for i, m := range q {
+			if match != nil && !match(m) {
+				continue
+			}
+			if best == nil || less(m, best) {
+				best, bk, bi = m, k, i
+			}
+		}
+	}
+	return bk, bi
+}
+
+// takeLocked removes and returns a scanLocked hit. Requires mu.
+func (ep *endpoint) takeLocked(k Kind, idx int) *Message {
+	q := ep.buckets[k]
+	m := q[idx]
+	ep.buckets[k] = append(q[:idx], q[idx+1:]...)
+	ep.pending--
+	if ep.gated && uint64(m.ArriveAt) <= ep.minArrive.Load() {
+		// Removed the minimum: rescan. Raising the published value is
+		// always sound — it only tightens what peers may borrow.
+		if min, ok := ep.minArrivalLocked(); ok {
+			ep.minArrive.Store(uint64(min))
+		} else {
+			ep.minArrive.Store(infArrive)
+		}
+	}
+	return m
+}
+
+// minArrivalLocked is the earliest arrival over every pending message,
+// regardless of kind or filters. Requires mu.
+func (ep *endpoint) minArrivalLocked() (vclock.Time, bool) {
+	var min vclock.Time
+	found := false
+	for _, q := range ep.buckets {
+		for _, m := range q {
+			if !found || m.ArriveAt < min {
+				min, found = m.ArriveAt, true
+			}
+		}
+	}
+	return min, found
 }
 
 // New creates a network of len(clocks) nodes over the given link profile
@@ -185,12 +290,86 @@ func NewTopo(link machine.Link, clocks []*vclock.Clock, topo Topology) *Network 
 		topoFlat: topo.IsFlat(),
 	}
 	for i, c := range clocks {
-		ep := &endpoint{clock: c}
+		ep := &endpoint{clock: c, buckets: make(map[Kind][]*Message)}
 		ep.cond = sync.NewCond(&ep.mu)
 		n.nodes[i] = ep
 	}
 	n.fs.Store(newFaultState(FaultPlan{}, len(clocks)))
 	return n
+}
+
+// EnableGate builds a conservative lookahead engine over the network's
+// clocks and topology and gates all queued delivery on it. The lookahead
+// for a pair is the minimum wire latency any future message between them
+// can have: base link latency plus the topology's extra hop latency —
+// never payload serialization (a future message may be empty), never
+// jitter (only added), and never sender software cost (a message already
+// in flight has that cost spent before its arrival stamp is visible).
+// Must be called before any traffic; returns the engine for MarkDown and
+// test introspection.
+func (n *Network) EnableGate() *vclock.Engine {
+	size := len(n.nodes)
+	clocks := make([]*vclock.Clock, size)
+	for i, ep := range n.nodes {
+		clocks[i] = ep.clock
+	}
+	la := make([][]vclock.Duration, size)
+	for p := 0; p < size; p++ {
+		row := make([]vclock.Duration, size)
+		for r := 0; r < size; r++ {
+			if p == r {
+				continue
+			}
+			row[r] = n.link.LatencyNs
+			if !n.topoFlat {
+				row[r] += n.topo.ExtraLatencyNs(p, r)
+			}
+		}
+		la[p] = row
+	}
+	for _, ep := range n.nodes {
+		ep.gated = true
+		ep.minArrive.Store(infArrive)
+	}
+	e := vclock.NewEngine(clocks, la)
+	e.SetQueueMin(func(node int) (vclock.Time, bool) {
+		// Lock-free: see endpoint.minArrive. The engine may probe any
+		// node, including one holding its own queue lock in recvGated.
+		v := n.nodes[node].minArrive.Load()
+		if v == infArrive {
+			return 0, false
+		}
+		return vclock.Time(v), true
+	})
+	n.gate = e
+	return e
+}
+
+// Gate returns the installed lookahead engine, or nil when delivery is
+// ungated.
+func (n *Network) Gate() *vclock.Engine { return n.gate }
+
+// MarkNodeDown tells the gate (if any) that a node is fail-stopped and
+// no longer bounds delivery horizons. Callers must only report nodes
+// whose outbound traffic the fault plan is eating — the health monitor's
+// down verdicts on plan-crashed nodes. No-op when ungated.
+func (n *Network) MarkNodeDown(id NodeID) {
+	n.checkID(id)
+	if g := n.gate; g != nil {
+		g.MarkDown(int(id))
+	}
+}
+
+// SetNodeRetired tells the gate (if any) that a node's program has
+// returned and it will never send again (v=true), or that a new run is
+// starting and the node is live again (v=false). A finished node's
+// frozen clock must not bound peers' horizons — its last sent message
+// would otherwise never become deliverable. No-op when ungated.
+func (n *Network) SetNodeRetired(id NodeID, v bool) {
+	n.checkID(id)
+	if g := n.gate; g != nil {
+		g.SetRetired(int(id), v)
+	}
 }
 
 // SetFaults installs a fault plan, replacing any previous one and
@@ -237,6 +416,9 @@ func (n *Network) checkID(id NodeID) {
 func (n *Network) Send(from, to NodeID, kind Kind, tag uint32, payload []byte) {
 	n.checkID(from)
 	n.checkID(to)
+	if kind == AnyKind {
+		panic("simnet: AnyKind is a receive wildcard, not a sendable kind")
+	}
 	src := n.nodes[from]
 	fs := n.fs.Load()
 	t0 := src.clock.Now()
@@ -264,6 +446,10 @@ func (n *Network) Send(from, to NodeID, kind Kind, tag uint32, payload []byte) {
 	m := msgPool.Get().(*Message)
 	*m = Message{From: from, To: to, Kind: kind, Tag: tag, Payload: payload, ArriveAt: arrive}
 	n.deliver(m, fs)
+	if g := n.gate; g != nil {
+		// Never while holding an endpoint lock (engine → queue ordering).
+		g.Kick()
+	}
 }
 
 func (n *Network) deliver(m *Message, fs *faultState) {
@@ -277,60 +463,58 @@ func (n *Network) deliver(m *Message, fs *faultState) {
 		cp = msgPool.Get().(*Message)
 		*cp = *m
 	}
-	reorder := fs.plan.ReorderProb > 0 &&
-		fs.roll(m.From, m.To, saltReorder) < fs.plan.ReorderProb
+	if fs.plan.ReorderProb > 0 {
+		// The reorder draw is consumed whenever the plan can reorder —
+		// regardless of queue depth — so the decision stream does not
+		// depend on receiver timing. The positional swap the draw used to
+		// trigger is not applied: receive selection orders by
+		// (ArriveAt, seq), never by queue position, so the swap was
+		// observably a no-op and would be meaningless across kind buckets.
+		fs.roll(m.From, m.To, saltReorder)
+	}
 
 	dst.mu.Lock()
 	m.seq = dst.nextSq
 	dst.nextSq++
-	dst.queue = append(dst.queue, m)
-	// The reorder draw is consumed whenever the plan can reorder —
-	// regardless of queue depth — so the decision stream does not depend
-	// on receiver timing.
-	if reorder && len(dst.queue) >= 2 {
-		k := len(dst.queue)
-		dst.queue[k-1], dst.queue[k-2] = dst.queue[k-2], dst.queue[k-1]
-	}
+	dst.buckets[m.Kind] = append(dst.buckets[m.Kind], m)
+	dst.pending++
 	if dup {
 		cp.seq = dst.nextSq
 		dst.nextSq++
-		dst.queue = append(dst.queue, cp)
+		dst.buckets[cp.Kind] = append(dst.buckets[cp.Kind], cp)
+		dst.pending++
+	}
+	if dst.gated && uint64(m.ArriveAt) < dst.minArrive.Load() {
+		// The dup copy shares m's arrival, so one update covers both.
+		dst.minArrive.Store(uint64(m.ArriveAt))
 	}
 	dst.cond.Broadcast()
 	dst.mu.Unlock()
 }
 
-// Recv blocks the calling node until a message matching the filter is
-// available, removes it from the queue, charges receive costs, and
-// advances the node's clock past the arrival time. A nil filter matches
-// any message. Returns nil if the network is closed while waiting.
-// The returned message is owned by the caller; hand the struct back with
-// Message.Free once it is dead to keep the send path allocation-free.
-func (n *Network) Recv(self NodeID, match func(*Message) bool) *Message {
+// Recv blocks the calling node until a message of the given kind (or any
+// kind, with AnyKind) matching the filter is available, removes it from
+// the queue, charges receive costs, and advances the node's clock past
+// the arrival time. A nil filter matches any message of the kind.
+// Returns nil if the network is closed while waiting. Under a gate,
+// delivery additionally waits for the message's arrival to clear the
+// conservative horizon, so the chosen message is a pure function of
+// virtual time. The returned message is owned by the caller; hand the
+// struct back with Message.Free once it is dead to keep the send path
+// allocation-free.
+func (n *Network) Recv(self NodeID, kind Kind, match func(*Message) bool) *Message {
 	n.checkID(self)
 	ep := n.nodes[self]
+	if g := n.gate; g != nil {
+		return n.recvGated(g, self, ep, kind, match)
+	}
 	ep.mu.Lock()
 	for {
-		best := -1
-		for i, m := range ep.queue {
-			if match != nil && !match(m) {
-				continue
-			}
-			if best == -1 || less(m, ep.queue[best]) {
-				best = i
-			}
-		}
-		if best >= 0 {
-			m := ep.queue[best]
-			ep.queue = append(ep.queue[:best], ep.queue[best+1:]...)
+		k, idx := ep.scanLocked(kind, match)
+		if idx >= 0 {
+			m := ep.takeLocked(k, idx)
 			ep.mu.Unlock()
-			t0 := ep.clock.Now()
-			ep.clock.AdvanceToCat(vclock.CatNetwork, m.ArriveAt)
-			ep.clock.AdvanceCat(vclock.CatNetwork, n.fs.Load().scaledSW(self, n.link.RecvSWNs))
-			if rec := n.rec; rec != nil && rec.Enabled() {
-				rec.Record(int(self), perfmon.EvMsgRecv, t0, vclock.Since(t0, ep.clock.Now()), uint64(m.From), uint64(len(m.Payload)))
-			}
-			return m
+			return n.finishRecv(self, ep, m)
 		}
 		if ep.closed {
 			ep.mu.Unlock()
@@ -340,28 +524,50 @@ func (n *Network) Recv(self NodeID, match func(*Message) bool) *Message {
 	}
 }
 
-// TryRecv is a non-blocking Recv. It returns nil when no matching message
-// is queued.
-func (n *Network) TryRecv(self NodeID, match func(*Message) bool) *Message {
-	n.checkID(self)
-	ep := n.nodes[self]
-	ep.mu.Lock()
-	best := -1
-	for i, m := range ep.queue {
-		if match != nil && !match(m) {
-			continue
+// recvGated is Recv under the conservative engine: the whole
+// scan-and-decide round runs inside a gate session (engine lock held,
+// then the endpoint lock — strictly in that order), and a candidate is
+// consumed only when GateSafe proves no earlier arrival can still be
+// produced. While blocked — on an empty queue or an unsafe candidate —
+// the node is registered as receive-waiting so peers' horizon bounds can
+// see through it. After teardown the gate is waived: determinism ends
+// where the simulation does, and waiting for dead peers would deadlock
+// Close.
+func (n *Network) recvGated(g *vclock.Engine, self NodeID, ep *endpoint, kind Kind, match func(*Message) bool) *Message {
+	g.GateBegin()
+	// Registered as receive-waiting BEFORE the first safety evaluation:
+	// peers' horizons may see through this node a wake-up earlier, and
+	// the engine's exactness shortcut (which requires the asker to be a
+	// marked receiver) applies from the first check. Sound even when the
+	// first scan delivers immediately — the node cannot send while it sits
+	// here, and GateRun restores the running state before any charge.
+	g.GateRecvWait(int(self))
+	for {
+		ep.mu.Lock()
+		k, idx := ep.scanLocked(kind, match)
+		if idx >= 0 && (ep.closed || g.GateSafe(int(self), ep.buckets[k][idx].ArriveAt)) {
+			// Cleared strictly before the delivery's clock charges:
+			// from here on the node's own clock is the (sound) bound.
+			g.GateRun(int(self))
+			m := ep.takeLocked(k, idx)
+			ep.mu.Unlock()
+			g.GateEnd()
+			return n.finishRecv(self, ep, m)
 		}
-		if best == -1 || less(m, ep.queue[best]) {
-			best = i
+		if idx < 0 && ep.closed {
+			g.GateRun(int(self))
+			ep.mu.Unlock()
+			g.GateEnd()
+			return nil
 		}
-	}
-	if best < 0 {
 		ep.mu.Unlock()
-		return nil
+		g.GateWait()
 	}
-	m := ep.queue[best]
-	ep.queue = append(ep.queue[:best], ep.queue[best+1:]...)
-	ep.mu.Unlock()
+}
+
+// finishRecv applies the receive-side charges and recording for a
+// delivered message.
+func (n *Network) finishRecv(self NodeID, ep *endpoint, m *Message) *Message {
 	t0 := ep.clock.Now()
 	ep.clock.AdvanceToCat(vclock.CatNetwork, m.ArriveAt)
 	ep.clock.AdvanceCat(vclock.CatNetwork, n.fs.Load().scaledSW(self, n.link.RecvSWNs))
@@ -369,6 +575,38 @@ func (n *Network) TryRecv(self NodeID, match func(*Message) bool) *Message {
 		rec.Record(int(self), perfmon.EvMsgRecv, t0, vclock.Since(t0, ep.clock.Now()), uint64(m.From), uint64(len(m.Payload)))
 	}
 	return m
+}
+
+// TryRecv is a non-blocking Recv. It returns nil when no matching message
+// is queued. Under a gate it is a poll of the safe horizon: a queued
+// message whose delivery cannot be proven in-order yet is treated as not
+// yet arrived.
+func (n *Network) TryRecv(self NodeID, kind Kind, match func(*Message) bool) *Message {
+	n.checkID(self)
+	ep := n.nodes[self]
+	if g := n.gate; g != nil {
+		g.GateBegin()
+		ep.mu.Lock()
+		k, idx := ep.scanLocked(kind, match)
+		if idx < 0 || (!ep.closed && !g.GateSafe(int(self), ep.buckets[k][idx].ArriveAt)) {
+			ep.mu.Unlock()
+			g.GateEnd()
+			return nil
+		}
+		m := ep.takeLocked(k, idx)
+		ep.mu.Unlock()
+		g.GateEnd()
+		return n.finishRecv(self, ep, m)
+	}
+	ep.mu.Lock()
+	k, idx := ep.scanLocked(kind, match)
+	if idx < 0 {
+		ep.mu.Unlock()
+		return nil
+	}
+	m := ep.takeLocked(k, idx)
+	ep.mu.Unlock()
+	return n.finishRecv(self, ep, m)
 }
 
 func less(a, b *Message) bool {
@@ -398,6 +636,9 @@ func (n *Network) Close() {
 		ep.cond.Broadcast()
 		ep.mu.Unlock()
 	}
+	if g := n.gate; g != nil {
+		g.Kick()
+	}
 }
 
 // Pending reports how many messages are queued at a node (for tests).
@@ -406,7 +647,7 @@ func (n *Network) Pending(id NodeID) int {
 	ep := n.nodes[id]
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
-	return len(ep.queue)
+	return ep.pending
 }
 
 // TotalTraffic reports cumulative message count and bytes.

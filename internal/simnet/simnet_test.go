@@ -26,7 +26,7 @@ func TestSendRecvCostsAndPayload(t *testing.T) {
 	if got := clocks[0].Now(); got != 100 {
 		t.Fatalf("sender clock = %d, want 100", got)
 	}
-	m := n.Recv(1, nil)
+	m := n.Recv(1, AnyKind, nil)
 	if m == nil {
 		t.Fatal("Recv returned nil")
 	}
@@ -48,8 +48,8 @@ func TestRecvOrdersByArrivalTime(t *testing.T) {
 	clocks[2].Advance(10_000) // node 2 sends later in virtual time
 	n.Send(2, 1, UserKindBase, 2, []byte{2})
 	n.Send(0, 1, UserKindBase, 1, []byte{1})
-	first := n.Recv(1, nil)
-	second := n.Recv(1, nil)
+	first := n.Recv(1, AnyKind, nil)
+	second := n.Recv(1, AnyKind, nil)
 	if first.Tag != 1 || second.Tag != 2 {
 		t.Fatalf("delivery order wrong: got tags %d, %d", first.Tag, second.Tag)
 	}
@@ -59,7 +59,7 @@ func TestRecvFilter(t *testing.T) {
 	n, _ := testNet(2)
 	n.Send(0, 1, UserKindBase, 1, nil)
 	n.Send(0, 1, UserKindBase+1, 2, nil)
-	m := n.Recv(1, func(m *Message) bool { return m.Kind == UserKindBase+1 })
+	m := n.Recv(1, UserKindBase+1, nil)
 	if m.Tag != 2 {
 		t.Fatalf("filter returned tag %d, want 2", m.Tag)
 	}
@@ -70,11 +70,11 @@ func TestRecvFilter(t *testing.T) {
 
 func TestTryRecv(t *testing.T) {
 	n, _ := testNet(2)
-	if m := n.TryRecv(1, nil); m != nil {
+	if m := n.TryRecv(1, AnyKind, nil); m != nil {
 		t.Fatal("TryRecv on empty queue must return nil")
 	}
 	n.Send(0, 1, UserKindBase, 9, nil)
-	if m := n.TryRecv(1, nil); m == nil || m.Tag != 9 {
+	if m := n.TryRecv(1, AnyKind, nil); m == nil || m.Tag != 9 {
 		t.Fatalf("TryRecv = %+v, want tag 9", m)
 	}
 }
@@ -82,7 +82,7 @@ func TestTryRecv(t *testing.T) {
 func TestRecvBlocksUntilSend(t *testing.T) {
 	n, _ := testNet(2)
 	got := make(chan *Message)
-	go func() { got <- n.Recv(1, nil) }()
+	go func() { got <- n.Recv(1, AnyKind, nil) }()
 	n.Send(0, 1, UserKindBase, 42, nil)
 	if m := <-got; m.Tag != 42 {
 		t.Fatalf("blocked Recv got tag %d, want 42", m.Tag)
@@ -93,7 +93,7 @@ func TestBroadcast(t *testing.T) {
 	n, _ := testNet(4)
 	n.Broadcast(0, UserKindBase, 5, []byte("x"))
 	for id := 1; id < 4; id++ {
-		m := n.Recv(NodeID(id), nil)
+		m := n.Recv(NodeID(id), AnyKind, nil)
 		if m.Tag != 5 || m.From != 0 {
 			t.Fatalf("node %d got %+v", id, m)
 		}
@@ -106,7 +106,7 @@ func TestBroadcast(t *testing.T) {
 func TestCloseUnblocksRecv(t *testing.T) {
 	n, _ := testNet(2)
 	done := make(chan *Message)
-	go func() { done <- n.Recv(1, nil) }()
+	go func() { done <- n.Recv(1, AnyKind, nil) }()
 	n.Close()
 	if m := <-done; m != nil {
 		t.Fatalf("Recv after Close = %+v, want nil", m)
@@ -140,7 +140,7 @@ func TestCausality(t *testing.T) {
 	clocks[0].Advance(500_000)
 	n.Send(0, 1, UserKindBase, 0, nil)
 	sendT := clocks[0].Now()
-	n.Recv(1, nil)
+	n.Recv(1, AnyKind, nil)
 	if clocks[1].Now() < sendT {
 		t.Fatalf("causality violated: recv at %d < send at %d", clocks[1].Now(), sendT)
 	}
@@ -150,8 +150,8 @@ func TestFaultInjectionDuplicates(t *testing.T) {
 	n, _ := testNet(2)
 	n.SetFaults(FaultPlan{DuplicateProb: 1.0, Seed: 1})
 	n.Send(0, 1, UserKindBase, 3, nil)
-	a := n.Recv(1, nil)
-	b := n.Recv(1, nil)
+	a := n.Recv(1, AnyKind, nil)
+	b := n.Recv(1, AnyKind, nil)
 	if a == nil || b == nil || a.Tag != 3 || b.Tag != 3 {
 		t.Fatal("expected duplicated delivery")
 	}
@@ -166,7 +166,7 @@ func TestFaultInjectionReorderStillDeliversAll(t *testing.T) {
 	}
 	seen := map[uint32]bool{}
 	for i := 0; i < total; i++ {
-		m := n.Recv(1, nil)
+		m := n.Recv(1, AnyKind, nil)
 		seen[m.Tag] = true
 	}
 	if len(seen) != total {
@@ -189,7 +189,7 @@ func TestConcurrentSendersOneReceiver(t *testing.T) {
 	}
 	count := 0
 	for count < 4*per {
-		if m := n.Recv(0, nil); m == nil {
+		if m := n.Recv(0, AnyKind, nil); m == nil {
 			t.Fatal("unexpected nil from Recv")
 		}
 		count++
@@ -205,6 +205,6 @@ func BenchmarkSendRecv(b *testing.B) {
 	payload := make([]byte, 64)
 	for i := 0; i < b.N; i++ {
 		n.Send(0, 1, UserKindBase, 0, payload)
-		n.Recv(1, nil)
+		n.Recv(1, AnyKind, nil)
 	}
 }

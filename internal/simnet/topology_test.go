@@ -111,7 +111,7 @@ func TestTopologyFlatNetworkIdentity(t *testing.T) {
 	for i, p := range payloads {
 		legacy.Send(0, 1, UserKindBase, uint32(i), p)
 		topo.Send(0, 1, UserKindBase, uint32(i), p)
-		lm, tm := legacy.Recv(1, nil), topo.Recv(1, nil)
+		lm, tm := legacy.Recv(1, AnyKind, nil), topo.Recv(1, AnyKind, nil)
 		if lm.ArriveAt != tm.ArriveAt {
 			t.Fatalf("payload %d: arrival %d (legacy) != %d (flat topo)", len(p), lm.ArriveAt, tm.ArriveAt)
 		}

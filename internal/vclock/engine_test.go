@@ -1,0 +1,177 @@
+package vclock
+
+import "testing"
+
+// engineN builds an n-node engine over fresh clocks with a uniform
+// off-diagonal lookahead.
+func engineN(n int, la Duration) (*Engine, []*Clock) {
+	clocks := make([]*Clock, n)
+	for i := range clocks {
+		clocks[i] = &Clock{}
+	}
+	m := make([][]Duration, n)
+	for p := range m {
+		row := make([]Duration, n)
+		for r := range row {
+			if p != r {
+				row[r] = la
+			}
+		}
+		m[p] = row
+	}
+	return NewEngine(clocks, m), clocks
+}
+
+func safe(e *Engine, self int, t Time) bool {
+	e.GateBegin()
+	defer e.GateEnd()
+	return e.GateSafe(self, t)
+}
+
+func TestEngineRunningPeersBoundByClock(t *testing.T) {
+	e, clocks := engineN(3, 1000)
+	clocks[1].Advance(5000)
+	clocks[2].Advance(5000)
+	if !safe(e, 0, 6000) {
+		t.Fatal("arrival at clock+lookahead must be safe")
+	}
+	if safe(e, 0, 6001) {
+		t.Fatal("arrival past clock+lookahead must not be safe")
+	}
+	if got := e.Horizon(0); got != 6000 {
+		t.Fatalf("Horizon = %d, want 6000", got)
+	}
+}
+
+func TestEngineRecvWaitActivationBound(t *testing.T) {
+	// Node 1 is blocked in a receive with nothing queued; node 2 runs at
+	// 10000. Node 1 cannot send before it consumes something node 2
+	// sends, so its next-send bound is 10000+1000; node 0's horizon is
+	// min(11000+1000, 10000+1000) = 11000 — the blocked peer does NOT
+	// pin the horizon at its own frozen clock.
+	e, clocks := engineN(3, 1000)
+	clocks[2].Advance(10_000)
+	e.GateBegin()
+	e.GateRecvWait(1)
+	e.GateEnd()
+	if got := e.Horizon(0); got != 11_000 {
+		t.Fatalf("Horizon = %d, want 11000", got)
+	}
+	if !safe(e, 0, 11_000) || safe(e, 0, 11_001) {
+		t.Fatal("horizon edge mis-gated")
+	}
+}
+
+func TestEngineQueueMinBoundsBlockedPeer(t *testing.T) {
+	// Same shape, but node 1 has a message queued arriving at 3000: it
+	// could consume it and send immediately after, so node 0's horizon
+	// tightens to 3000+1000.
+	e, clocks := engineN(3, 1000)
+	clocks[2].Advance(10_000)
+	e.SetQueueMin(func(node int) (Time, bool) {
+		if node == 1 {
+			return 3000, true
+		}
+		return 0, false
+	})
+	e.GateBegin()
+	e.GateRecvWait(1)
+	e.GateEnd()
+	if got := e.Horizon(0); got != 4000 {
+		t.Fatalf("Horizon = %d, want 4000", got)
+	}
+}
+
+func TestEngineIdleClusterHasInfiniteHorizon(t *testing.T) {
+	// Every peer is blocked with an empty queue: nothing can ever wake
+	// them (self is excluded — its influence is necessarily later than
+	// any candidate delivery), so any arrival is safe. This is the
+	// early-finished-worker case: idle nodes never stall the cluster.
+	e, _ := engineN(4, 1000)
+	e.GateBegin()
+	for p := 1; p < 4; p++ {
+		e.GateRecvWait(p)
+	}
+	e.GateEnd()
+	if got := e.Horizon(0); got != Time(infTime) {
+		t.Fatalf("Horizon = %d, want infinite", got)
+	}
+	if !safe(e, 0, 1<<60) {
+		t.Fatal("idle cluster must not gate any arrival")
+	}
+}
+
+func TestEngineGateRunRestoresClockBound(t *testing.T) {
+	e, _ := engineN(2, 1000)
+	e.GateBegin()
+	e.GateRecvWait(1)
+	e.GateEnd()
+	if got := e.Horizon(0); got != Time(infTime) {
+		t.Fatalf("Horizon with blocked peer = %d, want infinite", got)
+	}
+	e.GateBegin()
+	e.GateRun(1)
+	e.GateEnd()
+	if got := e.Horizon(0); got != 1000 {
+		t.Fatalf("Horizon with running peer = %d, want 1000", got)
+	}
+}
+
+func TestEngineDownNodeDropsOutOfHorizon(t *testing.T) {
+	e, clocks := engineN(3, 1000)
+	clocks[1].Advance(2000) // the laggard
+	clocks[2].Advance(9000)
+	if got := e.Horizon(0); got != 3000 {
+		t.Fatalf("Horizon = %d, want 3000", got)
+	}
+	e.MarkDown(1)
+	if got := e.Horizon(0); got != 10_000 {
+		t.Fatalf("Horizon after MarkDown = %d, want 10000", got)
+	}
+}
+
+func TestEngineChainedActivations(t *testing.T) {
+	// 0 asks about its horizon; 1 and 2 are blocked, 3 runs at 20000 but
+	// sits far from 0 (lookahead 50000), so 3's direct contribution is
+	// not the binding one. 3 can wake a blocked node no earlier than
+	// 21000, and the woken node can reach 0 at 22000 — the two-edge
+	// chain through the activation graph is the horizon. If blocked
+	// nodes were bounded by their frozen clocks the answer would be
+	// 1000; if they were ignored it would be 70000.
+	clocks := []*Clock{{}, {}, {}, {}}
+	la := [][]Duration{
+		{0, 1000, 1000, 1000},
+		{1000, 0, 1000, 1000},
+		{1000, 1000, 0, 1000},
+		{50_000, 1000, 1000, 0},
+	}
+	e := NewEngine(clocks, la)
+	clocks[3].Advance(20_000)
+	e.GateBegin()
+	e.GateRecvWait(1)
+	e.GateRecvWait(2)
+	e.GateEnd()
+	if got := e.Horizon(0); got != 22_000 {
+		t.Fatalf("Horizon = %d, want 22000", got)
+	}
+}
+
+func TestEngineHorizonEvaluationAllocatesNothing(t *testing.T) {
+	e, clocks := engineN(64, 1000)
+	for i, c := range clocks {
+		c.Advance(Duration(1000 * i))
+	}
+	e.SetQueueMin(func(node int) (Time, bool) { return Time(500 * node), true })
+	e.GateBegin()
+	for p := 2; p < 64; p += 2 {
+		e.GateRecvWait(p)
+	}
+	e.GateEnd()
+	e.Horizon(0) // warm
+	if n := testing.AllocsPerRun(100, func() { e.Horizon(0) }); n != 0 {
+		t.Fatalf("Horizon allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { safe(e, 0, 1<<40) }); n != 0 {
+		t.Fatalf("GateSafe allocates %v per run, want 0", n)
+	}
+}

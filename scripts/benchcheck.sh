@@ -33,8 +33,14 @@
 #     or virtual readings at all, so its cell-parallel JSON must equal
 #     -parallel 1 byte for byte with ZERO normalization, and the
 #     committed BENCH_8.json results must replay field for field.
+#   - TestPNodesScaling256Identity: the BENCH_7 headline cell (sor-opt
+#     strong, scope engine, flat topology, 256 nodes) must replay its
+#     committed checksum bit for bit under the conservative parallel
+#     engine (Config.ParallelNodes), with the gated run's virtual wall
+#     clock inside the hierarchical-sync wobble band of the sequential
+#     one.
 set -eux
 
 cd "$(dirname "$0")/.."
 
-go test -run 'TestAggregationOffIdentity|TestWalltimeBaselineIdentity|TestParallelRunnerByteIdentity|TestEngineDefaultIdentity|TestTopologyFlatIdentity|TestServeParallelByteIdentity' ./internal/bench/
+go test -run 'TestAggregationOffIdentity|TestWalltimeBaselineIdentity|TestParallelRunnerByteIdentity|TestEngineDefaultIdentity|TestTopologyFlatIdentity|TestServeParallelByteIdentity|TestPNodesScaling256Identity' ./internal/bench/

@@ -81,6 +81,15 @@ go test -race -run 'TestLitmusDefaultEngine|TestLitmusCatchesBrokenEngine' ./int
 # SPSC rings and shard latches are touched from every node goroutine.
 go test -race -run 'TestServeEngineConformance' ./internal/serve/
 
+# Parallel-node identity gate: Config.ParallelNodes swaps the reference
+# scheduler for the conservative lookahead engine, and nothing modeled
+# may move. TestPNodesIdentity pins checksums, clocks, traffic, and
+# perfmon event streams at 2/8/64 nodes; the determinism-stress pair
+# replays a seeded 5%-drop campaign and a mid-traffic crash/recovery
+# byte-identically. Run under the race detector because the gate is
+# exactly the machinery that lets node goroutines run concurrently.
+go test -race -run 'TestPNodesIdentity|TestPNodesFaultDeterminism|TestPNodesCrashRecoveryDeterminism' ./internal/bench/
+
 # Allocation gates: the pooled hot paths must not allocate in steady
 # state (page fetch and message send at exactly 0 allocs/op; diff flush
 # with zero marginal cost per page). Plain mode only — the race runtime
